@@ -1,0 +1,74 @@
+//! Criterion benches: compile-time cost of each analysis pass and of the
+//! three end-to-end strategies, per benchmark kernel.
+//!
+//! The paper reports no compilation times; these benches are supplementary
+//! evidence that the global analysis is cheap (it was added to a production
+//! compiler, pHPF).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gcomm_core::{commgen, compile, strategy, AnalysisCtx, CombinePolicy, Strategy};
+use gcomm_ssa::SsaForm;
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    for (bench, routine, src) in gcomm_kernels::all_kernels() {
+        let id = format!("{bench}-{routine}");
+        g.bench_with_input(BenchmarkId::new("parse", &id), &src, |b, src| {
+            b.iter(|| gcomm_lang::parse_program(src).unwrap())
+        });
+        let ast = gcomm_lang::parse_program(src).unwrap();
+        g.bench_with_input(BenchmarkId::new("lower", &id), &ast, |b, ast| {
+            b.iter(|| gcomm_ir::lower(ast).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    for (bench, routine, src) in gcomm_kernels::all_kernels() {
+        let id = format!("{bench}-{routine}");
+        let ast = gcomm_lang::parse_program(src).unwrap();
+        let prog = gcomm_ir::lower(&ast).unwrap();
+        g.bench_with_input(BenchmarkId::new("ssa", &id), &prog, |b, prog| {
+            b.iter(|| SsaForm::build(prog))
+        });
+        g.bench_with_input(BenchmarkId::new("commgen", &id), &prog, |b, prog| {
+            b.iter(|| commgen::generate(prog))
+        });
+        g.bench_with_input(BenchmarkId::new("placement", &id), &prog, |b, prog| {
+            b.iter(|| {
+                let entries = commgen::number(commgen::generate(prog));
+                let ctx = AnalysisCtx::new(prog);
+                strategy::run_with_policy(
+                    &ctx,
+                    entries,
+                    Strategy::Global,
+                    &CombinePolicy::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end-to-end");
+    for (bench, routine, src) in gcomm_kernels::all_kernels() {
+        let id = format!("{bench}-{routine}");
+        for (name, s) in [
+            ("orig", Strategy::Original),
+            ("nored", Strategy::EarliestRE),
+            ("comb", Strategy::Global),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, &id), &(src, s), |b, (src, s)| {
+                b.iter(|| compile(src, *s).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_analyses, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates the static message count table (Figure 10, top).
+use gcomm_core::{compile, CommKind, Strategy};
+
+fn main() {
+    println!(
+        "{:<10} {:<9} {:<5} {:>6} {:>7} {:>6}",
+        "Benchmark", "Routine", "Type", "orig", "nored", "comb"
+    );
+    for (bench, routine, src) in gcomm_kernels::all_kernels() {
+        let orig = compile(src, Strategy::Original).expect("compile orig");
+        let nored = compile(src, Strategy::EarliestRE).expect("compile nored");
+        let comb = compile(src, Strategy::Global).expect("compile comb");
+        for (ty, kind) in [("NNC", CommKind::Nnc), ("SUM", CommKind::Reduction)] {
+            let o = orig.schedule.count_kind(kind);
+            if o == 0 {
+                continue;
+            }
+            println!(
+                "{:<10} {:<9} {:<5} {:>6} {:>7} {:>6}",
+                bench,
+                routine,
+                ty,
+                o,
+                nored.schedule.count_kind(kind),
+                comb.schedule.count_kind(kind)
+            );
+        }
+        let og = orig.schedule.count_kind(CommKind::General);
+        if og > 0 {
+            println!("{bench:<10} {routine:<9} GEN   {og:>6} {:>7} {:>6}", nored.schedule.count_kind(CommKind::General), comb.schedule.count_kind(CommKind::General));
+        }
+        if std::env::args().any(|a| a == "-v") {
+            println!("--- {bench}:{routine} global placement ---\n{}", comb.report());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! # gcomm-bench — the benchmark harness
+//!
+//! Shared plumbing for the binaries that regenerate every table and figure
+//! of the paper's evaluation (see DESIGN.md's experiment index and
+//! EXPERIMENTS.md for results):
+//!
+//! * `table_static_counts` — the static message-count table (E1),
+//! * `fig5_network_profile` — bandwidth curves (E2),
+//! * `fig10_runtimes` — normalized running-time bars (E3–E8),
+//! * `ablation_greedy`, `ablation_threshold`, `ablation_subset` — A1–A3.
+
+use gcomm_core::{compile, lower_to_sim, Compiled, CoreError, SimConfig, Strategy};
+use gcomm_machine::{simulate, NetworkModel, ProcGrid, SimResult};
+use serde::Serialize;
+
+/// Timesteps simulated per run (everything scales linearly in this).
+pub const NSTEPS: i64 = 10;
+
+/// Identifies one of the two evaluation platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// IBM SP2 with MPL, P = 25 (paper's rows a, b, e).
+    Sp2,
+    /// Berkeley NOW with MPICH over Myrinet, P = 8 (rows c, d, f).
+    Now,
+}
+
+impl Platform {
+    /// Parses a platform name.
+    pub fn parse(s: &str) -> Option<Platform> {
+        match s {
+            "sp2" => Some(Platform::Sp2),
+            "now" => Some(Platform::Now),
+            _ => None,
+        }
+    }
+
+    /// The network model.
+    pub fn model(&self) -> NetworkModel {
+        match self {
+            Platform::Sp2 => NetworkModel::sp2(),
+            Platform::Now => NetworkModel::now_myrinet(),
+        }
+    }
+
+    /// The paper's processor count for this platform.
+    pub fn nproc(&self) -> u32 {
+        match self {
+            Platform::Sp2 => 25,
+            Platform::Now => 8,
+        }
+    }
+}
+
+/// One row of a Figure-10-style runtime experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuntimeRow {
+    /// Problem size `n`.
+    pub n: i64,
+    /// Baseline simulation.
+    pub orig: SimResult,
+    /// Earliest + redundancy elimination.
+    pub nored: SimResult,
+    /// The paper's algorithm.
+    pub comb: SimResult,
+}
+
+impl RuntimeRow {
+    /// Total time of a strategy, normalized so `orig` is 1.0.
+    pub fn normalized(&self, r: &SimResult) -> f64 {
+        r.total_us() / self.orig.total_us().max(1e-12)
+    }
+
+    /// Communication-time reduction factor of `comb` over `orig`.
+    pub fn comm_speedup(&self) -> f64 {
+        self.orig.comm_us / self.comb.comm_us.max(1e-12)
+    }
+}
+
+/// Grid rank needed by a compiled kernel (max distributed dims).
+pub fn grid_rank(c: &Compiled) -> usize {
+    c.prog
+        .arrays
+        .iter()
+        .map(|a| a.distributed_dims().len())
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Simulates one kernel at size `n` on a platform under one strategy.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the kernel fails to compile.
+pub fn simulate_kernel(
+    src: &str,
+    strategy: Strategy,
+    platform: Platform,
+    n: i64,
+) -> Result<SimResult, CoreError> {
+    let c = compile(src, strategy)?;
+    let grid = ProcGrid::balanced(platform.nproc(), grid_rank(&c));
+    let cfg = SimConfig::uniform(&c, grid, n).with("nsteps", NSTEPS);
+    let prog = lower_to_sim(&c, &cfg);
+    Ok(simulate(&prog, &platform.model()))
+}
+
+/// Runs all three strategies for one kernel/platform/size.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the kernel fails to compile.
+pub fn runtime_row(src: &str, platform: Platform, n: i64) -> Result<RuntimeRow, CoreError> {
+    Ok(RuntimeRow {
+        n,
+        orig: simulate_kernel(src, Strategy::Original, platform, n)?,
+        nored: simulate_kernel(src, Strategy::EarliestRE, platform, n)?,
+        comb: simulate_kernel(src, Strategy::Global, platform, n)?,
+    })
+}
+
+/// The problem sizes the paper plots per (platform, benchmark).
+pub fn paper_sizes(platform: Platform, bench: &str) -> Vec<i64> {
+    match (platform, bench) {
+        (Platform::Sp2, "shallow") => vec![128, 192, 256, 384, 512],
+        (Platform::Sp2, "gravity") => vec![100, 125, 150, 175, 200, 225, 250, 275, 300, 325],
+        (Platform::Now, "shallow") => vec![400, 450, 500],
+        (Platform::Now, "gravity") => vec![100, 124, 150, 174, 200, 224, 250, 274],
+        (Platform::Sp2, "hydflo") => vec![28, 32, 40, 48, 56, 64],
+        (Platform::Now, "trimesh") => vec![192, 256, 320],
+        _ => vec![128, 256, 512],
+    }
+}
+
+/// Source for a benchmark name used in the runtime figures (the dominant
+/// routine: `shallow` and `gravity` are whole programs; `trimesh` plots
+/// `normdot`, `hydflo` plots `flux`).
+pub fn runtime_source(bench: &str) -> Option<&'static str> {
+    match bench {
+        "shallow" => Some(gcomm_kernels::SHALLOW),
+        "gravity" => Some(gcomm_kernels::GRAVITY),
+        "trimesh" => Some(gcomm_kernels::TRIMESH_NORMDOT),
+        "hydflo" => Some(gcomm_kernels::HYDFLO_FLUX),
+        _ => None,
+    }
+}
+
+/// Renders an ASCII bar of width proportional to `frac` (max 40 columns);
+/// the first `shaded` fraction is drawn dark (`#`), the rest light (`-`),
+/// mirroring Figure 10's dark network segment.
+pub fn bar(frac: f64, shaded: f64) -> String {
+    let width = (frac.clamp(0.0, 1.5) * 40.0).round() as usize;
+    let dark = (shaded.clamp(0.0, 1.5) * 40.0).round() as usize;
+    let mut s = String::new();
+    for i in 0..width {
+        s.push(if i < dark { '#' } else { '-' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platforms_parse() {
+        assert_eq!(Platform::parse("sp2"), Some(Platform::Sp2));
+        assert_eq!(Platform::parse("now"), Some(Platform::Now));
+        assert_eq!(Platform::parse("cray"), None);
+        assert_eq!(Platform::Sp2.nproc(), 25);
+        assert_eq!(Platform::Now.nproc(), 8);
+    }
+
+    #[test]
+    fn runtime_row_shapes_hold_for_shallow() {
+        let row = runtime_row(gcomm_kernels::SHALLOW, Platform::Sp2, 512).unwrap();
+        // comb ≤ nored ≤ orig in communication time.
+        assert!(row.comb.comm_us <= row.nored.comm_us + 1e-9);
+        assert!(row.nored.comm_us <= row.orig.comm_us + 1e-9);
+        // Communication cost cut by at least 2x (paper: "in many cases ...
+        // reduced by a factor of two").
+        assert!(row.comm_speedup() >= 2.0, "speedup {}", row.comm_speedup());
+        // Compute time unchanged across strategies.
+        assert!((row.orig.compute_us - row.comb.compute_us).abs() < 1e-6);
+    }
+
+    #[test]
+    fn now_gains_exceed_sp2_gains() {
+        // §5: higher overall performance gains on NOW than SP2 because the
+        // NOW has higher overhead (startup dominates).
+        let sp2 = runtime_row(gcomm_kernels::SHALLOW, Platform::Sp2, 512).unwrap();
+        let now = runtime_row(gcomm_kernels::SHALLOW, Platform::Now, 512).unwrap();
+        let gain_sp2 = 1.0 - sp2.normalized(&sp2.comb);
+        let gain_now = 1.0 - now.normalized(&now.comb);
+        assert!(
+            gain_now > gain_sp2,
+            "NOW gain {gain_now:.3} must exceed SP2 gain {gain_sp2:.3}"
+        );
+    }
+
+    #[test]
+    fn bar_rendering() {
+        assert_eq!(bar(1.0, 0.0).len(), 40);
+        assert!(bar(0.5, 0.25).starts_with('#'));
+        assert!(bar(0.5, 0.0).starts_with('-'));
+    }
+}

@@ -1,0 +1,159 @@
+//! Candidate placement positions (§4.4, Fig. 9e).
+//!
+//! Any safe position for a *single* copy of a use's communication must
+//! dominate the use; Claims 4.5/4.6 show these are exactly the statements
+//! encountered walking the dominator tree from `Latest(u)`'s block up to
+//! `Earliest(u)`'s block.
+
+use std::collections::BTreeSet;
+
+use gcomm_ir::Pos;
+
+use crate::ctx::AnalysisCtx;
+use crate::entry::CommEntry;
+
+/// Marks all candidate positions for an entry, given its `Latest` and
+/// `Earliest` positions. Reductions get the single `Latest` position (§6.2).
+pub fn candidates(
+    ctx: &AnalysisCtx<'_>,
+    e: &CommEntry,
+    earliest: Pos,
+    latest: Pos,
+) -> BTreeSet<Pos> {
+    let mut out = BTreeSet::new();
+    if e.is_reduction() {
+        out.insert(latest);
+        return out;
+    }
+    if !earliest.dominates(&latest, &ctx.dt) {
+        // Defensive: fall back to the single safe point.
+        out.insert(latest);
+        return out;
+    }
+    if earliest.node == latest.node {
+        for slot in earliest.slot..=latest.slot {
+            out.insert(Pos {
+                node: latest.node,
+                slot,
+            });
+        }
+        return out;
+    }
+    // Mark the tail of Latest's block up to Latest(u).
+    for slot in 0..=latest.slot {
+        out.insert(Pos {
+            node: latest.node,
+            slot,
+        });
+    }
+    // Walk dominator parents, marking whole blocks, until Earliest's block.
+    let mut c = ctx.dt.parent(latest.node);
+    while let Some(n) = c {
+        if n == earliest.node {
+            let bottom = Pos::bottom(ctx.prog, n);
+            for slot in earliest.slot..=bottom.slot {
+                out.insert(Pos { node: n, slot });
+            }
+            return out;
+        }
+        let bottom = Pos::bottom(ctx.prog, n);
+        for slot in 0..=bottom.slot {
+            out.insert(Pos { node: n, slot });
+        }
+        c = ctx.dt.parent(n);
+    }
+    // Earliest's block was not an ancestor (cannot happen when earliest
+    // dominates latest); keep what we have plus the safe point.
+    out.insert(latest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{commgen, earliest::earliest_pos, latest::latest};
+    use gcomm_ir::IrProgram;
+
+    fn setup(src: &str) -> (IrProgram, Vec<crate::CommEntry>) {
+        let prog = gcomm_ir::lower(&gcomm_lang::parse_program(src).unwrap()).unwrap();
+        let entries = commgen::number(commgen::generate(&prog));
+        (prog, entries)
+    }
+
+    #[test]
+    fn same_block_range() {
+        let (prog, entries) = setup(
+            "
+program t
+param n
+real a(n), b(n), c(n) distribute (block)
+a(1:n) = 1
+b(1:n) = 2
+c(2:n) = a(1:n-1)
+end",
+        );
+        let ctx = AnalysisCtx::new(&prog);
+        let e = &entries[0];
+        let ep = earliest_pos(&ctx, e);
+        let lp = latest(&ctx, e);
+        let cands = candidates(&ctx, e, ep, lp);
+        // After stmt 0 (slot 1), after stmt 1 (slot 2) == before stmt 2.
+        assert_eq!(cands.len(), 2);
+        assert!(cands.contains(&ep));
+        assert!(cands.contains(&lp));
+    }
+
+    #[test]
+    fn cross_block_walk_collects_preheader() {
+        let (prog, entries) = setup(
+            "
+program t
+param n
+real a(n,n), c(n,n) distribute (block,block)
+a(1:n, 1:n) = 0
+do i = 2, n
+  c(i, 1:n) = a(i-1, 1:n)
+enddo
+end",
+        );
+        let ctx = AnalysisCtx::new(&prog);
+        let e = &entries[0];
+        let ep = earliest_pos(&ctx, e);
+        let lp = latest(&ctx, e);
+        let cands = candidates(&ctx, e, ep, lp);
+        // Latest is the loop preheader; earliest is after the def. The
+        // candidate set contains both and everything between.
+        assert!(cands.contains(&ep));
+        assert!(cands.contains(&lp));
+        assert!(cands.len() >= 2);
+        // All candidates dominate the use.
+        let before_use = Pos::before(&prog, e.stmt);
+        for p in &cands {
+            assert!(p.dominates(&before_use, &ctx.dt));
+        }
+    }
+
+    #[test]
+    fn reduction_has_single_candidate() {
+        let (prog, entries) = setup(
+            "
+program t
+param n
+real g(n,n) distribute (block,block)
+real s
+do i = 1, n
+  s = sum(g(i, 1:n))
+enddo
+end",
+        );
+        let ctx = AnalysisCtx::new(&prog);
+        let e = &entries[0];
+        let cands = candidates(
+            &ctx,
+            e,
+            earliest_pos(&ctx, e),
+            latest(&ctx, e),
+        );
+        assert_eq!(cands.len(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Shared analysis context: program, SSA, dominators, dependence tester.
+
+use gcomm_dep::{widen::widen_access, DepTest};
+use gcomm_ir::{AccessRef, DomTree, IrProgram, StmtId, StmtKind};
+use gcomm_sections::{Asd, Section, SymCtx};
+use gcomm_ssa::{DefId, DefKind, SsaForm};
+
+use crate::entry::CommEntry;
+
+/// Everything the placement phases need about one procedure.
+#[derive(Debug)]
+pub struct AnalysisCtx<'a> {
+    /// The program under analysis.
+    pub prog: &'a IrProgram,
+    /// Its SSA form.
+    pub ssa: SsaForm,
+    /// Dominator tree of the augmented CFG.
+    pub dt: DomTree,
+    /// Symbolic comparison context.
+    pub sym: SymCtx,
+}
+
+impl<'a> AnalysisCtx<'a> {
+    /// Builds the context (dominators + SSA).
+    pub fn new(prog: &'a IrProgram) -> Self {
+        let dt = DomTree::compute(&prog.cfg);
+        let ssa = SsaForm::build_with(prog, &dt);
+        AnalysisCtx {
+            prog,
+            ssa,
+            dt,
+            sym: SymCtx::default(),
+        }
+    }
+
+    /// The dependence tester.
+    pub fn dep(&self) -> DepTest<'a> {
+        DepTest::new(self.prog)
+    }
+
+    /// The access of read `idx` of statement `s`.
+    pub fn read_access(&self, s: StmtId, idx: usize) -> &AccessRef {
+        &self.prog.stmt(s).kind.reads()[idx].access
+    }
+
+    /// The written access of a definition's statement (regular defs only).
+    pub fn def_access(&self, d: DefId) -> Option<(&AccessRef, StmtId)> {
+        match &self.ssa.def(d).kind {
+            DefKind::Regular { stmt, .. } => {
+                let acc = self.prog.stmt(*stmt).kind.def()?;
+                Some((acc, *stmt))
+            }
+            _ => None,
+        }
+    }
+
+    /// **Extended** `IsArrayDep(d, u, l)`: the paper's Fig. 8(d) test plus
+    /// the loop-independent case — a definition inside the level-`l` loop
+    /// that feeds the use in the same iteration also pins communication
+    /// inside that loop (the "no *true dependence*" reading of the classic
+    /// vectorization rule; Fig. 8's `v_l > 0` captures only carried
+    /// dependences).
+    pub fn ext_dep(
+        &self,
+        d_stmt: StmtId,
+        d_acc: &AccessRef,
+        u_stmt: StmtId,
+        u_acc: &AccessRef,
+        l: u32,
+    ) -> bool {
+        let dep = self.dep();
+        if dep.is_array_dep(d_stmt, d_acc, u_stmt, u_acc, l) {
+            return true;
+        }
+        if l >= 1 && l <= self.prog.cnl(d_stmt, u_stmt) {
+            // Loop-independent flow: same iteration of all common loops,
+            // definition textually before the use.
+            return dep.is_array_dep(d_stmt, d_acc, u_stmt, u_acc, 0);
+        }
+        false
+    }
+
+    /// The section an entry communicates when placed at nesting level
+    /// `level`: the union (bounding box per dimension, stride-aware) of its
+    /// reads' accesses widened over all loops deeper than `level`.
+    pub fn section_at(&self, e: &CommEntry, level: u32) -> Section {
+        let chain = self.prog.stmt_loop_chain(e.stmt);
+        let mut acc: Option<Section> = None;
+        for &r in &e.reads {
+            let a = self.read_access(e.stmt, r);
+            let s = widen_access(self.prog, a, &chain, level);
+            acc = Some(match acc {
+                None => s,
+                Some(prev) => prev.union_bbox(&s, &self.sym).unwrap_or(prev),
+            });
+        }
+        acc.unwrap_or_default()
+    }
+
+    /// The ASD of an entry at a placement nesting level.
+    pub fn asd_at(&self, e: &CommEntry, level: u32) -> Asd {
+        Asd::new(e.array, self.section_at(e, level), e.mapping.clone())
+    }
+
+    /// True if statement `s` is an assignment.
+    pub fn is_assign(&self, s: StmtId) -> bool {
+        matches!(self.prog.stmt(s).kind, StmtKind::Assign { .. })
+    }
+}

@@ -1,0 +1,53 @@
+//! Communication entries: one per non-local reference pattern.
+
+use gcomm_ir::{ArrayId, StmtId};
+use gcomm_sections::Mapping;
+
+/// Identifier of a communication entry within one analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryId(pub u32);
+
+/// Broad classification of a communication (used for reporting and for the
+/// size rules of combining).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommKind {
+    /// Nearest-neighbour (or general) shift exchange into overlap regions.
+    Nnc,
+    /// Global reduction of partial results.
+    Reduction,
+    /// Broadcast from one owner.
+    Broadcast,
+    /// Gather to the owner of a constant position.
+    Gather,
+    /// Anything else (opaque many-to-many).
+    General,
+}
+
+/// One communication requirement: a use (or coalesced set of uses within a
+/// statement) of remote data with a fixed mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommEntry {
+    /// This entry's id (index into the entry table).
+    pub id: EntryId,
+    /// The statement containing the use(s).
+    pub stmt: StmtId,
+    /// Indices into the statement's read list that this entry serves
+    /// (several when classic message coalescing merged same-pattern
+    /// references in one statement).
+    pub reads: Vec<usize>,
+    /// The referenced array.
+    pub array: ArrayId,
+    /// Sender→receiver mapping.
+    pub mapping: Mapping,
+    /// Classification.
+    pub kind: CommKind,
+    /// Human-readable label, e.g. `p(+1,0)` or `sum g`.
+    pub label: String,
+}
+
+impl CommEntry {
+    /// True if this entry is a reduction.
+    pub fn is_reduction(&self) -> bool {
+        self.kind == CommKind::Reduction
+    }
+}

@@ -1,0 +1,290 @@
+//! Exhaustive optimal placement (extension; paper §6.1).
+//!
+//! Picking one candidate position per reference to minimize total
+//! communication cost is NP-hard (Claim 6.1, reduction from chromatic
+//! number), which justifies the paper's greedy heuristic. For *small*
+//! procedures the optimum is computable by enumeration; this module does
+//! exactly that, scoring every candidate assignment with the machine
+//! simulator (startup + bandwidth + packing — a concrete instance of the
+//! §6.1 model), so the greedy's quality can be measured.
+
+use gcomm_ir::Pos;
+use gcomm_machine::{simulate, NetworkModel};
+
+use crate::candidates::candidates;
+use crate::codegen::{lower_to_sim, SimConfig};
+use crate::ctx::AnalysisCtx;
+use crate::earliest::earliest_pos;
+use crate::entry::EntryId;
+use crate::greedy::{compatible, CombinePolicy};
+use crate::latest::latest;
+use crate::pipeline::Compiled;
+use crate::redundancy;
+use crate::schedule::{PlacedGroup, Schedule};
+use crate::strategy::Strategy;
+use crate::subset::CandidateTable;
+
+/// Result of an exhaustive placement search.
+#[derive(Debug, Clone)]
+pub struct OptimalResult {
+    /// The best schedule found.
+    pub schedule: Schedule,
+    /// Its simulated communication time (µs).
+    pub comm_us: f64,
+    /// Number of complete assignments evaluated.
+    pub tried: u64,
+    /// True when the search space exceeded the budget and the result is
+    /// only a lower-effort scan.
+    pub truncated: bool,
+}
+
+/// Simulated communication time of an existing schedule.
+pub fn comm_cost(compiled: &Compiled, cfg: &SimConfig, net: &NetworkModel) -> f64 {
+    simulate(&lower_to_sim(compiled, cfg), net).comm_us
+}
+
+/// Exhaustively searches candidate assignments for the cheapest schedule.
+///
+/// Runs the same front half as the global strategy (entries, candidate
+/// windows, redundancy elimination), then enumerates every choice of one
+/// candidate per surviving entry, groups compatibly, and scores with the
+/// simulator. Returns `None` when the program has no communication.
+pub fn optimal_placement(
+    compiled: &Compiled,
+    policy: &CombinePolicy,
+    cfg: &SimConfig,
+    net: &NetworkModel,
+    budget: u64,
+) -> Option<OptimalResult> {
+    let prog = &compiled.prog;
+    let entries = crate::commgen::number(crate::commgen::generate(prog));
+    if entries.is_empty() {
+        return None;
+    }
+    let ctx = AnalysisCtx::new(prog);
+    let mut table = CandidateTable::default();
+    for e in &entries {
+        let ep = earliest_pos(&ctx, e);
+        let lp = latest(&ctx, e);
+        table.cands.insert(e.id, candidates(&ctx, e, ep, lp));
+    }
+    let absorptions = redundancy::eliminate(&ctx, &entries, &mut table);
+
+    let ids: Vec<EntryId> = table.cands.keys().copied().collect();
+    let choice_sets: Vec<Vec<Pos>> = ids
+        .iter()
+        .map(|e| table.cands[e].iter().copied().collect())
+        .collect();
+
+    let space: u64 = choice_sets
+        .iter()
+        .map(|c| c.len() as u64)
+        .try_fold(1u64, |a, b| a.checked_mul(b))
+        .unwrap_or(u64::MAX);
+    let truncated = space > budget;
+
+    // Reusable scoring harness: swap the schedule into a scratch Compiled.
+    let mut scratch = Compiled {
+        prog: compiled.prog.clone(),
+        schedule: Schedule {
+            strategy: Strategy::Global,
+            entries: entries.clone(),
+            groups: Vec::new(),
+            absorptions: absorptions.clone(),
+            section_overrides: Vec::new(),
+        },
+    };
+
+    let mut counters = vec![0usize; ids.len()];
+    let mut best: Option<(f64, Schedule)> = None;
+    let mut tried: u64 = 0;
+
+    loop {
+        // Build the schedule for the current assignment.
+        let assignment: Vec<Pos> = counters
+            .iter()
+            .zip(&choice_sets)
+            .map(|(&c, set)| set[c])
+            .collect();
+        let groups = group_assignment(&ctx, &entries, &ids, &assignment, policy);
+        scratch.schedule.groups = groups;
+        let cost = comm_cost(&scratch, cfg, net);
+        tried += 1;
+        if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+            best = Some((cost, scratch.schedule.clone()));
+        }
+        if tried >= budget {
+            break;
+        }
+        // Advance the odometer.
+        let mut i = 0;
+        loop {
+            if i == counters.len() {
+                break;
+            }
+            counters[i] += 1;
+            if counters[i] < choice_sets[i].len() {
+                break;
+            }
+            counters[i] = 0;
+            i += 1;
+        }
+        if i == counters.len() {
+            break;
+        }
+    }
+
+    best.map(|(comm_us, schedule)| OptimalResult {
+        schedule,
+        comm_us,
+        tried,
+        truncated,
+    })
+}
+
+/// Partitions an assignment into compatibility groups (same first-fit rule
+/// as the greedy's final grouping, for a like-for-like comparison).
+fn group_assignment(
+    ctx: &AnalysisCtx<'_>,
+    entries: &[crate::entry::CommEntry],
+    ids: &[EntryId],
+    assignment: &[Pos],
+    policy: &CombinePolicy,
+) -> Vec<PlacedGroup> {
+    use std::collections::BTreeMap;
+    let mut by_pos: BTreeMap<Pos, Vec<EntryId>> = BTreeMap::new();
+    for (&id, &pos) in ids.iter().zip(assignment.iter()) {
+        by_pos.entry(pos).or_default().push(id);
+    }
+    let mut groups = Vec::new();
+    for (pos, members) in by_pos {
+        let level = pos.level(ctx.prog);
+        let mut parts: Vec<Vec<EntryId>> = Vec::new();
+        for id in members {
+            let e = &entries[id.0 as usize];
+            let slot = parts.iter_mut().find(|g| {
+                g.iter()
+                    .all(|&m| compatible(ctx, e, &entries[m.0 as usize], level, policy))
+            });
+            match slot {
+                Some(g) => g.push(id),
+                None => parts.push(vec![id]),
+            }
+        }
+        for p in parts {
+            let first = &entries[p[0].0 as usize];
+            groups.push(PlacedGroup {
+                pos,
+                entries: p,
+                mapping: first.mapping.clone(),
+                kind: first.kind,
+            });
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compile;
+    use gcomm_machine::ProcGrid;
+
+    fn setup(src: &str) -> (Compiled, SimConfig, NetworkModel) {
+        let c = compile(src, Strategy::Global).unwrap();
+        let cfg = SimConfig::uniform(&c, ProcGrid::balanced(4, 2), 64).with("nsteps", 4);
+        (c, cfg, NetworkModel::sp2())
+    }
+
+    #[test]
+    fn greedy_matches_optimal_on_figure4() {
+        let (c, cfg, net) = setup(gcomm_kernels_src::FIG4);
+        let greedy_cost = comm_cost(&c, &cfg, &net);
+        let opt = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, 100_000).unwrap();
+        assert!(!opt.truncated);
+        assert!(
+            greedy_cost <= opt.comm_us * 1.0001,
+            "greedy {greedy_cost} vs optimal {}",
+            opt.comm_us
+        );
+        assert_eq!(opt.schedule.groups.len(), c.schedule.groups.len());
+    }
+
+    #[test]
+    fn greedy_matches_optimal_on_two_reads() {
+        let (c, cfg, net) = setup(
+            "
+program t
+param n, nsteps
+real a(n,n), b(n,n), c(n,n) distribute (block,block)
+do t = 1, nsteps
+  b(2:n, 1:n) = a(1:n-1, 1:n)
+  c(2:n, 1:n) = a(1:n-1, 1:n)
+  a(1:n, 1:n) = b(1:n, 1:n) + c(1:n, 1:n)
+enddo
+end",
+        );
+        let greedy_cost = comm_cost(&c, &cfg, &net);
+        let opt = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, 100_000).unwrap();
+        assert!(greedy_cost <= opt.comm_us * 1.0001);
+    }
+
+    #[test]
+    fn optimal_never_beats_greedy_by_much_on_gauss() {
+        let c = compile(gcomm_kernels_src::GAUSS, Strategy::Global).unwrap();
+        let cfg = SimConfig::uniform(&c, ProcGrid::balanced(4, 2), 32).with("nsteps", 2);
+        let net = NetworkModel::sp2();
+        let greedy_cost = comm_cost(&c, &cfg, &net);
+        let opt =
+            optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, 30_000).unwrap();
+        // The greedy must be within 10% of the best assignment found.
+        assert!(
+            greedy_cost <= opt.comm_us * 1.10,
+            "greedy {greedy_cost} vs optimal {} (tried {}, truncated {})",
+            opt.comm_us,
+            opt.tried,
+            opt.truncated
+        );
+    }
+
+    /// Kernel sources for tests (kept local to avoid a dev-dependency
+    /// cycle with gcomm-kernels).
+    mod gcomm_kernels_src {
+        pub const FIG4: &str = "
+program fig4
+param n
+real a(n,n), b(n,n), c(n,n), d(n,n) distribute (block, *)
+real cond
+b(1:n, 1:n:2) = 1
+b(1:n, 2:n:2) = 2
+if (cond > 0) then
+  a(1:n, 1:n) = 3
+else
+  a(1:n, 1:n) = d(1:n, 1:n)
+endif
+do i = 2, n
+  do j = 1, n, 2
+    c(i, j) = a(i-1, j) + b(i-1, j)
+  enddo
+  do j = 1, n
+    c(i, j) = a(i-1, j) + b(i-1, j)
+  enddo
+enddo
+end";
+        pub const GAUSS: &str = "
+program gauss
+param n, nsteps
+real x(n,n), y(n,n), w(n,n), edge(n,n) distribute (block, block)
+real acc(n,n) distribute (block, block)
+do t = 1, nsteps
+  acc(2:n, 2:n) = x(1:n-1, 2:n) + y(1:n-1, 2:n) + w(1:n-1, 2:n) + edge(1:n-1, 2:n) &
+                + x(2:n, 1:n-1) + y(2:n, 1:n-1) + w(2:n, 1:n-1)
+  acc(1:n-1, 1:n-1) = acc(1:n-1, 1:n-1) + x(2:n, 2:n) + y(2:n, 2:n) + w(2:n, 2:n)
+  x(1:n, 1:n) = acc(1:n, 1:n)
+  y(1:n, 1:n) = acc(1:n, 1:n) * 0.5
+  w(1:n, 1:n) = acc(1:n, 1:n) * 0.25
+  edge(1:n, 1:n) = acc(1:n, 1:n) * 0.125
+enddo
+end";
+    }
+}

@@ -1,0 +1,213 @@
+//! Global redundancy elimination over ASDs (§4.6, Fig. 9f).
+//!
+//! Whenever two entries share a candidate position `P` and one's ASD
+//! subsumes the other's (`D2 ⊆ D1 ∧ M2 ⊆ M1`, with both data sections
+//! vectorized to `P`'s nesting level), the subsumed entry is *absorbed*: it
+//! generates no communication of its own, and the subsuming entry's
+//! remaining candidates are restricted to positions that still cover the
+//! absorbed use (dominate it, at a nesting level no deeper than `P`'s) —
+//! this is how choosing a *later-than-earliest* placement for `b1` in the
+//! paper's running example eliminates that communication completely.
+
+use std::collections::BTreeSet;
+
+use gcomm_ir::Pos;
+
+use crate::ctx::AnalysisCtx;
+use crate::entry::{CommEntry, EntryId};
+use crate::subset::CandidateTable;
+
+/// A record that `absorbed`'s communication is fully served by `by`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Absorption {
+    /// The eliminated entry.
+    pub absorbed: EntryId,
+    /// The entry whose communication covers it.
+    pub by: EntryId,
+}
+
+/// Runs redundancy elimination to a fixpoint. Returns the absorptions.
+///
+/// Coverage obligations are *inherited through chains*: when `A` absorbs
+/// `B` and later `C` absorbs `A`, `C` must still dominate `B`'s use (not
+/// just `A`'s) — otherwise `B`'s data would silently go unserved.
+pub fn eliminate(
+    ctx: &AnalysisCtx<'_>,
+    entries: &[CommEntry],
+    table: &mut CandidateTable,
+) -> Vec<Absorption> {
+    let mut absorptions: Vec<Absorption> = Vec::new();
+    // Per surviving entry: the uses (and level caps) of everything it has
+    // absorbed, directly or transitively.
+    let mut obligations: std::collections::HashMap<EntryId, Vec<(Pos, u32)>> =
+        std::collections::HashMap::new();
+    // Pairs rejected because the winner could not keep a candidate
+    // satisfying every inherited obligation.
+    let mut banned: std::collections::HashSet<(EntryId, EntryId)> =
+        std::collections::HashSet::new();
+    loop {
+        let Some((winner, loser, at)) = find_pair(ctx, entries, table, &banned) else {
+            return absorptions;
+        };
+        let loser_stmt = entries[loser.0 as usize].stmt;
+        let level_at = at.level(ctx.prog);
+
+        // The loser's own use, plus every obligation it had accumulated.
+        let mut obs = obligations.get(&loser).cloned().unwrap_or_default();
+        obs.push((Pos::before(ctx.prog, loser_stmt), level_at));
+
+        let refined: BTreeSet<Pos> = table
+            .cands
+            .get(&winner)
+            .map(|ps| {
+                ps.iter()
+                    .copied()
+                    .filter(|p| {
+                        obs.iter().all(|(before_use, cap)| {
+                            p.dominates(before_use, &ctx.dt) && p.level(ctx.prog) <= *cap
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        if refined.is_empty() {
+            // No placement of the winner can cover everything the loser
+            // stands for: reject this absorption.
+            banned.insert((winner, loser));
+            continue;
+        }
+
+        table.remove_entry(loser);
+        obligations.remove(&loser);
+        table.cands.insert(winner, refined);
+        obligations.entry(winner).or_default().extend(obs);
+        absorptions.push(Absorption {
+            absorbed: loser,
+            by: winner,
+        });
+    }
+}
+
+/// Finds one (subsumer, subsumed, position) triple, or `None` at fixpoint.
+fn find_pair(
+    ctx: &AnalysisCtx<'_>,
+    entries: &[CommEntry],
+    table: &CandidateTable,
+    banned: &std::collections::HashSet<(EntryId, EntryId)>,
+) -> Option<(EntryId, EntryId, Pos)> {
+    let sets = table.comm_sets();
+    for (&pos, set) in &sets {
+        let level = pos.level(ctx.prog);
+        let ids: Vec<EntryId> = set.iter().copied().collect();
+        for (i, &c1) in ids.iter().enumerate() {
+            for &c2 in &ids[i + 1..] {
+                let e1 = &entries[c1.0 as usize];
+                let e2 = &entries[c2.0 as usize];
+                let a1 = ctx.asd_at(e1, level);
+                let a2 = ctx.asd_at(e2, level);
+                if !banned.contains(&(c1, c2)) && a2.subsumed_by(&a1, &ctx.sym) {
+                    return Some((c1, c2, pos));
+                }
+                if !banned.contains(&(c2, c1)) && a1.subsumed_by(&a2, &ctx.sym) {
+                    return Some((c2, c1, pos));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{candidates, commgen, earliest, latest};
+    use gcomm_ir::IrProgram;
+
+    fn setup(src: &str) -> (IrProgram, Vec<CommEntry>) {
+        let prog = gcomm_ir::lower(&gcomm_lang::parse_program(src).unwrap()).unwrap();
+        let entries = commgen::number(commgen::generate(&prog));
+        (prog, entries)
+    }
+
+    fn build_table(ctx: &AnalysisCtx<'_>, entries: &[CommEntry]) -> CandidateTable {
+        let mut t = CandidateTable::default();
+        for e in entries {
+            let ep = earliest::earliest_pos(ctx, e);
+            let lp = latest::latest(ctx, e);
+            t.cands.insert(e.id, candidates::candidates(ctx, e, ep, lp));
+        }
+        t
+    }
+
+    #[test]
+    fn identical_reads_collapse_to_one() {
+        let (prog, entries) = setup(
+            "
+program t
+param n
+real a(n,n), b(n,n), c(n,n) distribute (block,block)
+b(2:n, 1:n) = a(1:n-1, 1:n)
+c(2:n, 1:n) = a(1:n-1, 1:n)
+end",
+        );
+        let ctx = AnalysisCtx::new(&prog);
+        let mut table = build_table(&ctx, &entries);
+        let abs = eliminate(&ctx, &entries, &mut table);
+        assert_eq!(abs.len(), 1);
+        assert_eq!(table.cands.len(), 1);
+    }
+
+    #[test]
+    fn strided_subset_absorbed_by_dense_read() {
+        // Figure 4's b1/b2: the odd-column read is covered by the dense one
+        // when both are placed at a common (late) point.
+        let (prog, entries) = setup(
+            "
+program t
+param n
+real b(n,n), c(n,n) distribute (block,block)
+b(1:n, 1:n:2) = 1
+b(1:n, 2:n:2) = 2
+do i = 2, n
+  do j = 1, n, 2
+    c(i, j) = b(i-1, j)
+  enddo
+  do j = 1, n
+    c(i, j) = b(i-1, j)
+  enddo
+enddo
+end",
+        );
+        let ctx = AnalysisCtx::new(&prog);
+        let mut table = build_table(&ctx, &entries);
+        assert_eq!(entries.len(), 2);
+        let abs = eliminate(&ctx, &entries, &mut table);
+        assert_eq!(abs.len(), 1, "b1 must be absorbed by b2");
+        // The dense read (second entry) wins.
+        assert_eq!(abs[0].by, entries[1].id);
+        assert_eq!(abs[0].absorbed, entries[0].id);
+        // And the winner's surviving candidates still dominate b1's use.
+        let b1_use = Pos::before(&prog, entries[0].stmt);
+        for p in &table.cands[&entries[1].id] {
+            assert!(p.dominates(&b1_use, &ctx.dt));
+        }
+    }
+
+    #[test]
+    fn different_shifts_are_not_redundant() {
+        let (prog, entries) = setup(
+            "
+program t
+param n
+real a(n,n), b(n,n), c(n,n) distribute (block,block)
+b(2:n, 1:n) = a(1:n-1, 1:n)
+c(1:n-1, 1:n) = a(2:n, 1:n)
+end",
+        );
+        let ctx = AnalysisCtx::new(&prog);
+        let mut table = build_table(&ctx, &entries);
+        let abs = eliminate(&ctx, &entries, &mut table);
+        assert!(abs.is_empty());
+        assert_eq!(table.cands.len(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Placed communication schedules: the output of every strategy.
+
+use std::fmt::Write as _;
+
+use gcomm_ir::{IrProgram, Pos};
+use gcomm_sections::Mapping;
+
+use crate::entry::{CommEntry, CommKind, EntryId};
+use crate::redundancy::Absorption;
+use crate::strategy::Strategy;
+
+/// A group of one or more entries combined into a single communication
+/// operation, placed at a fixed position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedGroup {
+    /// Placement position (the communication executes at this point).
+    pub pos: Pos,
+    /// Member entries (combined into one message).
+    pub entries: Vec<EntryId>,
+    /// The group's mapping (members are pairwise compatible).
+    pub mapping: Mapping,
+    /// The group's kind.
+    pub kind: CommKind,
+}
+
+/// The result of communication placement under one strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Which strategy produced this schedule.
+    pub strategy: Strategy,
+    /// All communication entries of the procedure (including absorbed
+    /// ones), in program order.
+    pub entries: Vec<CommEntry>,
+    /// Placed (possibly combined) communication operations.
+    pub groups: Vec<PlacedGroup>,
+    /// Entries eliminated as redundant, with their absorbers.
+    pub absorptions: Vec<Absorption>,
+    /// Communicated-section overrides from *partial* redundancy
+    /// elimination: the entry ships only the listed residual section
+    /// instead of its full vectorized section.
+    pub section_overrides: Vec<(EntryId, gcomm_sections::Section)>,
+}
+
+impl Schedule {
+    /// Static communication call sites per processor — the paper's
+    /// compile-time metric (Figure 10's table).
+    pub fn static_messages(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The overridden (residual) section for an entry, if partial
+    /// redundancy elimination reduced it.
+    pub fn section_override(&self, id: EntryId) -> Option<&gcomm_sections::Section> {
+        self.section_overrides
+            .iter()
+            .find(|(e, _)| *e == id)
+            .map(|(_, s)| s)
+    }
+
+    /// Static call sites of one kind.
+    pub fn count_kind(&self, kind: CommKind) -> usize {
+        self.groups.iter().filter(|g| g.kind == kind).count()
+    }
+
+    /// Number of entries eliminated by redundancy elimination.
+    pub fn eliminated(&self) -> usize {
+        self.absorptions.len()
+    }
+
+    /// The entry table row for an id.
+    pub fn entry(&self, id: EntryId) -> &CommEntry {
+        &self.entries[id.0 as usize]
+    }
+
+    /// A human-readable placement report.
+    pub fn report(&self, prog: &IrProgram) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:?}: {} entries, {} messages, {} eliminated",
+            self.strategy,
+            self.entries.len(),
+            self.groups.len(),
+            self.eliminated()
+        );
+        for g in &self.groups {
+            let labels: Vec<&str> = g
+                .entries
+                .iter()
+                .map(|&e| self.entry(e).label.as_str())
+                .collect();
+            let node = prog.cfg.node(g.pos.node);
+            let _ = writeln!(
+                out,
+                "  at {:?} slot {} (level {}): {{{}}}",
+                node.kind,
+                g.pos.slot,
+                node.level,
+                labels.join(", ")
+            );
+        }
+        for a in &self.absorptions {
+            let _ = writeln!(
+                out,
+                "  eliminated: {} (covered by {})",
+                self.entry(a.absorbed).label,
+                self.entry(a.by).label
+            );
+        }
+        out
+    }
+}

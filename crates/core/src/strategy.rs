@@ -1,0 +1,244 @@
+//! The three code versions of the paper's evaluation (§5).
+//!
+//! * [`Strategy::Original`] — the baseline: "pulls communication into
+//!   outermost possible loops but does not detect redundancy or perform
+//!   message scheduling" (per-reference `Latest` placement).
+//! * [`Strategy::EarliestRE`] — "uses earliest placement for redundancy
+//!   elimination but does not perform message scheduling or combining".
+//! * [`Strategy::Global`] — this paper's algorithm: candidates, subset
+//!   elimination, global redundancy elimination, greedy combining.
+
+use gcomm_ir::Pos;
+
+use crate::candidates::candidates;
+use crate::ctx::AnalysisCtx;
+use crate::earliest::earliest_pos;
+use crate::entry::CommEntry;
+use crate::greedy::{choose, CombinePolicy};
+use crate::latest::latest;
+use crate::redundancy::{self, Absorption};
+use crate::schedule::{PlacedGroup, Schedule};
+use crate::subset::{subset_eliminate, CandidateTable};
+
+/// Which communication-placement strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Message vectorization only (the paper's `orig` bars).
+    Original,
+    /// Earliest placement + redundancy elimination (the `nored` bars).
+    EarliestRE,
+    /// Earliest placement with *partial* redundancy elimination: subsumed
+    /// communication is dropped, and partially-covered communication ships
+    /// only the residual section (the behaviour of Gupta–Schonberg–
+    /// Srinivasan \[14\] that §4.6 contrasts against; extension).
+    EarliestPartialRE,
+    /// The paper's global algorithm (the `comb` bars).
+    Global,
+}
+
+/// Runs a strategy over pre-generated entries.
+pub fn run(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>, strategy: Strategy) -> Schedule {
+    run_with_policy(ctx, entries, strategy, &CombinePolicy::default())
+}
+
+/// Runs a strategy with an explicit combining policy (for ablations).
+pub fn run_with_policy(
+    ctx: &AnalysisCtx<'_>,
+    entries: Vec<CommEntry>,
+    strategy: Strategy,
+    policy: &CombinePolicy,
+) -> Schedule {
+    match strategy {
+        Strategy::Original => original(ctx, entries),
+        Strategy::EarliestRE => earliest_re(ctx, entries),
+        Strategy::EarliestPartialRE => earliest_partial_re(ctx, entries),
+        Strategy::Global => global(ctx, entries, policy, true),
+    }
+}
+
+/// Runs the global strategy with subset elimination optionally disabled
+/// (ablation A3; §6 notes the step must be dropped when overlap matters).
+pub fn run_global_ablation(
+    ctx: &AnalysisCtx<'_>,
+    entries: Vec<CommEntry>,
+    policy: &CombinePolicy,
+    subset_elim: bool,
+) -> Schedule {
+    global(ctx, entries, policy, subset_elim)
+}
+
+fn singleton_groups(entries: &[CommEntry], pos_of: impl Fn(&CommEntry) -> Pos) -> Vec<PlacedGroup> {
+    entries
+        .iter()
+        .map(|e| PlacedGroup {
+            pos: pos_of(e),
+            entries: vec![e.id],
+            mapping: e.mapping.clone(),
+            kind: e.kind,
+        })
+        .collect()
+}
+
+fn original(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
+    let groups = singleton_groups(&entries, |e| latest(ctx, e));
+    Schedule {
+        strategy: Strategy::Original,
+        entries,
+        groups,
+        absorptions: Vec::new(),
+        section_overrides: Vec::new(),
+    }
+}
+
+fn earliest_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
+    // Place everything at its earliest point (reductions stay at their
+    // statement).
+    let pos: Vec<Pos> = entries
+        .iter()
+        .map(|e| {
+            if e.is_reduction() {
+                latest(ctx, e)
+            } else {
+                earliest_pos(ctx, e)
+            }
+        })
+        .collect();
+
+    // Pairwise redundancy elimination: an entry is covered by an earlier,
+    // dominating entry whose vectorized data subsumes it.
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            ctx.dt.depth(pos[i].node),
+            pos[i].slot,
+            entries[i].id,
+        )
+    });
+    let mut alive = vec![true; entries.len()];
+    let mut absorptions = Vec::new();
+    for (oi, &i2) in order.iter().enumerate() {
+        for &i1 in &order[..oi] {
+            if !alive[i1] || !alive[i2] {
+                continue;
+            }
+            if !pos[i1].dominates(&pos[i2], &ctx.dt) {
+                continue;
+            }
+            let lvl = pos[i1].level(ctx.prog);
+            let a1 = ctx.asd_at(&entries[i1], lvl);
+            let a2 = ctx.asd_at(&entries[i2], lvl);
+            if a2.subsumed_by(&a1, &ctx.sym) {
+                alive[i2] = false;
+                absorptions.push(Absorption {
+                    absorbed: entries[i2].id,
+                    by: entries[i1].id,
+                });
+                break;
+            }
+            // At the *same* point the pair may subsume in either direction
+            // (the classic per-statement pairwise test); across distinct
+            // points only a dominating communication can cover a later one.
+            if pos[i1] == pos[i2] && a1.subsumed_by(&a2, &ctx.sym) {
+                alive[i1] = false;
+                absorptions.push(Absorption {
+                    absorbed: entries[i1].id,
+                    by: entries[i2].id,
+                });
+            }
+        }
+    }
+
+    let groups = entries
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| alive[*i])
+        .map(|(i, e)| PlacedGroup {
+            pos: pos[i],
+            entries: vec![e.id],
+            mapping: e.mapping.clone(),
+            kind: e.kind,
+        })
+        .collect();
+    Schedule {
+        strategy: Strategy::EarliestRE,
+        entries,
+        groups,
+        absorptions,
+        section_overrides: Vec::new(),
+    }
+}
+
+/// Earliest placement with partial redundancy elimination: like
+/// [`earliest_re`], but a communication only partially covered by an
+/// earlier dominating one ships its residual section (when expressible as
+/// one regular section). This reproduces the [14] behaviour §4.6 describes
+/// on the running example: "reduce the communication for b2 to
+/// ASD(b2) − ASD(b1), while the communication for b1 would remain".
+fn earliest_partial_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
+    let base = earliest_re(ctx, entries);
+    let absorbed: Vec<_> = base.absorptions.iter().map(|a| a.absorbed).collect();
+    let mut overrides = Vec::new();
+
+    // For every surviving pair at comparable placements, try to shave the
+    // later entry's section by the earlier one's.
+    let groups = &base.groups;
+    for gi in groups {
+        for gj in groups {
+            let (ei, ej) = (gi.entries[0], gj.entries[0]);
+            if ei == ej
+                || absorbed.contains(&ei)
+                || absorbed.contains(&ej)
+                || overrides.iter().any(|(id, _)| *id == ej)
+            {
+                continue;
+            }
+            let (a, b) = (base.entry(ei), base.entry(ej));
+            if a.array != b.array || !a.mapping.subset_of(&b.mapping) {
+                continue;
+            }
+            if !gi.pos.dominates(&gj.pos, &ctx.dt)
+                || gi.pos.level(ctx.prog) != gj.pos.level(ctx.prog)
+            {
+                continue;
+            }
+            let lvl = gj.pos.level(ctx.prog);
+            let full = ctx.section_at(b, lvl);
+            let cover = ctx.section_at(a, lvl);
+            if let Some(residual) = full.subtract(&cover, &ctx.sym) {
+                overrides.push((ej, residual));
+            }
+        }
+    }
+
+    Schedule {
+        strategy: Strategy::EarliestPartialRE,
+        section_overrides: overrides,
+        ..base
+    }
+}
+
+fn global(
+    ctx: &AnalysisCtx<'_>,
+    entries: Vec<CommEntry>,
+    policy: &CombinePolicy,
+    subset_elim: bool,
+) -> Schedule {
+    let mut table = CandidateTable::default();
+    for e in &entries {
+        let ep = earliest_pos(ctx, e);
+        let lp = latest(ctx, e);
+        table.cands.insert(e.id, candidates(ctx, e, ep, lp));
+    }
+    if subset_elim {
+        subset_eliminate(&mut table, &ctx.dt);
+    }
+    let absorptions = redundancy::eliminate(ctx, &entries, &mut table);
+    let groups = choose(ctx, &entries, &mut table, policy);
+    Schedule {
+        strategy: Strategy::Global,
+        entries,
+        groups,
+        absorptions,
+        section_overrides: Vec::new(),
+    }
+}

@@ -1,0 +1,181 @@
+//! Subset elimination of candidate positions (§4.5).
+//!
+//! `CommSet(S)` is the set of entries for which statement position `S` is a
+//! candidate. If `CommSet(S1) ⊆ CommSet(S2)`, clearing `S1` loses no
+//! combining or redundancy-elimination opportunity: anything that could
+//! happen at `S1` can happen at `S2`. For equal sets, the **later**
+//! (dominated) position is kept, consistent with §4.7's preference for late
+//! placement on the SP2.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gcomm_ir::{DomTree, Pos};
+
+use crate::entry::EntryId;
+
+/// Candidate positions per entry (the working state of the placement
+/// phases).
+#[derive(Debug, Clone, Default)]
+pub struct CandidateTable {
+    /// Candidate positions per entry.
+    pub cands: BTreeMap<EntryId, BTreeSet<Pos>>,
+}
+
+impl CandidateTable {
+    /// Inverts the table: entries per position (`CommSet`).
+    pub fn comm_sets(&self) -> BTreeMap<Pos, BTreeSet<EntryId>> {
+        let mut out: BTreeMap<Pos, BTreeSet<EntryId>> = BTreeMap::new();
+        for (&e, ps) in &self.cands {
+            for &p in ps {
+                out.entry(p).or_default().insert(e);
+            }
+        }
+        out
+    }
+
+    /// Removes an entry everywhere (when absorbed by redundancy
+    /// elimination).
+    pub fn remove_entry(&mut self, e: EntryId) {
+        self.cands.remove(&e);
+    }
+}
+
+/// Performs subset elimination in place. Positions whose `CommSet` is a
+/// strict subset of another's are cleared; among positions with equal
+/// `CommSet`s only the latest (most dominated; ties broken by position
+/// order) survives.
+pub fn subset_eliminate(table: &mut CandidateTable, dt: &DomTree) {
+    let sets = table.comm_sets();
+    let positions: Vec<Pos> = sets.keys().copied().collect();
+    let mut cleared: BTreeSet<Pos> = BTreeSet::new();
+
+    for &p in &positions {
+        let sp = &sets[&p];
+        if sp.is_empty() {
+            cleared.insert(p);
+            continue;
+        }
+        for &q in &positions {
+            if p == q || cleared.contains(&p) {
+                continue;
+            }
+            let sq = &sets[&q];
+            if sp.is_subset(sq) {
+                if sp.len() < sq.len() {
+                    cleared.insert(p);
+                    break;
+                }
+                // Equal sets: keep the later position. All entries' candidate
+                // sets lie on a dominator chain, so p and q are comparable.
+                let p_earlier = p.dominates(&q, dt);
+                let q_earlier = q.dominates(&p, dt);
+                let p_loses = if p_earlier != q_earlier {
+                    p_earlier // q is later: p is cleared
+                } else {
+                    p < q // deterministic fallback
+                };
+                if p_loses {
+                    cleared.insert(p);
+                    break;
+                }
+            }
+        }
+    }
+
+    for ps in table.cands.values_mut() {
+        ps.retain(|p| !cleared.contains(p));
+    }
+    debug_assert!(
+        table.cands.values().all(|ps| !ps.is_empty()),
+        "subset elimination must leave every entry a candidate"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcomm_ir::{Cfg, NodeId, NodeKind};
+
+    fn line_cfg(n_blocks: usize) -> (Cfg, DomTree) {
+        let mut g = Cfg::new();
+        let mut prev = g.entry;
+        for _ in 0..n_blocks {
+            let b = g.add_node(NodeKind::Block, None, 0);
+            g.add_edge(prev, b);
+            prev = b;
+        }
+        g.exit = prev;
+        let dt = DomTree::compute(&g);
+        (g, dt)
+    }
+
+    fn pos(node: u32, slot: usize) -> Pos {
+        Pos {
+            node: NodeId(node),
+            slot,
+        }
+    }
+
+    #[test]
+    fn strict_subsets_are_cleared() {
+        let (_, dt) = line_cfg(3);
+        let mut t = CandidateTable::default();
+        // e0 at {p1, p2}; e1 at {p2}. CommSet(p1) = {e0} ⊂ CommSet(p2) =
+        // {e0, e1} → p1 cleared.
+        t.cands
+            .insert(EntryId(0), [pos(1, 0), pos(2, 0)].into_iter().collect());
+        t.cands.insert(EntryId(1), [pos(2, 0)].into_iter().collect());
+        subset_eliminate(&mut t, &dt);
+        assert_eq!(t.cands[&EntryId(0)].len(), 1);
+        assert!(t.cands[&EntryId(0)].contains(&pos(2, 0)));
+    }
+
+    #[test]
+    fn equal_sets_keep_latest() {
+        let (_, dt) = line_cfg(3);
+        let mut t = CandidateTable::default();
+        // Both entries at both positions; node 2 is dominated by node 1, so
+        // node 2 (later) survives.
+        for e in 0..2 {
+            t.cands
+                .insert(EntryId(e), [pos(1, 0), pos(2, 0)].into_iter().collect());
+        }
+        subset_eliminate(&mut t, &dt);
+        for e in 0..2 {
+            assert_eq!(
+                t.cands[&EntryId(e)].iter().copied().collect::<Vec<_>>(),
+                vec![pos(2, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn incomparable_sets_survive() {
+        let (_, dt) = line_cfg(3);
+        let mut t = CandidateTable::default();
+        t.cands.insert(EntryId(0), [pos(1, 0)].into_iter().collect());
+        t.cands.insert(EntryId(1), [pos(2, 0)].into_iter().collect());
+        subset_eliminate(&mut t, &dt);
+        assert!(t.cands[&EntryId(0)].contains(&pos(1, 0)));
+        assert!(t.cands[&EntryId(1)].contains(&pos(2, 0)));
+    }
+
+    #[test]
+    fn every_entry_keeps_a_candidate() {
+        let (_, dt) = line_cfg(4);
+        let mut t = CandidateTable::default();
+        t.cands.insert(
+            EntryId(0),
+            [pos(1, 0), pos(2, 0), pos(3, 0)].into_iter().collect(),
+        );
+        t.cands
+            .insert(EntryId(1), [pos(2, 0), pos(3, 0)].into_iter().collect());
+        t.cands.insert(EntryId(2), [pos(3, 0)].into_iter().collect());
+        subset_eliminate(&mut t, &dt);
+        for ps in t.cands.values() {
+            assert!(!ps.is_empty());
+        }
+        // Everything collapses onto p3.
+        assert!(t.cands.values().all(|ps| ps.contains(&pos(3, 0))));
+    }
+}

@@ -1,0 +1,153 @@
+//! Pipeline behaviour on less-common communication shapes: cyclic
+//! distributions, broadcasts into branch conditions, general patterns, and
+//! replicated results.
+
+use gcomm_core::{compile, CommKind, Strategy};
+use gcomm_sections::Mapping;
+
+#[test]
+fn cyclic_distribution_shifts_are_nnc() {
+    // Under CYCLIC every neighbour element lives on the adjacent processor;
+    // the mapping is still a shift, with full-volume ghost data.
+    let src = "
+program cyc
+param n, nsteps
+real a(n,n), b(n,n) distribute (cyclic, *)
+do t = 1, nsteps
+  b(2:n, 1:n) = a(1:n-1, 1:n)
+  a(1:n, 1:n) = b(1:n, 1:n)
+enddo
+end";
+    let c = compile(src, Strategy::Global).unwrap();
+    assert_eq!(c.static_messages(), 1);
+    assert_eq!(c.schedule.groups[0].kind, CommKind::Nnc);
+}
+
+#[test]
+fn block_cyclic_mix_is_general() {
+    // A block array feeding a cyclic one needs a remap, not a shift.
+    let src = "
+program mix
+param n
+real a(n) distribute (block)
+real b(n) distribute (cyclic)
+b(1:n) = a(1:n)
+end";
+    let c = compile(src, Strategy::Global).unwrap();
+    assert_eq!(c.static_messages(), 1);
+    assert!(matches!(
+        c.schedule.groups[0].mapping,
+        Mapping::General(_)
+    ));
+}
+
+#[test]
+fn distributed_condition_needs_broadcast() {
+    // Every processor must evaluate the branch: reading a distributed
+    // element in the condition broadcasts it.
+    let src = "
+program brc
+param n
+real flag(n,n), a(n,n) distribute (block, block)
+if (flag(1, 1) > 0) then
+  a(1:n, 1:n) = 1
+endif
+end";
+    let c = compile(src, Strategy::Global).unwrap();
+    assert_eq!(c.static_messages(), 1);
+    assert_eq!(c.schedule.groups[0].kind, CommKind::Broadcast);
+    assert_eq!(c.schedule.groups[0].mapping, Mapping::Broadcast);
+}
+
+#[test]
+fn replicated_result_broadcasts_operand() {
+    let src = "
+program rep
+param n
+real a(n,n) distribute (block, block)
+real s
+s = a(3, 4) * 2
+end";
+    let c = compile(src, Strategy::Global).unwrap();
+    assert_eq!(c.schedule.groups[0].kind, CommKind::Broadcast);
+}
+
+#[test]
+fn general_patterns_never_combine() {
+    // Two transposing-style reads produce distinct general patterns; they
+    // must not share a message.
+    let src = "
+program gen
+param n
+real a(n,n), b(n,n), c(n,n) distribute (block, block)
+b(1:n-1, 1:n) = a(2:n-1, 1:n)
+c(1:n-1, 1:n) = a(2:n-1, 1:n)
+end";
+    let c = compile(src, Strategy::Global).unwrap();
+    for g in &c.schedule.groups {
+        assert_eq!(g.entries.len(), 1, "{}", c.report());
+    }
+}
+
+#[test]
+fn collapsed_only_distribution_is_local() {
+    let src = "
+program col
+param n
+real a(n,n), b(n,n) distribute (*, *)
+b(2:n, 1:n) = a(1:n-1, 1:n)
+end";
+    let c = compile(src, Strategy::Global).unwrap();
+    assert_eq!(c.static_messages(), 0, "fully replicated arrays never talk");
+}
+
+#[test]
+fn opposite_alignment_of_strategies_on_empty_program() {
+    for s in [
+        Strategy::Original,
+        Strategy::EarliestRE,
+        Strategy::EarliestPartialRE,
+        Strategy::Global,
+    ] {
+        let c = compile("program empty\nend", s).unwrap();
+        assert_eq!(c.static_messages(), 0);
+        assert_eq!(c.schedule.entries.len(), 0);
+    }
+}
+
+#[test]
+fn reduction_of_whole_distributed_array() {
+    let src = "
+program red
+param n
+real g(n,n) distribute (block, block)
+real s
+s = sum(g(1:n, 1:n))
+end";
+    let c = compile(src, Strategy::Global).unwrap();
+    assert_eq!(c.static_messages(), 1);
+    assert_eq!(c.schedule.groups[0].kind, CommKind::Reduction);
+}
+
+#[test]
+fn deeply_nested_loops_place_at_correct_level() {
+    let src = "
+program deep
+param n, nsteps
+real a(n,n,n), b(n,n,n) distribute (*, block, block)
+do t = 1, nsteps
+  do i = 1, n
+    do j = 2, n
+      b(i, j, 1:n) = a(i, j-1, 1:n)
+    enddo
+  enddo
+  a(1:n, 1:n, 1:n) = b(1:n, 1:n, 1:n)
+enddo
+end";
+    let c = compile(src, Strategy::Global).unwrap();
+    assert_eq!(c.static_messages(), 1, "{}", c.report());
+    // The exchange vectorizes out of both spatial loops but stays inside
+    // the timestep loop (a is rewritten each step).
+    let lvl = c.schedule.groups[0].pos.level(&c.prog);
+    assert_eq!(lvl, 1, "{}", c.report());
+}

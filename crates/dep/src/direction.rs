@@ -1,0 +1,354 @@
+//! Direction-vector computation between a definition and a use.
+//!
+//! For every loop common to the definition and the use, the analysis
+//! computes the set of possible dependence directions
+//! (`Neg`/`Zero`/`Pos`, where `Pos` means the definition's iteration
+//! precedes the use's — a forward-carried dependence). Per-dimension
+//! subscript constraints are intersected conservatively across dimensions.
+
+use gcomm_ir::{AccessRef, Affine, IrProgram, LoopId, StmtId, Var};
+use gcomm_sections::{DimSect, SymCtx};
+
+use crate::widen::widen_access;
+
+/// A dependence direction at one loop level, for a definition→use pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// The use's iteration precedes the definition's (`>` in vector
+    /// notation): an anti direction for flow dependence.
+    Neg,
+    /// Same iteration (`=`).
+    Zero,
+    /// The definition's iteration precedes the use's (`<`): a carried flow
+    /// dependence.
+    Pos,
+}
+
+/// A set of possible directions at one loop level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirSet(u8);
+
+impl DirSet {
+    /// The empty set (dependence impossible at this level).
+    pub const EMPTY: DirSet = DirSet(0);
+    /// All three directions possible.
+    pub const ALL: DirSet = DirSet(0b111);
+
+    fn bit(d: Dir) -> u8 {
+        match d {
+            Dir::Neg => 0b001,
+            Dir::Zero => 0b010,
+            Dir::Pos => 0b100,
+        }
+    }
+
+    /// A singleton set.
+    pub fn only(d: Dir) -> DirSet {
+        DirSet(Self::bit(d))
+    }
+
+    /// Builds from membership flags.
+    pub fn from_flags(neg: bool, zero: bool, pos: bool) -> DirSet {
+        DirSet((neg as u8) | ((zero as u8) << 1) | ((pos as u8) << 2))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, d: Dir) -> bool {
+        self.0 & Self::bit(d) != 0
+    }
+
+    /// Intersection.
+    pub fn intersect(&self, other: DirSet) -> DirSet {
+        DirSet(self.0 & other.0)
+    }
+
+    /// True if no direction is possible.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// The outcome of a direction analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepResult {
+    /// False when the accesses provably never touch the same element.
+    pub possible: bool,
+    /// Per common-loop-level allowed directions (length = CNL). Meaningless
+    /// when `possible` is false.
+    pub allowed: Vec<DirSet>,
+}
+
+impl DepResult {
+    /// A result with no dependence.
+    pub fn none(levels: usize) -> Self {
+        DepResult {
+            possible: false,
+            allowed: vec![DirSet::EMPTY; levels],
+        }
+    }
+}
+
+/// Runs the direction analysis between `d_acc` (written at `d_stmt`) and
+/// `u_acc` (read at `u_stmt`).
+pub fn analyze(
+    prog: &IrProgram,
+    d_stmt: StmtId,
+    d_acc: &AccessRef,
+    u_stmt: StmtId,
+    u_acc: &AccessRef,
+) -> DepResult {
+    let ctx = SymCtx::default();
+    let d_chain = prog.stmt_loop_chain(d_stmt);
+    let u_chain = prog.stmt_loop_chain(u_stmt);
+    let common: Vec<LoopId> = d_chain
+        .iter()
+        .zip(u_chain.iter())
+        .take_while(|(a, b)| a == b)
+        .map(|(a, _)| *a)
+        .collect();
+    let cnl = common.len();
+
+    // Widen both accesses down to the common nest: deeper loop variables are
+    // expanded to their ranges, so only common-loop variables remain.
+    let d_sect = widen_access(prog, d_acc, &d_chain, cnl as u32);
+    let u_sect = widen_access(prog, u_acc, &u_chain, cnl as u32);
+
+    let mut allowed = vec![DirSet::ALL; cnl];
+    for (dd, ud) in d_sect.dims.iter().zip(u_sect.dims.iter()) {
+        match dim_constraint(dd, ud, &common, &ctx) {
+            DimOutcome::Impossible => return DepResult::none(cnl),
+            DimOutcome::Unconstrained => {}
+            DimOutcome::Level(k, set) => {
+                allowed[k] = allowed[k].intersect(set);
+                if allowed[k].is_empty() {
+                    return DepResult::none(cnl);
+                }
+            }
+        }
+    }
+    // Directions are computed in *index* space; for negative-step loops the
+    // iteration order is reversed, so a refined direction set would have to
+    // be mirrored. Stay conservative instead: any refinement at a
+    // negative-step level widens back to all directions (overlap was
+    // established; only ordering is uncertain).
+    for (k, &l) in common.iter().enumerate() {
+        if prog.loop_info(l).step < 0 && !allowed[k].is_empty() {
+            allowed[k] = DirSet::ALL;
+        }
+    }
+    DepResult {
+        possible: true,
+        allowed,
+    }
+}
+
+enum DimOutcome {
+    /// The dimension can never match: no dependence at all.
+    Impossible,
+    /// No usable constraint from this dimension.
+    Unconstrained,
+    /// Direction constraint for common loop index `k` (0-based level-1).
+    Level(usize, DirSet),
+}
+
+/// A window `lin(loops) + [lo_rest, hi_rest]` with parameter-only rests.
+struct Window {
+    coefs: Vec<i64>,
+    lo_rest: Affine,
+    hi_rest: Affine,
+}
+
+fn strip_loops(e: &Affine, common: &[LoopId]) -> Option<(Vec<i64>, Affine)> {
+    let mut coefs = vec![0i64; common.len()];
+    let mut rest = e.clone();
+    for (k, &l) in common.iter().enumerate() {
+        let c = e.coeff(Var::Loop(l));
+        if c != 0 {
+            coefs[k] = c;
+            rest = rest.sub(&Affine::new(0, [(Var::Loop(l), c)]));
+        }
+    }
+    // Any other surviving loop variable defeats the window analysis.
+    if rest.has_loop_vars() {
+        return None;
+    }
+    Some((coefs, rest))
+}
+
+fn window_of(d: &DimSect, common: &[LoopId]) -> Option<Window> {
+    match d {
+        DimSect::Any => None,
+        DimSect::Elem(e) => {
+            let (coefs, rest) = strip_loops(e, common)?;
+            Some(Window {
+                coefs,
+                lo_rest: rest.clone(),
+                hi_rest: rest,
+            })
+        }
+        DimSect::Range { lo, hi, .. } => {
+            let (clo, rlo) = strip_loops(lo, common)?;
+            let (chi, rhi) = strip_loops(hi, common)?;
+            if clo != chi {
+                return None; // triangular window: bounds move differently
+            }
+            Some(Window {
+                coefs: clo,
+                lo_rest: rlo,
+                hi_rest: rhi,
+            })
+        }
+    }
+}
+
+fn dim_constraint(
+    dd: &DimSect,
+    ud: &DimSect,
+    common: &[LoopId],
+    ctx: &SymCtx,
+) -> DimOutcome {
+    let (Some(wd), Some(wu)) = (window_of(dd, common), window_of(ud, common)) else {
+        return DimOutcome::Unconstrained;
+    };
+
+    let active: Vec<usize> = (0..common.len())
+        .filter(|&k| wd.coefs[k] != 0 || wu.coefs[k] != 0)
+        .collect();
+
+    if active.is_empty() {
+        // Loop-invariant windows: plain (stride-aware) overlap test.
+        return if dd.overlaps(ud, ctx) {
+            DimOutcome::Unconstrained
+        } else {
+            DimOutcome::Impossible
+        };
+    }
+
+    // Overlap condition: lin_d(id) - lin_u(iu) ∈ [L, U] with
+    // L = u.lo - d.hi, U = u.hi - d.lo.
+    let l_expr = wu.lo_rest.sub(&wd.hi_rest);
+    let u_expr = wu.hi_rest.sub(&wd.lo_rest);
+
+    if active.len() == 1 {
+        let k = active[0];
+        let (cd, cu) = (wd.coefs[k], wu.coefs[k]);
+        if cd == cu && cd != 0 {
+            // Strong SIV with a window: c·(id - iu) ∈ [L, U], i.e.
+            // c·δ ∈ [-U, -L] with δ = iu - id.
+            if let (Some(lc), Some(uc)) = (l_expr.as_const(), u_expr.as_const()) {
+                return match int_mult_interval(-uc, -lc, cd) {
+                    None => DimOutcome::Impossible,
+                    Some((dlo, dhi)) => DimOutcome::Level(
+                        k,
+                        DirSet::from_flags(dlo <= -1, dlo <= 0 && 0 <= dhi, dhi >= 1),
+                    ),
+                };
+            }
+            // Symbolic window: if provably 0 ∉ feasible set in one
+            // direction we could refine; stay conservative.
+            return DimOutcome::Unconstrained;
+        }
+        // Differing coefficients (weak SIV): point-equation GCD feasibility.
+        if let (Some(lc), Some(uc)) = (l_expr.as_const(), u_expr.as_const()) {
+            if lc == uc {
+                let g = gcd(cd.unsigned_abs(), cu.unsigned_abs());
+                if g != 0 && lc.unsigned_abs() % g != 0 {
+                    return DimOutcome::Impossible;
+                }
+            }
+        }
+        return DimOutcome::Unconstrained;
+    }
+
+    // MIV: GCD feasibility on a point equation, otherwise unconstrained.
+    if let (Some(lc), Some(uc)) = (l_expr.as_const(), u_expr.as_const()) {
+        if lc == uc {
+            let mut g: u64 = 0;
+            for &k in &active {
+                g = gcd(g, wd.coefs[k].unsigned_abs());
+                g = gcd(g, wu.coefs[k].unsigned_abs());
+            }
+            if g != 0 && lc.unsigned_abs() % g != 0 {
+                return DimOutcome::Impossible;
+            }
+        }
+    }
+    DimOutcome::Unconstrained
+}
+
+/// Integer solutions of `c·δ ∈ [lo, hi]`: returns the inclusive δ-range, or
+/// `None` when no multiple of `c` falls in the interval.
+fn int_mult_interval(lo: i64, hi: i64, c: i64) -> Option<(i64, i64)> {
+    debug_assert!(c != 0);
+    let (lo, hi, c) = if c < 0 { (-hi, -lo, -c) } else { (lo, hi, c) };
+    if lo > hi {
+        return None;
+    }
+    let dlo = ceil_div(lo, c);
+    let dhi = floor_div(hi, c);
+    (dlo <= dhi).then_some((dlo, dhi))
+}
+
+fn ceil_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b) + i64::from(a.rem_euclid(b) != 0)
+}
+
+fn floor_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirset_ops() {
+        let s = DirSet::from_flags(true, false, true);
+        assert!(s.contains(Dir::Neg));
+        assert!(!s.contains(Dir::Zero));
+        assert!(s.contains(Dir::Pos));
+        assert!(s.intersect(DirSet::only(Dir::Zero)).is_empty());
+        assert_eq!(s.intersect(DirSet::ALL), s);
+    }
+
+    #[test]
+    fn int_mult_interval_cases() {
+        // 2δ ∈ [2, 5] → δ ∈ [1, 2].
+        assert_eq!(int_mult_interval(2, 5, 2), Some((1, 2)));
+        // 2δ ∈ [3, 3] → no solution.
+        assert_eq!(int_mult_interval(3, 3, 2), None);
+        // -1·δ ∈ [1, 1] → δ = -1.
+        assert_eq!(int_mult_interval(1, 1, -1), Some((-1, -1)));
+        // 3δ ∈ [-7, 7] → δ ∈ [-2, 2].
+        assert_eq!(int_mult_interval(-7, 7, 3), Some((-2, 2)));
+        // Empty interval.
+        assert_eq!(int_mult_interval(5, 2, 1), None);
+    }
+
+    #[test]
+    fn div_helpers() {
+        assert_eq!(ceil_div(5, 2), 3);
+        assert_eq!(ceil_div(4, 2), 2);
+        assert_eq!(ceil_div(-5, 2), -2);
+        assert_eq!(floor_div(-5, 2), -3);
+        assert_eq!(floor_div(5, 2), 2);
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(1, 999), 1);
+    }
+}

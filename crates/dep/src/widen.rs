@@ -1,0 +1,318 @@
+//! Access widening ("vectorization") with respect to a loop prefix.
+//!
+//! Given an access made inside a loop nest and a prefix of that nest to
+//! *keep*, widening eliminates the variables of all other loops by expanding
+//! subscripts over those loops' full iteration ranges. The result is the
+//! array section touched by the access across all summarized iterations —
+//! exactly the section a message communicates when the communication is
+//! hoisted outside those loops.
+//!
+//! Widening is a superset approximation: strides are preserved for
+//! single-variable unit-coefficient subscripts (so `b(i-1, j)` inside
+//! `do j = 1, n, 2` widens to `b(i-1, 1:n:2)`), and bounds substitution
+//! extends ranges monotonically otherwise.
+
+use gcomm_ir::{AccessRef, Affine, IrProgram, LoopId, SubscriptIr, Var};
+use gcomm_sections::{DimSect, Section};
+
+/// Widens `acc` (made at a statement whose loop chain is `chain`) so that
+/// only variables of `chain[..keep_level]` remain; all deeper or sibling
+/// loop variables are expanded over their iteration ranges.
+pub fn widen_access(
+    prog: &IrProgram,
+    acc: &AccessRef,
+    chain: &[LoopId],
+    keep_level: u32,
+) -> Section {
+    let keep: Vec<LoopId> = chain[..(keep_level as usize).min(chain.len())].to_vec();
+    let dims = acc
+        .subs
+        .iter()
+        .map(|s| widen_sub(prog, s, &keep))
+        .collect();
+    Section::new(dims)
+}
+
+/// Widens every subscript of `acc` over the full nest (no loops kept).
+pub fn widen_fully(prog: &IrProgram, acc: &AccessRef, chain: &[LoopId]) -> Section {
+    widen_access(prog, acc, chain, 0)
+}
+
+fn widen_sub(prog: &IrProgram, sub: &SubscriptIr, keep: &[LoopId]) -> DimSect {
+    match sub {
+        SubscriptIr::NonAffine => DimSect::Any,
+        SubscriptIr::Elem(e) => widen_elem(prog, e, keep),
+        SubscriptIr::Range { lo, hi, step } => widen_range(prog, lo, hi, *step, keep),
+    }
+}
+
+/// Variables to eliminate: loop vars not in `keep`.
+fn bad_vars(e: &Affine, keep: &[LoopId]) -> Vec<(LoopId, i64)> {
+    e.terms()
+        .iter()
+        .filter_map(|&(v, c)| match v {
+            Var::Loop(l) if !keep.contains(&l) => Some((l, c)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Substitutes eliminated loop vars in a *bound* expression, choosing the
+/// loop bound that pushes the expression toward `minimize` (down) or up.
+fn saturate_bound(prog: &IrProgram, e: &Affine, keep: &[LoopId], minimize: bool) -> Option<Affine> {
+    let mut cur = e.clone();
+    for _ in 0..16 {
+        let bad = bad_vars(&cur, keep);
+        let Some(&(l, c)) = bad.first() else {
+            return Some(cur);
+        };
+        let li = prog.loop_info(l);
+        // Iteration range of the loop: between lo and hi regardless of step
+        // sign (for negative steps the loop runs hi..lo conceptually; the set
+        // of iterates is within [min(lo,hi), max(lo,hi)]).
+        let (vmin, vmax) = if li.step > 0 {
+            (&li.lo, &li.hi)
+        } else {
+            (&li.hi, &li.lo)
+        };
+        let pick = if (c > 0) == minimize { vmin } else { vmax };
+        cur = cur.subst(Var::Loop(l), pick);
+    }
+    None
+}
+
+fn widen_elem(prog: &IrProgram, e: &Affine, keep: &[LoopId]) -> DimSect {
+    let bad = bad_vars(e, keep);
+    if bad.is_empty() {
+        return DimSect::Elem(e.clone());
+    }
+    // Stride preservation: single eliminated variable whose loop bounds are
+    // already clean (no further eliminated vars).
+    if bad.len() == 1 {
+        let (l, c) = bad[0];
+        let li = prog.loop_info(l);
+        let bounds_clean =
+            bad_vars(&li.lo, keep).is_empty() && bad_vars(&li.hi, keep).is_empty();
+        if bounds_clean {
+            let (vmin, vmax) = if li.step > 0 {
+                (&li.lo, &li.hi)
+            } else {
+                (&li.hi, &li.lo)
+            };
+            let (lo, hi) = if c > 0 {
+                (e.subst(Var::Loop(l), vmin), e.subst(Var::Loop(l), vmax))
+            } else {
+                (e.subst(Var::Loop(l), vmax), e.subst(Var::Loop(l), vmin))
+            };
+            let stride = (c * li.step).unsigned_abs() as i64;
+            return DimSect::Range {
+                lo,
+                hi,
+                step: stride.max(1),
+            };
+        }
+    }
+    // General case: saturate both directions, densify.
+    match (
+        saturate_bound(prog, e, keep, true),
+        saturate_bound(prog, e, keep, false),
+    ) {
+        (Some(lo), Some(hi)) => DimSect::Range { lo, hi, step: 1 },
+        _ => DimSect::Any,
+    }
+}
+
+fn widen_range(prog: &IrProgram, lo: &Affine, hi: &Affine, step: i64, keep: &[LoopId]) -> DimSect {
+    let lo_clean = bad_vars(lo, keep).is_empty();
+    let hi_clean = bad_vars(hi, keep).is_empty();
+    if lo_clean && hi_clean {
+        return DimSect::Range {
+            lo: lo.clone(),
+            hi: hi.clone(),
+            step,
+        };
+    }
+    match (
+        saturate_bound(prog, lo, keep, true),
+        saturate_bound(prog, hi, keep, false),
+    ) {
+        // A moving window loses stride alignment guarantees; keep the stride
+        // only if the window moves by multiples of it (conservative: same
+        // eliminated variable with coefficient divisible by step in both
+        // bounds would be required — densify instead).
+        (Some(l), Some(h)) => DimSect::Range {
+            lo: l,
+            hi: h,
+            step: 1,
+        },
+        _ => DimSect::Any,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcomm_ir::{StmtId, StmtKind};
+    use gcomm_sections::SymCtx;
+
+    fn prog(src: &str) -> IrProgram {
+        gcomm_ir::lower(&gcomm_lang::parse_program(src).unwrap()).unwrap()
+    }
+
+    fn read_acc(p: &IrProgram, s: StmtId, i: usize) -> AccessRef {
+        match &p.stmt(s).kind {
+            StmtKind::Assign { reads, .. } => reads[i].access.clone(),
+            StmtKind::Cond { reads } => reads[i].access.clone(),
+        }
+    }
+
+    #[test]
+    fn widen_unit_stencil_over_loop() {
+        let p = prog("
+program t
+param n
+real a(n,n) distribute (block,block)
+do i = 2, n
+  a(i, 1:n) = a(i-1, 1:n)
+enddo
+end");
+        let acc = read_acc(&p, StmtId(0), 0);
+        let chain = p.stmt_loop_chain(StmtId(0));
+        let s = widen_access(&p, &acc, &chain, 0);
+        // a(i-1, ·) over i = 2..n widens to rows 1..n-1.
+        match &s.dims[0] {
+            DimSect::Range { lo, hi, step } => {
+                assert_eq!(lo.as_const(), Some(1));
+                assert_eq!(*step, 1);
+                assert!(hi.to_string().contains("p0"));
+                assert_eq!(hi.k, -1);
+            }
+            other => panic!("expected range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn widen_preserves_kept_loop_vars() {
+        let p = prog("
+program t
+param n
+real a(n,n) distribute (block,block)
+do t1 = 1, 8
+  do i = 2, n
+    a(i, 1:n) = a(i-1, 1:n)
+  enddo
+enddo
+end");
+        let acc = read_acc(&p, StmtId(0), 0);
+        let chain = p.stmt_loop_chain(StmtId(0));
+        // Keep the timestep loop (level 1), widen the i loop only.
+        let s = widen_access(&p, &acc, &chain, 1);
+        match &s.dims[0] {
+            DimSect::Range { lo, .. } => assert!(!lo.has_loop_vars()),
+            other => panic!("{other:?}"),
+        }
+        // Keeping both loops leaves the element subscript intact.
+        let s2 = widen_access(&p, &acc, &chain, 2);
+        assert!(matches!(&s2.dims[0], DimSect::Elem(e) if e.has_loop_vars()));
+    }
+
+    #[test]
+    fn widen_keeps_stride_of_strided_loop() {
+        let p = prog("
+program t
+param n
+real b(n,n), c(n,n) distribute (block,block)
+do i = 2, n
+  do j = 1, n, 2
+    c(i, j) = b(i - 1, j)
+  enddo
+enddo
+end");
+        let acc = read_acc(&p, StmtId(0), 0);
+        let chain = p.stmt_loop_chain(StmtId(0));
+        let s = widen_access(&p, &acc, &chain, 1); // widen j, keep i
+        match &s.dims[1] {
+            DimSect::Range { lo, hi, step } => {
+                assert_eq!(lo.as_const(), Some(1));
+                assert_eq!(*step, 2, "odd columns only");
+                assert!(!hi.has_loop_vars());
+            }
+            other => panic!("expected strided range, got {other:?}"),
+        }
+        // And the strided widening is a subset of the dense one.
+        let dense = DimSect::Range {
+            lo: Affine::constant(1),
+            hi: s.dims[1].hi().unwrap().clone(),
+            step: 1,
+        };
+        assert!(s.dims[1].subset_of(&dense, &SymCtx::default()));
+    }
+
+    #[test]
+    fn widen_negative_coefficient() {
+        let p = prog("
+program t
+param n
+real a(n,n) distribute (block,block)
+do i = 1, n
+  a(i, 1) = a(n - i + 1, 1)
+enddo
+end");
+        let acc = read_acc(&p, StmtId(0), 0);
+        let chain = p.stmt_loop_chain(StmtId(0));
+        let s = widen_access(&p, &acc, &chain, 0);
+        match &s.dims[0] {
+            DimSect::Range { lo, hi, .. } => {
+                // n - i + 1 over i = 1..n: range 1..n.
+                assert_eq!(lo.as_const(), Some(1));
+                assert_eq!(hi.k, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn widen_triangular_bounds_through_outer_var() {
+        // Inner loop bound depends on the outer var; widening both must
+        // saturate through the chain.
+        let p = prog("
+program t
+param n
+real a(n,n) distribute (block,block)
+do i = 1, n
+  do j = 1, i
+    a(i, j) = 0
+  enddo
+enddo
+end");
+        let lhs = p.stmt(StmtId(0)).kind.def().unwrap().clone();
+        let chain = p.stmt_loop_chain(StmtId(0));
+        let s = widen_access(&p, &lhs, &chain, 0);
+        match &s.dims[1] {
+            DimSect::Range { lo, hi, .. } => {
+                assert_eq!(lo.as_const(), Some(1));
+                // j ≤ i ≤ n.
+                assert!(!hi.has_loop_vars());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn widen_nonaffine_is_any() {
+        let p = prog("
+program t
+param n
+real a(n,n), q(n,n) distribute (block,block)
+do i = 1, n
+  do j = 1, n
+    a(i, j) = q(i * j, j)
+  enddo
+enddo
+end");
+        let acc = read_acc(&p, StmtId(0), 0);
+        let chain = p.stmt_loop_chain(StmtId(0));
+        let s = widen_access(&p, &acc, &chain, 0);
+        assert!(matches!(s.dims[0], DimSect::Any));
+    }
+}

@@ -1,0 +1,189 @@
+//! Edge cases of the direction-vector analysis: GCD infeasibility, unknown
+//! symbolic distances, multi-induction subscripts, and stride phases.
+
+use gcomm_dep::{DepTest, Dir};
+use gcomm_ir::{AccessRef, IrProgram, StmtId, StmtKind};
+
+fn prog(src: &str) -> IrProgram {
+    gcomm_ir::lower(&gcomm_lang::parse_program(src).unwrap()).unwrap()
+}
+
+fn def_use(p: &IrProgram, d: StmtId, u: StmtId, r: usize) -> (AccessRef, AccessRef) {
+    let dacc = p.stmt(d).kind.def().unwrap().clone();
+    let uacc = match &p.stmt(u).kind {
+        StmtKind::Assign { reads, .. } => reads[r].access.clone(),
+        StmtKind::Cond { reads } => reads[r].access.clone(),
+    };
+    (dacc, uacc)
+}
+
+#[test]
+fn gcd_infeasible_strides() {
+    // Writes even positions 2i, reads odd positions 2i+1 within the same
+    // dimension: 2δ = 1 has no integer solution.
+    let p = prog("
+program t
+param n
+real a(n + n, n) distribute (block,block)
+do i = 1, n
+  a(2 * i, 1) = a(2 * i + 1, 1) * 0.5
+enddo
+end");
+    let t = DepTest::new(&p);
+    let (d, u) = def_use(&p, StmtId(0), StmtId(0), 0);
+    let res = t.analyze(StmtId(0), &d, StmtId(0), &u);
+    assert!(!res.possible, "even writes cannot alias odd reads");
+}
+
+#[test]
+fn symbolic_distance_is_conservative() {
+    // Distance n is unknown at compile time: all directions stay possible.
+    let p = prog("
+program t
+param n
+real a(3:n+n), c(3:n+n) distribute (block)
+do i = 3, n
+  a(i) = 1
+  c(i) = a(i + n)
+enddo
+end");
+    let t = DepTest::new(&p);
+    let (d, u) = def_use(&p, StmtId(0), StmtId(1), 0);
+    let res = t.analyze(StmtId(0), &d, StmtId(1), &u);
+    assert!(res.possible);
+    for dir in [Dir::Neg, Dir::Zero, Dir::Pos] {
+        assert!(res.allowed[0].contains(dir), "unknown distance keeps {dir:?}");
+    }
+}
+
+#[test]
+fn coupled_subscript_gcd() {
+    // a(2i + 4j) written, a(2i + 4j + 1) read: gcd(2,4) = 2 does not
+    // divide 1 → no dependence.
+    let p = prog("
+program t
+param n
+real a(9 * n) distribute (block)
+real q(9 * n) distribute (block)
+do i = 1, n
+  do j = 1, n
+    a(2 * i + 4 * j) = 1
+    q(2 * i + 4 * j + 1) = a(2 * i + 4 * j + 1)
+  enddo
+enddo
+end");
+    let t = DepTest::new(&p);
+    let (d, u) = def_use(&p, StmtId(0), StmtId(1), 0);
+    let res = t.analyze(StmtId(0), &d, StmtId(1), &u);
+    assert!(!res.possible, "gcd test must rule the pair out");
+}
+
+#[test]
+fn window_dependence_bounded_distance() {
+    // a(i..i+2) written, a(i-5..i-3) read: the values flow forward
+    // with carried distance 3..5 — strictly positive, no Zero/Neg.
+    let p = prog("
+program t
+param n
+real a(n + 9) distribute (block)
+real b(n + 9) distribute (block)
+do i = 6, n
+  a(i:i+2) = 1
+  b(i) = a(i-5) + a(i-4) + a(i-3)
+enddo
+end");
+    let t = DepTest::new(&p);
+    let dacc = p.stmt(StmtId(0)).kind.def().unwrap().clone();
+    for r in 0..3 {
+        let (_, uacc) = def_use(&p, StmtId(0), StmtId(1), r);
+        let res = t.analyze(StmtId(0), &dacc, StmtId(1), &uacc);
+        assert!(res.possible);
+        assert!(res.allowed[0].contains(Dir::Pos));
+        assert!(!res.allowed[0].contains(Dir::Zero), "distance >= 3");
+        assert!(!res.allowed[0].contains(Dir::Neg));
+    }
+}
+
+#[test]
+fn dep_level_respects_outer_only_dependence() {
+    // Inner loop j independent; outer loop i carries distance 1.
+    let p = prog("
+program t
+param n
+real a(n,n) distribute (block,block)
+do i = 2, n
+  do j = 1, n
+    a(i, j) = a(i-1, j)
+  enddo
+enddo
+end");
+    let t = DepTest::new(&p);
+    let (d, u) = def_use(&p, StmtId(0), StmtId(0), 0);
+    assert_eq!(t.dep_level(StmtId(0), &d, StmtId(0), &u), 1);
+    assert!(t.is_array_dep(StmtId(0), &d, StmtId(0), &u, 1));
+    assert!(!t.is_array_dep(StmtId(0), &d, StmtId(0), &u, 2));
+}
+
+#[test]
+fn inner_carried_dependence_at_level_two() {
+    let p = prog("
+program t
+param n
+real a(n,n) distribute (block,block)
+do i = 1, n
+  do j = 2, n
+    a(i, j) = a(i, j-1)
+  enddo
+enddo
+end");
+    let t = DepTest::new(&p);
+    let (d, u) = def_use(&p, StmtId(0), StmtId(0), 0);
+    assert_eq!(t.dep_level(StmtId(0), &d, StmtId(0), &u), 2);
+    // Level-2 carried needs (0, +): Zero allowed at level 1, Pos at 2.
+    let res = t.analyze(StmtId(0), &d, StmtId(0), &u);
+    assert!(res.allowed[0].contains(Dir::Zero));
+    assert!(res.allowed[1].contains(Dir::Pos));
+}
+
+#[test]
+fn different_arrays_never_tested_here_but_disjoint_cols() {
+    // Same array, disjoint column blocks: no dependence even across the
+    // timestep loop.
+    let p = prog("
+program t
+param n
+real a(n, 9) distribute (block, *)
+real b(n, 9) distribute (block, *)
+do ts = 1, 10
+  a(1:n, 1) = 1
+  b(1:n, 1) = a(1:n, 2)
+enddo
+end");
+    let t = DepTest::new(&p);
+    let (d, u) = def_use(&p, StmtId(0), StmtId(1), 0);
+    let res = t.analyze(StmtId(0), &d, StmtId(1), &u);
+    assert!(!res.possible, "columns 1 and 2 never overlap");
+}
+
+#[test]
+fn negative_step_loop_directions() {
+    // Backward loop writing a(i) and reading a(i+1): the read sees the
+    // value written by the *previous* iteration (which had larger i) —
+    // a forward-carried dependence in iteration order.
+    let p = prog("
+program t
+param n
+real a(n + 1), c(n + 1) distribute (block)
+do i = n, 1, -1
+  a(i) = 1
+  c(i) = a(i + 1)
+enddo
+end");
+    let t = DepTest::new(&p);
+    let (d, u) = def_use(&p, StmtId(0), StmtId(1), 0);
+    let res = t.analyze(StmtId(0), &d, StmtId(1), &u);
+    assert!(res.possible);
+    // In index space the distance is +1; widening and windows treat the
+    // loop symmetrically, so at minimum the dependence is not missed.
+    assert!(res.allowed[0].contains(Dir::Pos) || res.allowed[0].contains(Dir::Neg));
+}

@@ -1,0 +1,79 @@
+//! Property tests for the reference interpreter: determinism, version
+//! accounting, and agreement between the interpreter's write counts and a
+//! static trip-count computation on loop-structured programs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+/// A tiny structured program family: `reps` timesteps over `writes`
+/// whole-row assignments and one strided update.
+fn src(reps: i64, writes: usize, stride2: bool) -> String {
+    let mut body = String::new();
+    for w in 0..writes {
+        body.push_str(&format!("  a({}, 1:n) = a({}, 1:n) + 1\n", w + 1, w + 1));
+    }
+    if stride2 {
+        body.push_str("  b(1:n:2, 1) = 1\n");
+    }
+    format!(
+        "program p\nparam n\nreal a(n,n), b(n,n) distribute (block, block)\ndo t = 1, {reps}\n{body}enddo\nend\n"
+    )
+}
+
+fn run(source: &str, n: i64) -> (gcomm_ir::IrProgram, gcomm_exec::FinalState) {
+    let ast = gcomm_lang::parse_program(source).unwrap();
+    let prog = gcomm_ir::lower(&ast).unwrap();
+    let mut params = HashMap::new();
+    params.insert("n".to_string(), n);
+    let fs = gcomm_exec::interpret(&prog, &params).unwrap();
+    (prog, fs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Each written element's version equals the number of times its
+    /// statement executed; values accumulate accordingly.
+    #[test]
+    fn versions_match_trip_counts(reps in 1i64..6, writes in 1usize..4, n in 4i64..10) {
+        let s = src(reps, writes, true);
+        let (prog, fs) = run(&s, n);
+        let a = prog.array_by_name("a").unwrap();
+        let data = &fs.state.arrays[a.0 as usize];
+        for w in 0..writes {
+            for j in 1..=n {
+                let flat = data.flat(&[(w + 1) as i64, j]).unwrap();
+                prop_assert_eq!(data.vers[flat], reps as u64, "row {} col {}", w + 1, j);
+                prop_assert!((data.vals[flat] - reps as f64).abs() < 1e-9);
+            }
+        }
+        // Untouched rows keep version 0.
+        if (writes as i64) < n {
+            let flat = data.flat(&[n, 1]).unwrap();
+            prop_assert_eq!(data.vers[flat], 0);
+        }
+        // The strided write touches odd rows of b only.
+        let b = prog.array_by_name("b").unwrap();
+        let bd = &fs.state.arrays[b.0 as usize];
+        let odd = bd.flat(&[1, 1]).unwrap();
+        prop_assert_eq!(bd.vers[odd], reps as u64);
+        if n >= 2 {
+            let even = bd.flat(&[2, 1]).unwrap();
+            prop_assert_eq!(bd.vers[even], 0);
+        }
+    }
+
+    /// Interpretation is deterministic.
+    #[test]
+    fn interpretation_deterministic(reps in 1i64..5, writes in 1usize..4) {
+        let s = src(reps, writes, false);
+        let (prog_a, fa) = run(&s, 8);
+        let (_, fb) = run(&s, 8);
+        let a = prog_a.array_by_name("a").unwrap();
+        prop_assert_eq!(
+            &fa.state.arrays[a.0 as usize].vals,
+            &fb.state.arrays[a.0 as usize].vals
+        );
+    }
+}

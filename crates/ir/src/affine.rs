@@ -1,0 +1,267 @@
+//! Affine expressions over size parameters and loop variables.
+//!
+//! Subscripts, loop bounds, and array-section bounds are all affine
+//! expressions `k + Σ cᵢ·vᵢ` where each `vᵢ` is a program size parameter
+//! (`n`, `nx`, …) or a loop variable. Terms are kept sorted by variable so
+//! equality is structural.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::program::{LoopId, ParamId};
+
+/// A symbolic variable appearing in an affine expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Var {
+    /// A program size parameter.
+    Param(ParamId),
+    /// A loop index variable.
+    Loop(LoopId),
+}
+
+/// An affine expression: constant plus a sum of integer-scaled variables.
+///
+/// The representation is canonical: terms are sorted by variable and no term
+/// has a zero coefficient, so `PartialEq`/`Hash` give semantic equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Affine {
+    /// Constant term.
+    pub k: i64,
+    /// Scaled variables, sorted by `Var`, no zero coefficients.
+    terms: Vec<(Var, i64)>,
+}
+
+impl Affine {
+    /// The constant expression `k`.
+    pub fn constant(k: i64) -> Self {
+        Affine { k, terms: vec![] }
+    }
+
+    /// The expression `v` (coefficient 1).
+    pub fn var(v: Var) -> Self {
+        Affine {
+            k: 0,
+            terms: vec![(v, 1)],
+        }
+    }
+
+    /// Builds from a constant and arbitrary (possibly unsorted, duplicated)
+    /// terms.
+    pub fn new(k: i64, terms: impl IntoIterator<Item = (Var, i64)>) -> Self {
+        let mut map: BTreeMap<Var, i64> = BTreeMap::new();
+        for (v, c) in terms {
+            *map.entry(v).or_insert(0) += c;
+        }
+        Affine {
+            k,
+            terms: map.into_iter().filter(|&(_, c)| c != 0).collect(),
+        }
+    }
+
+    /// The terms, sorted by variable.
+    pub fn terms(&self) -> &[(Var, i64)] {
+        &self.terms
+    }
+
+    /// Coefficient of `v` (0 if absent).
+    pub fn coeff(&self, v: Var) -> i64 {
+        self.terms
+            .iter()
+            .find(|&&(tv, _)| tv == v)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    /// True if the expression is a plain constant.
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns the constant value if the expression is constant.
+    pub fn as_const(&self) -> Option<i64> {
+        self.is_const().then_some(self.k)
+    }
+
+    /// True if the expression mentions any loop variable.
+    pub fn has_loop_vars(&self) -> bool {
+        self.terms.iter().any(|(v, _)| matches!(v, Var::Loop(_)))
+    }
+
+    /// All loop variables mentioned.
+    pub fn loop_vars(&self) -> impl Iterator<Item = LoopId> + '_ {
+        self.terms.iter().filter_map(|(v, _)| match v {
+            Var::Loop(l) => Some(*l),
+            Var::Param(_) => None,
+        })
+    }
+
+    /// Sum of two expressions.
+    pub fn add(&self, other: &Affine) -> Affine {
+        Affine::new(
+            self.k + other.k,
+            self.terms.iter().chain(other.terms.iter()).copied(),
+        )
+    }
+
+    /// Difference `self - other`.
+    pub fn sub(&self, other: &Affine) -> Affine {
+        self.add(&other.scale(-1))
+    }
+
+    /// Adds a constant.
+    pub fn offset(&self, d: i64) -> Affine {
+        Affine {
+            k: self.k + d,
+            terms: self.terms.clone(),
+        }
+    }
+
+    /// Multiplies by a constant.
+    pub fn scale(&self, c: i64) -> Affine {
+        if c == 0 {
+            return Affine::constant(0);
+        }
+        Affine {
+            k: self.k * c,
+            terms: self.terms.iter().map(|&(v, t)| (v, t * c)).collect(),
+        }
+    }
+
+    /// Substitutes `v := e` and returns the result.
+    pub fn subst(&self, v: Var, e: &Affine) -> Affine {
+        let c = self.coeff(v);
+        if c == 0 {
+            return self.clone();
+        }
+        let rest = Affine::new(
+            self.k,
+            self.terms.iter().copied().filter(|&(tv, _)| tv != v),
+        );
+        rest.add(&e.scale(c))
+    }
+
+    /// Evaluates with the given variable bindings.
+    ///
+    /// Returns `None` if some variable is unbound.
+    pub fn eval(&self, bind: &dyn Fn(Var) -> Option<i64>) -> Option<i64> {
+        let mut acc = self.k;
+        for &(v, c) in &self.terms {
+            acc += c * bind(v)?;
+        }
+        Some(acc)
+    }
+
+    /// Difference `self - other` if it is a compile-time constant.
+    pub fn const_diff(&self, other: &Affine) -> Option<i64> {
+        self.sub(other).as_const()
+    }
+}
+
+impl From<i64> for Affine {
+    fn from(k: i64) -> Self {
+        Affine::constant(k)
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        if self.k != 0 || self.terms.is_empty() {
+            write!(f, "{}", self.k)?;
+            first = false;
+        }
+        for &(v, c) in &self.terms {
+            if first {
+                if c == -1 {
+                    write!(f, "-")?;
+                } else if c != 1 {
+                    write!(f, "{c}*")?;
+                }
+                first = false;
+            } else if c < 0 {
+                write!(f, " - ")?;
+                if c != -1 {
+                    write!(f, "{}*", -c)?;
+                }
+            } else {
+                write!(f, " + ")?;
+                if c != 1 {
+                    write!(f, "{c}*")?;
+                }
+            }
+            match v {
+                Var::Param(p) => write!(f, "p{}", p.0)?,
+                Var::Loop(l) => write!(f, "i{}", l.0)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> Var {
+        Var::Param(ParamId(i))
+    }
+    fn l(i: u32) -> Var {
+        Var::Loop(LoopId(i))
+    }
+
+    #[test]
+    fn canonical_form_merges_terms() {
+        let a = Affine::new(1, [(p(0), 2), (p(0), 3), (l(1), 0)]);
+        assert_eq!(a.terms(), &[(p(0), 5)]);
+        assert_eq!(a.k, 1);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Affine::new(3, [(p(0), 1), (l(0), 2)]);
+        let b = Affine::new(-1, [(p(0), 4)]);
+        assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn subst_replaces_variable() {
+        // (i + n) with i := 2n - 1  ==>  3n - 1
+        let e = Affine::new(0, [(l(0), 1), (p(0), 1)]);
+        let r = Affine::new(-1, [(p(0), 2)]);
+        let out = e.subst(l(0), &r);
+        assert_eq!(out, Affine::new(-1, [(p(0), 3)]));
+    }
+
+    #[test]
+    fn subst_absent_is_identity() {
+        let e = Affine::new(5, [(p(0), 1)]);
+        assert_eq!(e.subst(l(3), &Affine::constant(9)), e);
+    }
+
+    #[test]
+    fn eval_with_bindings() {
+        let e = Affine::new(1, [(p(0), 2), (l(0), -1)]);
+        let v = e.eval(&|v| match v {
+            Var::Param(_) => Some(10),
+            Var::Loop(_) => Some(3),
+        });
+        assert_eq!(v, Some(18));
+        assert_eq!(e.eval(&|_| None), None);
+    }
+
+    #[test]
+    fn const_diff_detects_shift() {
+        let a = Affine::new(1, [(l(0), 1)]); // i + 1
+        let b = Affine::new(0, [(l(0), 1)]); // i
+        assert_eq!(a.const_diff(&b), Some(1));
+        let c = Affine::new(0, [(p(0), 1)]);
+        assert_eq!(a.const_diff(&c), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Affine::constant(0).to_string(), "0");
+        let e = Affine::new(-1, [(p(0), 2), (l(1), -1)]);
+        let s = e.to_string();
+        assert!(s.contains("p0") && s.contains("i1"), "{s}");
+    }
+}

@@ -1,0 +1,326 @@
+//! Resolved program representation: arrays, loops, statements.
+
+use std::fmt;
+
+use gcomm_lang::Dist;
+
+use crate::affine::Affine;
+use crate::cfg::{Cfg, NodeId};
+
+/// Index of an array (or scalar) in [`IrProgram::arrays`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub u32);
+
+/// Index of a size parameter in [`IrProgram::params`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ParamId(pub u32);
+
+/// Index of a loop in [`IrProgram::loops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub u32);
+
+/// Index of a statement in [`IrProgram::stmts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub u32);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A declared array (or scalar, when `dims` is empty) with resolved bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayInfo {
+    /// Source name.
+    pub name: String,
+    /// Per-dimension inclusive bounds `(lo, hi)`, affine over parameters.
+    pub dims: Vec<(Affine, Affine)>,
+    /// Per-dimension distribution; empty means replicated.
+    pub dist: Vec<Dist>,
+    /// Per-dimension alignment offsets onto the template (zeros when the
+    /// declaration had no `align` clause).
+    pub align: Vec<i64>,
+}
+
+impl ArrayInfo {
+    /// Rank (0 for scalars).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Alignment offset of dimension `d` (0 when unaligned).
+    pub fn align_of(&self, d: usize) -> i64 {
+        self.align.get(d).copied().unwrap_or(0)
+    }
+
+    /// Indices of the distributed dimensions, in order (these map to the
+    /// axes of the processor grid / HPF template).
+    pub fn distributed_dims(&self) -> Vec<usize> {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d != Dist::Collapsed)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True if no dimension is distributed.
+    pub fn is_replicated(&self) -> bool {
+        self.distributed_dims().is_empty()
+    }
+}
+
+/// A loop with resolved bounds and its place in the loop tree and CFG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopInfo {
+    /// Source index-variable name.
+    pub var: String,
+    /// Inclusive lower bound (affine over parameters and outer loop vars).
+    pub lo: Affine,
+    /// Inclusive upper bound.
+    pub hi: Affine,
+    /// Constant non-zero step.
+    pub step: i64,
+    /// Enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Nesting level: outermost loops have level 1 (paper's `NL`).
+    pub level: u32,
+    /// Preheader node (outside the loop; dominates all loop nodes).
+    pub preheader: NodeId,
+    /// Header node (inside the loop; holds the φ-Enter defs).
+    pub header: NodeId,
+    /// Postexit node (outside the loop; holds the φ-Exit defs).
+    pub postexit: NodeId,
+}
+
+/// One subscript position of an access.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubscriptIr {
+    /// Single element at an affine index.
+    Elem(Affine),
+    /// Regular section with affine bounds and constant stride.
+    Range {
+        /// Inclusive lower bound.
+        lo: Affine,
+        /// Inclusive upper bound.
+        hi: Affine,
+        /// Constant non-zero stride.
+        step: i64,
+    },
+    /// Subscript the frontend could not express affinely; analyses must be
+    /// conservative.
+    NonAffine,
+}
+
+impl SubscriptIr {
+    /// The lower bound when known (`Elem` counts as a degenerate range).
+    pub fn lo(&self) -> Option<&Affine> {
+        match self {
+            SubscriptIr::Elem(e) => Some(e),
+            SubscriptIr::Range { lo, .. } => Some(lo),
+            SubscriptIr::NonAffine => None,
+        }
+    }
+
+    /// The upper bound when known.
+    pub fn hi(&self) -> Option<&Affine> {
+        match self {
+            SubscriptIr::Elem(e) => Some(e),
+            SubscriptIr::Range { hi, .. } => Some(hi),
+            SubscriptIr::NonAffine => None,
+        }
+    }
+}
+
+/// A resolved reference to an array with one subscript per dimension
+/// (scalars have none).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessRef {
+    /// Referenced array.
+    pub array: ArrayId,
+    /// One entry per declared dimension.
+    pub subs: Vec<SubscriptIr>,
+}
+
+/// A read of an array on the right-hand side of a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Read {
+    /// The access.
+    pub access: AccessRef,
+    /// True when the read appears inside `sum(...)` — the communication for
+    /// it is a reduction, not a data fetch.
+    pub reduction: bool,
+}
+
+/// Statement payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `lhs = f(reads...)`.
+    Assign {
+        /// Written access.
+        lhs: AccessRef,
+        /// All array reads of the right-hand side, in textual order.
+        reads: Vec<Read>,
+        /// Number of arithmetic operations per assigned element (a crude
+        /// work estimate used by the machine simulator).
+        flops: u32,
+        /// The right-hand-side expression (kept for the reference
+        /// interpreter and the dynamic schedule verifier).
+        rhs: gcomm_lang::Expr,
+    },
+    /// Evaluation of an `if` condition (reads only).
+    Cond {
+        /// Array reads of the condition.
+        reads: Vec<Read>,
+    },
+}
+
+impl StmtKind {
+    /// The reads of this statement.
+    pub fn reads(&self) -> &[Read] {
+        match self {
+            StmtKind::Assign { reads, .. } => reads,
+            StmtKind::Cond { reads } => reads,
+        }
+    }
+
+    /// The written access, if this is an assignment.
+    pub fn def(&self) -> Option<&AccessRef> {
+        match self {
+            StmtKind::Assign { lhs, .. } => Some(lhs),
+            StmtKind::Cond { .. } => None,
+        }
+    }
+}
+
+/// A statement with its CFG location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StmtInfo {
+    /// Payload.
+    pub kind: StmtKind,
+    /// CFG node containing the statement.
+    pub node: NodeId,
+    /// Index of the statement within its node.
+    pub index: usize,
+    /// Innermost enclosing loop.
+    pub enclosing: Option<LoopId>,
+    /// Nesting level (`NL`): number of enclosing loops.
+    pub level: u32,
+    /// 1-based source line (0 if synthesized).
+    pub line: u32,
+}
+
+/// A lowered program: the unit of analysis (one procedure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrProgram {
+    /// Program name.
+    pub name: String,
+    /// Size parameter names (`ParamId` = index).
+    pub params: Vec<String>,
+    /// Arrays and scalars (`ArrayId` = index).
+    pub arrays: Vec<ArrayInfo>,
+    /// Loops in lowering order (`LoopId` = index).
+    pub loops: Vec<LoopInfo>,
+    /// Statements in program (textual) order (`StmtId` = index).
+    pub stmts: Vec<StmtInfo>,
+    /// The augmented control-flow graph.
+    pub cfg: Cfg,
+    /// Branch conditions by branching node (every two-successor non-loop
+    /// node has one; used by the reference interpreter).
+    pub branch_conds: std::collections::HashMap<NodeId, gcomm_lang::Expr>,
+}
+
+impl IrProgram {
+    /// Array info by id.
+    pub fn array(&self, id: ArrayId) -> &ArrayInfo {
+        &self.arrays[id.0 as usize]
+    }
+
+    /// Loop info by id.
+    pub fn loop_info(&self, id: LoopId) -> &LoopInfo {
+        &self.loops[id.0 as usize]
+    }
+
+    /// Statement info by id.
+    pub fn stmt(&self, id: StmtId) -> &StmtInfo {
+        &self.stmts[id.0 as usize]
+    }
+
+    /// Looks up an array id by source name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| ArrayId(i as u32))
+    }
+
+    /// The chain of loops enclosing `l`, outermost first, ending with `l`.
+    pub fn loop_chain(&self, l: LoopId) -> Vec<LoopId> {
+        let mut chain = vec![l];
+        let mut cur = l;
+        while let Some(p) = self.loop_info(cur).parent {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// The chain of loops enclosing a statement, outermost first.
+    pub fn stmt_loop_chain(&self, s: StmtId) -> Vec<LoopId> {
+        match self.stmt(s).enclosing {
+            Some(l) => self.loop_chain(l),
+            None => Vec::new(),
+        }
+    }
+
+    /// Common nesting level of two statements (paper's `CNL`): the level of
+    /// the deepest loop containing both.
+    pub fn cnl(&self, a: StmtId, b: StmtId) -> u32 {
+        let ca = self.stmt_loop_chain(a);
+        let cb = self.stmt_loop_chain(b);
+        ca.iter()
+            .zip(cb.iter())
+            .take_while(|(x, y)| x == y)
+            .count() as u32
+    }
+
+    /// The chain of loops enclosing a CFG node, outermost first.
+    pub fn node_loop_chain(&self, n: NodeId) -> Vec<LoopId> {
+        match self.cfg.node(n).enclosing {
+            Some(l) => self.loop_chain(l),
+            None => Vec::new(),
+        }
+    }
+
+    /// Common nesting level of a CFG node and a statement.
+    pub fn cnl_node_stmt(&self, n: NodeId, s: StmtId) -> u32 {
+        let ca = self.node_loop_chain(n);
+        let cb = self.stmt_loop_chain(s);
+        ca.iter()
+            .zip(cb.iter())
+            .take_while(|(x, y)| x == y)
+            .count() as u32
+    }
+
+    /// The loop at `level` (1-based) in the chain enclosing statement `s`.
+    pub fn enclosing_loop_at_level(&self, s: StmtId, level: u32) -> Option<LoopId> {
+        let chain = self.stmt_loop_chain(s);
+        if level == 0 || level as usize > chain.len() {
+            None
+        } else {
+            Some(chain[level as usize - 1])
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Fluent builder for constructing programs programmatically.
+//!
+//! Benchmarks and property tests construct many small programs; the builder
+//! avoids string templating and keeps construction type-checked.
+//!
+//! ```
+//! use gcomm_lang::{ProgramBuilder, Dist, Expr};
+//!
+//! let prog = ProgramBuilder::new("stencil")
+//!     .param("n")
+//!     .array_1d("a", "n", Dist::Block)
+//!     .array_1d("c", "n", Dist::Block)
+//!     .assign_src("c(2:n) = a(1:n-1)")?
+//!     .build()?;
+//! assert_eq!(prog.arrays.len(), 2);
+//! # Ok::<(), gcomm_lang::LangError>(())
+//! ```
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::parser::Parser;
+use crate::validate;
+
+/// Incrementally builds a [`Program`]; `build` validates the result.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    prog: Program,
+    open_bodies: Vec<Vec<Stmt>>,
+    open_loops: Vec<(String, Expr, Expr, i64)>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            prog: Program {
+                name: name.into(),
+                ..Program::default()
+            },
+            open_bodies: vec![Vec::new()],
+            open_loops: Vec::new(),
+        }
+    }
+
+    /// Declares a symbolic size parameter.
+    pub fn param(mut self, name: impl Into<String>) -> Self {
+        self.prog.params.push(name.into());
+        self
+    }
+
+    /// Declares a scalar.
+    pub fn scalar(mut self, name: impl Into<String>) -> Self {
+        self.prog.arrays.push(ArrayDecl {
+            name: name.into(),
+            dims: Vec::new(),
+            dist: Vec::new(),
+            align: Vec::new(),
+        });
+        self
+    }
+
+    /// Declares a 1-d array `name(extent)` with the given distribution.
+    pub fn array_1d(mut self, name: impl Into<String>, extent: &str, dist: Dist) -> Self {
+        self.prog.arrays.push(ArrayDecl {
+            name: name.into(),
+            dims: vec![DeclDim::extent(Expr::name(extent))],
+            dist: vec![dist],
+            align: Vec::new(),
+        });
+        self
+    }
+
+    /// Declares a 2-d array `name(e1, e2)` with the given distributions.
+    pub fn array_2d(
+        mut self,
+        name: impl Into<String>,
+        e1: &str,
+        e2: &str,
+        d1: Dist,
+        d2: Dist,
+    ) -> Self {
+        self.prog.arrays.push(ArrayDecl {
+            name: name.into(),
+            dims: vec![
+                DeclDim::extent(Expr::name(e1)),
+                DeclDim::extent(Expr::name(e2)),
+            ],
+            dist: vec![d1, d2],
+            align: Vec::new(),
+        });
+        self
+    }
+
+    /// Declares a 3-d array with the given distributions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn array_3d(
+        mut self,
+        name: impl Into<String>,
+        e1: &str,
+        e2: &str,
+        e3: &str,
+        d1: Dist,
+        d2: Dist,
+        d3: Dist,
+    ) -> Self {
+        self.prog.arrays.push(ArrayDecl {
+            name: name.into(),
+            dims: vec![
+                DeclDim::extent(Expr::name(e1)),
+                DeclDim::extent(Expr::name(e2)),
+                DeclDim::extent(Expr::name(e3)),
+            ],
+            dist: vec![d1, d2, d3],
+            align: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds an already-constructed statement to the current (innermost open)
+    /// body.
+    pub fn stmt(mut self, s: Stmt) -> Self {
+        self.current_body().push(s);
+        self
+    }
+
+    /// Parses `src` as a single assignment statement and adds it, e.g.
+    /// `"c(2:n) = a(1:n-1) + b(1:n-1)"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError`] if `src` does not parse as an assignment.
+    pub fn assign_src(mut self, src: &str) -> Result<Self, LangError> {
+        let wrapped = format!("program x\n{src}\nend");
+        let parsed = Parser::new(&wrapped)?.parse_program()?;
+        let stmt = parsed
+            .body
+            .into_iter()
+            .next()
+            .ok_or_else(|| LangError::general("empty assignment source"))?;
+        self.current_body().push(stmt);
+        Ok(self)
+    }
+
+    /// Opens a `do var = lo, hi` loop; statements added next go to its body.
+    pub fn open_do(mut self, var: impl Into<String>, lo: Expr, hi: Expr) -> Self {
+        self.open_loops.push((var.into(), lo, hi, 1));
+        self.open_bodies.push(Vec::new());
+        self
+    }
+
+    /// Closes the innermost open loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loop is open (builder misuse is a programming error).
+    pub fn close_do(mut self) -> Self {
+        let body = self.open_bodies.pop().expect("no open body");
+        let (var, lo, hi, step) = self.open_loops.pop().expect("close_do without open_do");
+        self.current_body().push(Stmt::Do(DoLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        }));
+        self
+    }
+
+    /// Adds an `if (cond) then ... else ... endif` statement from two bodies.
+    pub fn if_stmt(mut self, cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Self {
+        self.current_body().push(Stmt::If(IfStmt {
+            cond,
+            then_body,
+            else_body,
+        }));
+        self
+    }
+
+    fn current_body(&mut self) -> &mut Vec<Stmt> {
+        self.open_bodies.last_mut().expect("builder has no open body")
+    }
+
+    /// Finishes the program and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError`] if loops are left open or validation fails.
+    pub fn build(mut self) -> Result<Program, LangError> {
+        if !self.open_loops.is_empty() {
+            return Err(LangError::general(format!(
+                "{} loop(s) left open in builder",
+                self.open_loops.len()
+            )));
+        }
+        self.prog.body = self.open_bodies.pop().unwrap_or_default();
+        validate::validate(&self.prog)?;
+        Ok(self.prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_loop_nest() {
+        let p = ProgramBuilder::new("b")
+            .param("n")
+            .array_2d("a", "n", "n", Dist::Block, Dist::Block)
+            .open_do("i", Expr::Int(2), Expr::name("n"))
+            .assign_src("a(i, 1:n) = a(i-1, 1:n)")
+            .unwrap()
+            .close_do()
+            .build()
+            .unwrap();
+        assert_eq!(p.stmt_count(), 2);
+    }
+
+    #[test]
+    fn unclosed_loop_is_error() {
+        let e = ProgramBuilder::new("b")
+            .open_do("i", Expr::Int(1), Expr::Int(4))
+            .build()
+            .unwrap_err();
+        assert!(e.message.contains("open"));
+    }
+
+    #[test]
+    fn builder_result_validates() {
+        // Reference to undeclared array must be caught at build().
+        let e = ProgramBuilder::new("b")
+            .param("n")
+            .array_1d("a", "n", Dist::Block)
+            .assign_src("a(1:n) = zz(1:n)")
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(e.message.contains("undeclared"));
+    }
+}

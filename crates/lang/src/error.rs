@@ -1,0 +1,67 @@
+//! Error type shared by the lexer, parser, and validator.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing, or validating a program.
+///
+/// The `line` field is 1-based; `0` means "no specific location".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// 1-based source line of the error, or 0 when unknown.
+    pub line: u32,
+    /// Human-readable description (lowercase, no trailing punctuation).
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates an error at a specific source line.
+    pub fn at(line: u32, message: impl Into<String>) -> Self {
+        LangError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error without location information.
+    pub fn general(message: impl Into<String>) -> Self {
+        LangError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_line() {
+        let e = LangError::at(3, "unexpected token");
+        assert_eq!(e.to_string(), "line 3: unexpected token");
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = LangError::general("empty program");
+        assert_eq!(e.to_string(), "empty program");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(LangError::general("x"));
+        assert_eq!(e.to_string(), "x");
+    }
+}

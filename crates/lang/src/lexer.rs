@@ -1,0 +1,337 @@
+//! Hand-written lexer for the mini-HPF language.
+//!
+//! Newlines are significant (they terminate statements), `!` starts a comment
+//! running to end of line, and `&` at end of line continues the statement on
+//! the next line, as in free-form Fortran.
+
+use crate::error::LangError;
+use crate::token::{keyword, Token, TokenKind};
+
+/// Lexes `src` into a token stream terminated by [`TokenKind::Eof`].
+///
+/// Consecutive newlines are collapsed into a single [`TokenKind::Newline`].
+///
+/// # Errors
+///
+/// Returns [`LangError`] on an unrecognized character or malformed number.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().peekable(),
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        self.out.push(Token {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn push_newline(&mut self) {
+        // Collapse consecutive newlines; never emit a leading newline.
+        if matches!(
+            self.out.last(),
+            None | Some(Token {
+                kind: TokenKind::Newline,
+                ..
+            })
+        ) {
+            return;
+        }
+        self.push(TokenKind::Newline);
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                ' ' | '\t' | '\r' => {
+                    self.chars.next();
+                }
+                '\n' => {
+                    self.chars.next();
+                    self.push_newline();
+                    self.line += 1;
+                }
+                '!' => {
+                    // Comment to end of line.
+                    while let Some(&c2) = self.chars.peek() {
+                        if c2 == '\n' {
+                            break;
+                        }
+                        self.chars.next();
+                    }
+                }
+                '&' => {
+                    // Line continuation: swallow '&', the rest of the line,
+                    // and the newline itself.
+                    self.chars.next();
+                    while let Some(&c2) = self.chars.peek() {
+                        self.chars.next();
+                        if c2 == '\n' {
+                            self.line += 1;
+                            break;
+                        }
+                    }
+                }
+                ';' => {
+                    self.chars.next();
+                    self.push_newline();
+                }
+                '(' => self.single(TokenKind::LParen),
+                ')' => self.single(TokenKind::RParen),
+                ',' => self.single(TokenKind::Comma),
+                ':' => self.single(TokenKind::Colon),
+                '+' => self.single(TokenKind::Plus),
+                '-' => self.single(TokenKind::Minus),
+                '*' => self.single(TokenKind::Star),
+                '/' => {
+                    self.chars.next();
+                    if self.chars.peek() == Some(&'=') {
+                        self.chars.next();
+                        self.push(TokenKind::Ne);
+                    } else {
+                        self.push(TokenKind::Slash);
+                    }
+                }
+                '=' => {
+                    self.chars.next();
+                    if self.chars.peek() == Some(&'=') {
+                        self.chars.next();
+                        self.push(TokenKind::EqEq);
+                    } else {
+                        self.push(TokenKind::Assign);
+                    }
+                }
+                '<' => {
+                    self.chars.next();
+                    if self.chars.peek() == Some(&'=') {
+                        self.chars.next();
+                        self.push(TokenKind::Le);
+                    } else {
+                        self.push(TokenKind::Lt);
+                    }
+                }
+                '>' => {
+                    self.chars.next();
+                    if self.chars.peek() == Some(&'=') {
+                        self.chars.next();
+                        self.push(TokenKind::Ge);
+                    } else {
+                        self.push(TokenKind::Gt);
+                    }
+                }
+                c if c.is_ascii_digit() || c == '.' => self.number()?,
+                c if c.is_ascii_alphabetic() || c == '_' => self.ident(),
+                other => {
+                    return Err(LangError::at(
+                        self.line,
+                        format!("unrecognized character `{other}`"),
+                    ));
+                }
+            }
+        }
+        self.push_newline();
+        self.push(TokenKind::Eof);
+        Ok(self.out)
+    }
+
+    fn single(&mut self, kind: TokenKind) {
+        self.chars.next();
+        self.push(kind);
+    }
+
+    fn number(&mut self) -> Result<(), LangError> {
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.chars.next();
+            } else if c == '.' && !is_float {
+                // Lookahead: `1.5` is a float; but `2:` after `1.` is not
+                // possible in this grammar, so a bare dot always means float.
+                is_float = true;
+                text.push(c);
+                self.chars.next();
+            } else if (c == 'e' || c == 'E') && !text.is_empty() {
+                // Exponent part.
+                let mut clone = self.chars.clone();
+                clone.next();
+                match clone.peek() {
+                    Some(&d) if d.is_ascii_digit() || d == '+' || d == '-' => {
+                        is_float = true;
+                        text.push('e');
+                        self.chars.next();
+                        if let Some(&sign) = self.chars.peek() {
+                            if sign == '+' || sign == '-' {
+                                text.push(sign);
+                                self.chars.next();
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        if text == "." {
+            return Err(LangError::at(self.line, "malformed number `.`"));
+        }
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| LangError::at(self.line, format!("malformed float `{text}`")))?;
+            self.push(TokenKind::Float(v));
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| LangError::at(self.line, format!("malformed integer `{text}`")))?;
+            self.push(TokenKind::Int(v));
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self) {
+        let mut text = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c.to_ascii_lowercase());
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        match keyword(&text) {
+            Some(k) => self.push(k),
+            None => self.push(TokenKind::Ident(text)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            kinds("a(i) = b(i-1) + 2.5"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("i".into()),
+                TokenKind::RParen,
+                TokenKind::Assign,
+                TokenKind::Ident("b".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("i".into()),
+                TokenKind::Minus,
+                TokenKind::Int(1),
+                TokenKind::RParen,
+                TokenKind::Plus,
+                TokenKind::Float(2.5),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("DO I = 1, N"),
+            vec![
+                TokenKind::Do,
+                TokenKind::Ident("i".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Comma,
+                TokenKind::Ident("n".into()),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_collapse() {
+        let k = kinds("a = 1 ! set a\n\n\nb = 2");
+        let newlines = k.iter().filter(|k| **k == TokenKind::Newline).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn continuation_joins_lines() {
+        let k = kinds("a = 1 + &\n 2");
+        assert!(!k[..k.len() - 2].contains(&TokenKind::Newline));
+    }
+
+    #[test]
+    fn semicolon_separates_statements() {
+        let k = kinds("a = 1; b = 2");
+        assert_eq!(k.iter().filter(|k| **k == TokenKind::Newline).count(), 2);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a <= b >= c == d /= e < f > g")[..13]
+                .iter()
+                .filter(|k| matches!(
+                    k,
+                    TokenKind::Le
+                        | TokenKind::Ge
+                        | TokenKind::EqEq
+                        | TokenKind::Ne
+                        | TokenKind::Lt
+                        | TokenKind::Gt
+                ))
+                .count(),
+            6
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("a = #").is_err());
+    }
+
+    #[test]
+    fn exponent_floats() {
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5e-2")[0], TokenKind::Float(0.025));
+        // `e` not followed by digits is an identifier boundary, not exponent.
+        assert_eq!(
+            kinds("2e")[..2],
+            [TokenKind::Int(2), TokenKind::Ident("e".into())]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a = 1\nb = 2").unwrap();
+        let b = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 2);
+    }
+}

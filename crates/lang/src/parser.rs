@@ -1,0 +1,634 @@
+//! Recursive-descent parser for the mini-HPF language.
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// A recursive-descent parser over the token stream of one source file.
+///
+/// Most users should call [`crate::parse_program`] instead, which also runs
+/// semantic validation.
+pub struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lexes `src` and prepares a parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError`] if lexing fails.
+    pub fn new(src: &str) -> Result<Self, LangError> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.toks.len() - 1);
+        &self.toks[i].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, k: &TokenKind) -> bool {
+        if self.peek() == k {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, k: TokenKind) -> Result<(), LangError> {
+        if self.peek() == &k {
+            self.bump();
+            Ok(())
+        } else {
+            Err(LangError::at(
+                self.line(),
+                format!("expected {k}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, LangError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(LangError::at(
+                self.line(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.eat(&TokenKind::Newline) {}
+    }
+
+    fn end_of_stmt(&mut self) -> Result<(), LangError> {
+        if self.peek() == &TokenKind::Eof || self.eat(&TokenKind::Newline) {
+            Ok(())
+        } else {
+            Err(LangError::at(
+                self.line(),
+                format!("expected end of statement, found {}", self.peek()),
+            ))
+        }
+    }
+
+    /// Parses a complete program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError`] on the first syntax error.
+    pub fn parse_program(&mut self) -> Result<Program, LangError> {
+        self.skip_newlines();
+        self.expect(TokenKind::Program)?;
+        let name = self.expect_ident()?;
+        self.end_of_stmt()?;
+        self.skip_newlines();
+
+        let mut prog = Program {
+            name,
+            ..Program::default()
+        };
+
+        // Declarations: any number of `param` / `real` lines.
+        loop {
+            match self.peek() {
+                TokenKind::Param => {
+                    self.bump();
+                    loop {
+                        prog.params.push(self.expect_ident()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.end_of_stmt()?;
+                    self.skip_newlines();
+                }
+                TokenKind::Real => {
+                    self.bump();
+                    let decls = self.array_decl_group()?;
+                    prog.arrays.extend(decls);
+                    self.end_of_stmt()?;
+                    self.skip_newlines();
+                }
+                _ => break,
+            }
+        }
+
+        prog.body = self.stmts()?;
+        self.expect(TokenKind::End)?;
+        // Optional trailing `end <name>` or `end program`.
+        if let TokenKind::Ident(_) | TokenKind::Program = self.peek() {
+            self.bump();
+        }
+        self.skip_newlines();
+        if self.peek() != &TokenKind::Eof {
+            return Err(LangError::at(
+                self.line(),
+                format!("unexpected {} after `end`", self.peek()),
+            ));
+        }
+        Ok(prog)
+    }
+
+    /// `adecl ("," adecl)* ["distribute" "(" dist,... ")"]`
+    fn array_decl_group(&mut self) -> Result<Vec<ArrayDecl>, LangError> {
+        let mut decls = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let mut dims = Vec::new();
+            if self.eat(&TokenKind::LParen) {
+                loop {
+                    dims.push(self.decl_dim()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            }
+            decls.push(ArrayDecl {
+                name,
+                dims,
+                dist: Vec::new(),
+                align: Vec::new(),
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        if self.eat(&TokenKind::Distribute) {
+            self.expect(TokenKind::LParen)?;
+            let mut dist = Vec::new();
+            loop {
+                dist.push(self.dist_format()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+            for d in &mut decls {
+                if d.dims.len() != dist.len() {
+                    return Err(LangError::at(
+                        self.line(),
+                        format!(
+                            "array `{}` has rank {} but distribute clause has {} entries",
+                            d.name,
+                            d.dims.len(),
+                            dist.len()
+                        ),
+                    ));
+                }
+                d.dist = dist.clone();
+            }
+        }
+        if self.eat(&TokenKind::Align) {
+            self.expect(TokenKind::LParen)?;
+            let mut align = Vec::new();
+            loop {
+                align.push(self.const_int()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+            for d in &mut decls {
+                if d.dims.len() != align.len() {
+                    return Err(LangError::at(
+                        self.line(),
+                        format!(
+                            "array `{}` has rank {} but align clause has {} entries",
+                            d.name,
+                            d.dims.len(),
+                            align.len()
+                        ),
+                    ));
+                }
+                d.align = align.clone();
+            }
+        }
+        Ok(decls)
+    }
+
+    fn decl_dim(&mut self) -> Result<DeclDim, LangError> {
+        let first = self.expr()?;
+        if self.eat(&TokenKind::Colon) {
+            let hi = self.expr()?;
+            Ok(DeclDim { lo: first, hi })
+        } else {
+            Ok(DeclDim::extent(first))
+        }
+    }
+
+    fn dist_format(&mut self) -> Result<Dist, LangError> {
+        match self.bump() {
+            TokenKind::Star => Ok(Dist::Collapsed),
+            TokenKind::Ident(s) if s == "block" => Ok(Dist::Block),
+            TokenKind::Ident(s) if s == "cyclic" => Ok(Dist::Cyclic),
+            other => Err(LangError::at(
+                self.line(),
+                format!("expected `block`, `cyclic`, or `*`, found {other}"),
+            )),
+        }
+    }
+
+    /// Parses statements until a block terminator (`end`, `enddo`, `endif`,
+    /// `else`, or end of input) is seen (the terminator is not consumed).
+    fn stmts(&mut self) -> Result<Vec<Stmt>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                TokenKind::End
+                | TokenKind::EndDo
+                | TokenKind::EndIf
+                | TokenKind::Else
+                | TokenKind::Eof => break,
+                TokenKind::Do => out.push(self.do_loop()?),
+                TokenKind::If => out.push(self.if_stmt()?),
+                _ => out.push(self.assign()?),
+            }
+        }
+        Ok(out)
+    }
+
+    fn do_loop(&mut self) -> Result<Stmt, LangError> {
+        self.expect(TokenKind::Do)?;
+        let var = self.expect_ident()?;
+        self.expect(TokenKind::Assign)?;
+        let lo = self.expr()?;
+        self.expect(TokenKind::Comma)?;
+        let hi = self.expr()?;
+        let mut step = 1i64;
+        if self.eat(&TokenKind::Comma) {
+            step = self.const_int()?;
+            if step == 0 {
+                return Err(LangError::at(self.line(), "loop step must be non-zero"));
+            }
+        }
+        self.end_of_stmt()?;
+        let body = self.stmts()?;
+        self.expect_end_of("do", TokenKind::EndDo, TokenKind::Do)?;
+        self.end_of_stmt()?;
+        Ok(Stmt::Do(DoLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        }))
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, LangError> {
+        self.expect(TokenKind::If)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Then)?;
+        self.end_of_stmt()?;
+        let then_body = self.stmts()?;
+        let mut else_body = Vec::new();
+        if self.eat(&TokenKind::Else) {
+            self.end_of_stmt()?;
+            else_body = self.stmts()?;
+        }
+        self.expect_end_of("if", TokenKind::EndIf, TokenKind::If)?;
+        self.end_of_stmt()?;
+        Ok(Stmt::If(IfStmt {
+            cond,
+            then_body,
+            else_body,
+        }))
+    }
+
+    /// Accepts either the fused terminator (`enddo`) or split (`end do`).
+    fn expect_end_of(
+        &mut self,
+        what: &str,
+        fused: TokenKind,
+        split_second: TokenKind,
+    ) -> Result<(), LangError> {
+        if self.eat(&fused) {
+            return Ok(());
+        }
+        if self.peek() == &TokenKind::End && self.peek2() == &split_second {
+            self.bump();
+            self.bump();
+            return Ok(());
+        }
+        Err(LangError::at(
+            self.line(),
+            format!("expected `end {what}`, found {}", self.peek()),
+        ))
+    }
+
+    fn assign(&mut self) -> Result<Stmt, LangError> {
+        let line = self.line();
+        let lhs = self.array_ref()?;
+        self.expect(TokenKind::Assign)?;
+        let rhs = self.expr()?;
+        self.end_of_stmt()?;
+        Ok(Stmt::Assign(Assign { lhs, rhs, line }))
+    }
+
+    fn array_ref(&mut self) -> Result<ArrayRef, LangError> {
+        let array = self.expect_ident()?;
+        let mut subs = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            loop {
+                subs.push(self.subscript()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(ArrayRef { array, subs })
+    }
+
+    /// `sub := [expr] [":" [expr] [":" const]]`
+    fn subscript(&mut self) -> Result<Subscript, LangError> {
+        let lo = if matches!(self.peek(), TokenKind::Colon) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        if !self.eat(&TokenKind::Colon) {
+            return match lo {
+                Some(e) => Ok(Subscript::Index(e)),
+                None => Err(LangError::at(self.line(), "expected subscript")),
+            };
+        }
+        let hi = if matches!(
+            self.peek(),
+            TokenKind::Comma | TokenKind::RParen | TokenKind::Colon
+        ) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        let mut step = 1i64;
+        if self.eat(&TokenKind::Colon) {
+            step = self.const_int()?;
+            if step == 0 {
+                return Err(LangError::at(self.line(), "section stride must be non-zero"));
+            }
+        }
+        Ok(Subscript::Range { lo, hi, step })
+    }
+
+    fn const_int(&mut self) -> Result<i64, LangError> {
+        let neg = self.eat(&TokenKind::Minus);
+        match self.bump() {
+            TokenKind::Int(v) => Ok(if neg { -v } else { v }),
+            other => Err(LangError::at(
+                self.line(),
+                format!("expected integer constant, found {other}"),
+            )),
+        }
+    }
+
+    /// Full expression (comparisons allowed; the validator restricts where).
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        if self.eat(&TokenKind::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Num(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Sum => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let r = self.array_ref()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::Sum(r))
+            }
+            TokenKind::Ident(_) => Ok(Expr::Ref(self.array_ref()?)),
+            other => Err(LangError::at(
+                self.line(),
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse_program("program t\nend").unwrap();
+        assert_eq!(p.name, "t");
+        assert!(p.body.is_empty());
+    }
+
+    #[test]
+    fn parses_declarations() {
+        let p = parse_program(
+            "program t\nparam n, m\nreal a(n,m), b(n,m) distribute (block, *)\nreal s\nend",
+        )
+        .unwrap();
+        assert_eq!(p.params, vec!["n", "m"]);
+        assert_eq!(p.arrays.len(), 3);
+        assert_eq!(p.arrays[0].dist, vec![Dist::Block, Dist::Collapsed]);
+        assert_eq!(p.arrays[1].dist, vec![Dist::Block, Dist::Collapsed]);
+        assert_eq!(p.arrays[2].rank(), 0);
+    }
+
+    #[test]
+    fn parses_bounds_declaration() {
+        let p = parse_program("program t\nparam n\nreal g(0:n+1, 1:n) distribute (block, block)\nend")
+            .unwrap();
+        let g = p.array("g").unwrap();
+        assert_eq!(g.dims[0].lo, Expr::Int(0));
+    }
+
+    #[test]
+    fn parses_sections() {
+        let p = parse_program(
+            "program t\nparam n\nreal a(n), c(n) distribute (block)\nc(2:n) = a(1:n-1)\nend",
+        )
+        .unwrap();
+        match &p.body[0] {
+            Stmt::Assign(a) => {
+                assert!(matches!(a.lhs.subs[0], Subscript::Range { .. }));
+            }
+            _ => panic!("expected assignment"),
+        }
+    }
+
+    #[test]
+    fn parses_full_and_strided_sections() {
+        let p = parse_program(
+            "program t\nparam n\nreal b(n,n) distribute (block,block)\nb(:, 1:n:2) = 1\nend",
+        )
+        .unwrap();
+        match &p.body[0] {
+            Stmt::Assign(a) => {
+                assert_eq!(a.lhs.subs[0], Subscript::full());
+                assert!(
+                    matches!(a.lhs.subs[1], Subscript::Range { step: 2, .. }),
+                    "expected stride-2 section"
+                );
+            }
+            _ => panic!("expected assignment"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_loops_and_if() {
+        let src = "
+program t
+param n
+real a(n,n), d(n,n) distribute (block,block)
+real cond
+do i = 2, n
+  if (cond > 0) then
+    a(i, 1:n) = 3
+  else
+    a(i, 1:n) = d(i, 1:n)
+  endif
+end do
+end
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.stmt_count(), 4);
+    }
+
+    #[test]
+    fn parses_sum_reduction() {
+        let p = parse_program(
+            "program t\nparam n\nreal g(n,n) distribute (block,block)\nreal s\ns = sum(g(1, :))\nend",
+        )
+        .unwrap();
+        match &p.body[0] {
+            Stmt::Assign(a) => assert!(matches!(a.rhs, Expr::Sum(_))),
+            _ => panic!("expected assignment"),
+        }
+    }
+
+    #[test]
+    fn parses_negative_step_loop() {
+        let p = parse_program("program t\nparam n\nreal a(n) distribute (block)\ndo i = n, 1, -1\na(i) = 0\nenddo\nend").unwrap();
+        match &p.body[0] {
+            Stmt::Do(d) => assert_eq!(d.step, -1),
+            _ => panic!("expected do"),
+        }
+    }
+
+    #[test]
+    fn error_on_rank_mismatch_distribute() {
+        let e = parse_program("program t\nparam n\nreal a(n) distribute (block, block)\nend")
+            .unwrap_err();
+        assert!(e.message.contains("rank"));
+    }
+
+    #[test]
+    fn error_on_missing_enddo() {
+        assert!(parse_program("program t\ndo i = 1, 4\nend").is_err());
+    }
+
+    #[test]
+    fn error_on_garbage_after_end() {
+        assert!(parse_program("program t\nend\nx = 1").is_err());
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p =
+            parse_program("program t\nreal s, q\ns = 1 + q * 2\nend").unwrap();
+        match &p.body[0] {
+            Stmt::Assign(a) => match &a.rhs {
+                Expr::Bin(BinOp::Add, _, rhs) => {
+                    assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+                }
+                other => panic!("unexpected tree {other:?}"),
+            },
+            _ => panic!("expected assignment"),
+        }
+    }
+}

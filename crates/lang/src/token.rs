@@ -1,0 +1,176 @@
+//! Token kinds produced by the lexer.
+
+use std::fmt;
+
+/// A lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// The kind of a lexical token.
+///
+/// Keywords are case-insensitive in the source (`DO`, `do`, and `Do` all lex
+/// to [`TokenKind::Do`]); identifiers are lowercased by the lexer so that the
+/// rest of the pipeline is case-insensitive, matching Fortran convention.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (already lowercased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Float(f64),
+
+    // Keywords.
+    /// `program`
+    Program,
+    /// `end`
+    End,
+    /// `real`
+    Real,
+    /// `param`
+    Param,
+    /// `distribute`
+    Distribute,
+    /// `do`
+    Do,
+    /// `enddo`
+    EndDo,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `endif`
+    EndIf,
+    /// `sum`
+    Sum,
+    /// `align`
+    Align,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `/=` (Fortran inequality)
+    Ne,
+    /// End of statement (newline or `;`).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Program => write!(f, "`program`"),
+            TokenKind::End => write!(f, "`end`"),
+            TokenKind::Real => write!(f, "`real`"),
+            TokenKind::Param => write!(f, "`param`"),
+            TokenKind::Distribute => write!(f, "`distribute`"),
+            TokenKind::Do => write!(f, "`do`"),
+            TokenKind::EndDo => write!(f, "`enddo`"),
+            TokenKind::If => write!(f, "`if`"),
+            TokenKind::Then => write!(f, "`then`"),
+            TokenKind::Else => write!(f, "`else`"),
+            TokenKind::EndIf => write!(f, "`endif`"),
+            TokenKind::Sum => write!(f, "`sum`"),
+            TokenKind::Align => write!(f, "`align`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`/=`"),
+            TokenKind::Newline => write!(f, "end of line"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Maps an identifier to a keyword kind, if it is one.
+pub(crate) fn keyword(ident: &str) -> Option<TokenKind> {
+    Some(match ident {
+        "program" => TokenKind::Program,
+        "end" => TokenKind::End,
+        "real" => TokenKind::Real,
+        "param" => TokenKind::Param,
+        "distribute" => TokenKind::Distribute,
+        "do" => TokenKind::Do,
+        "enddo" => TokenKind::EndDo,
+        "if" => TokenKind::If,
+        "then" => TokenKind::Then,
+        "else" => TokenKind::Else,
+        "endif" => TokenKind::EndIf,
+        "sum" => TokenKind::Sum,
+        "align" => TokenKind::Align,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(keyword("do"), Some(TokenKind::Do));
+        assert_eq!(keyword("sum"), Some(TokenKind::Sum));
+        assert_eq!(keyword("shallow"), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for k in [
+            TokenKind::Ident("x".into()),
+            TokenKind::Int(3),
+            TokenKind::Do,
+            TokenKind::Newline,
+            TokenKind::Eof,
+        ] {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

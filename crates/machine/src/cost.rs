@@ -1,0 +1,110 @@
+//! The paper's §6.1 analytic communication cost model.
+//!
+//! "Let the inverse bandwidth of the network be scaled to one, and the
+//! message startup cost be C in these units. The cost of this pattern to a
+//! given processor is C times the total number of distinct processors that
+//! it sends to or receives from, plus the total volume of data that it
+//! sends or receives. […] the cost of a pattern is the maximum cost over
+//! all processors, and the cost of a set of patterns is the sum of their
+//! costs."
+//!
+//! Optimally choosing one candidate position per reference under this model
+//! is NP-hard (Claim 6.1, by reduction from chromatic number), which is why
+//! the compiler uses the greedy heuristic of §4.7. This module provides the
+//! model itself so ablations can score schedules analytically.
+
+use serde::Serialize;
+
+/// Per-processor load of one communication pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ProcLoad {
+    /// Number of distinct partners the processor exchanges with.
+    pub partners: u64,
+    /// Total data volume sent or received, in inverse-bandwidth units.
+    pub volume: f64,
+}
+
+/// A communication pattern: one load entry per processor.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct Pattern {
+    /// Per-processor loads.
+    pub loads: Vec<ProcLoad>,
+}
+
+impl Pattern {
+    /// A symmetric pattern where every one of `p` processors has the same
+    /// load (the common case for SPMD shifts and reductions).
+    pub fn symmetric(p: u64, partners: u64, volume: f64) -> Self {
+        Pattern {
+            loads: vec![
+                ProcLoad { partners, volume };
+                usize::try_from(p).expect("processor count fits usize")
+            ],
+        }
+    }
+
+    /// Cost of the pattern: the maximum per-processor cost (bulk-synchronous
+    /// execution waits for the slowest processor).
+    pub fn cost(&self, startup_c: f64) -> f64 {
+        self.loads
+            .iter()
+            .map(|l| startup_c * l.partners as f64 + l.volume)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Cost of a set of patterns: the sum of their costs.
+pub fn schedule_cost(patterns: &[Pattern], startup_c: f64) -> f64 {
+    patterns.iter().map(|p| p.cost(startup_c)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_pattern_cost() {
+        let p = Pattern::symmetric(4, 2, 100.0);
+        // C = 50: cost = 50*2 + 100 = 200.
+        assert!((p.cost(50.0) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_over_processors() {
+        let p = Pattern {
+            loads: vec![
+                ProcLoad {
+                    partners: 1,
+                    volume: 10.0,
+                },
+                ProcLoad {
+                    partners: 3,
+                    volume: 0.0,
+                },
+            ],
+        };
+        // C = 5: proc0 = 15, proc1 = 15 → 15; C = 20: proc1 = 60 wins.
+        assert!((p.cost(5.0) - 15.0).abs() < 1e-12);
+        assert!((p.cost(20.0) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combining_reduces_model_cost() {
+        // Two separate shift patterns of volume v vs one combined of 2v:
+        // 2(C + v) vs (C + 2v) — combining saves exactly C.
+        let c = 100.0;
+        let v = 30.0;
+        let separate = schedule_cost(
+            &[Pattern::symmetric(4, 1, v), Pattern::symmetric(4, 1, v)],
+            c,
+        );
+        let combined = schedule_cost(&[Pattern::symmetric(4, 1, 2.0 * v)], c);
+        assert!((separate - combined - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_schedule_is_free() {
+        assert_eq!(schedule_cost(&[], 10.0), 0.0);
+        assert_eq!(Pattern::default().cost(10.0), 0.0);
+    }
+}

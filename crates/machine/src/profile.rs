@@ -1,0 +1,104 @@
+//! The Figure-5 microbenchmark: bandwidth vs. buffer/message size.
+//!
+//! The paper profiles its targets with a barrier/ping benchmark and plots
+//! three curves per machine against a log-scaled size axis: local `bcopy`
+//! bandwidth, sender injection bandwidth, and receiver-side end-to-end
+//! bandwidth. This module regenerates the same series from a
+//! [`NetworkModel`] (our synthetic stand-in for running the 1996 hardware).
+
+use serde::Serialize;
+
+use crate::net::NetworkModel;
+
+/// One row of the Figure-5 data: bandwidths at a given size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ProfilePoint {
+    /// Buffer / message size in bytes.
+    pub bytes: u64,
+    /// Local `bcopy` bandwidth, MB/s (top curve).
+    pub bcopy_mb: f64,
+    /// Sender injection bandwidth, MB/s (middle curve): time for the sender
+    /// to hand the message to the network, modelled as the startup cost
+    /// plus a copy into the network interface.
+    pub inject_mb: f64,
+    /// Receiver-observed end-to-end bandwidth, MB/s (bottom curve).
+    pub recv_mb: f64,
+}
+
+/// Generates the Figure-5 series for `net` over `sizes` (bytes).
+pub fn profile(net: &NetworkModel, sizes: &[u64]) -> Vec<ProfilePoint> {
+    sizes
+        .iter()
+        .map(|&b| {
+            let bf = b as f64;
+            let bcopy_us = net.bcopy_time_us(bf).max(1e-9);
+            // Injection: overhead + NI copy at bcopy speed.
+            let inject_us = 0.5 * net.startup_us + bcopy_us;
+            let recv_us = net.msg_time_us(bf);
+            ProfilePoint {
+                bytes: b,
+                bcopy_mb: bf / bcopy_us,
+                inject_mb: bf / inject_us,
+                recv_mb: bf / recv_us,
+            }
+        })
+        .collect()
+}
+
+/// The default log-spaced size axis used by the paper (16 B … 4 MB).
+pub fn default_sizes() -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut b: u64 = 16;
+    while b <= 4 * 1024 * 1024 {
+        v.push(b);
+        b *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_are_ordered_bcopy_above_recv() {
+        // Figure 5: the bcopy curve sits above the network curve at every
+        // size (until far beyond cache, where they may approach).
+        let net = NetworkModel::sp2();
+        for p in profile(&net, &default_sizes()) {
+            assert!(
+                p.bcopy_mb >= p.recv_mb,
+                "bcopy ({}) must dominate network ({}) at {} bytes",
+                p.bcopy_mb,
+                p.recv_mb,
+                p.bytes
+            );
+        }
+    }
+
+    #[test]
+    fn injection_between_bcopy_and_receive_for_mid_sizes() {
+        // §3: "injection bandwidth is much lower than bcopy, [but] larger
+        // than receive bandwidth for certain message sizes".
+        let net = NetworkModel::sp2();
+        let pts = profile(&net, &default_sizes());
+        let mid = pts.iter().find(|p| p.bytes == 8192).unwrap();
+        assert!(mid.inject_mb < mid.bcopy_mb);
+        assert!(mid.inject_mb > mid.recv_mb);
+    }
+
+    #[test]
+    fn network_bandwidth_rises_with_size() {
+        let net = NetworkModel::now_myrinet();
+        let pts = profile(&net, &default_sizes());
+        assert!(pts.last().unwrap().recv_mb > 10.0 * pts[0].recv_mb);
+    }
+
+    #[test]
+    fn default_sizes_log_spaced() {
+        let s = default_sizes();
+        assert_eq!(s[0], 16);
+        assert!(s.windows(2).all(|w| w[1] == 2 * w[0]));
+        assert_eq!(*s.last().unwrap(), 4 * 1024 * 1024);
+    }
+}

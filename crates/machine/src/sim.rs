@@ -1,0 +1,373 @@
+//! Bulk-synchronous simulator for communication programs.
+//!
+//! A [`CommProgram`] is a loop-structured sequence of compute phases and
+//! communication phases, produced by the code generator from a placed
+//! communication schedule at a *concrete* problem size. The simulator
+//! executes it under a [`NetworkModel`] in the paper's bulk-synchronous
+//! SPMD regime (overlap disabled, §5: "measurements were made with overlap
+//! disabled to clearly account for CPU and network activity") and reports
+//! compute time, communication time, message counts, and volume — the
+//! quantities behind Figure 10's stacked bars.
+
+use serde::Serialize;
+
+use crate::net::NetworkModel;
+
+/// What kind of communication a message performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MsgKind {
+    /// Point-to-point exchange (shift/NNC): one partner per processor.
+    PointToPoint,
+    /// Reduction/broadcast tree: `rounds` sequential message steps.
+    Collective,
+}
+
+/// One (possibly combined) message operation executed by every processor.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Msg {
+    /// Payload bytes per processor per execution.
+    pub bytes: f64,
+    /// Sequential message rounds (1 for point-to-point; ⌈log₂ P⌉ for
+    /// tree collectives).
+    pub rounds: u64,
+    /// Kind (used for reporting).
+    pub kind: MsgKind,
+    /// Number of array sections packed into this message (1 = no packing
+    /// copy needed on either side beyond the transfer itself).
+    pub pieces: u64,
+}
+
+impl Msg {
+    /// Time for one execution of this message on `net`, in µs.
+    pub fn time_us(&self, net: &NetworkModel) -> f64 {
+        let per_round = self.bytes / self.rounds.max(1) as f64;
+        let mut t = self.rounds as f64 * net.msg_time_us(per_round);
+        if self.pieces > 1 {
+            // Pack at the sender and unpack at the receiver.
+            t += 2.0 * net.bcopy_time_us(self.bytes);
+        }
+        t
+    }
+}
+
+/// A communication phase: messages issued back-to-back by each processor,
+/// followed by a barrier (bulk-synchronous).
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct CommPhase {
+    /// Messages of the phase.
+    pub msgs: Vec<Msg>,
+}
+
+/// One item of a communication program.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum PhaseItem {
+    /// Local computation: `flops` floating-point operations touching
+    /// `mem_bytes` of memory per processor.
+    Compute {
+        /// Floating-point operations per processor.
+        flops: f64,
+        /// Memory traffic per processor, bytes.
+        mem_bytes: f64,
+    },
+    /// A communication phase.
+    Comm(CommPhase),
+    /// A counted loop around nested items.
+    Loop {
+        /// Trip count.
+        trips: u64,
+        /// Loop body.
+        body: Vec<PhaseItem>,
+    },
+}
+
+/// A complete executable communication program for one problem size.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct CommProgram {
+    /// Program name (for reports).
+    pub name: String,
+    /// Top-level items.
+    pub items: Vec<PhaseItem>,
+}
+
+/// Aggregate result of simulating a program.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct SimResult {
+    /// Total compute time, µs.
+    pub compute_us: f64,
+    /// Total communication time, µs.
+    pub comm_us: f64,
+    /// Dynamic message count (per processor).
+    pub messages: u64,
+    /// Total bytes communicated (per processor).
+    pub bytes: f64,
+}
+
+impl SimResult {
+    /// Total wall-clock time, µs.
+    pub fn total_us(&self) -> f64 {
+        self.compute_us + self.comm_us
+    }
+
+    /// Fraction of time spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.total_us();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.comm_us / t
+        }
+    }
+}
+
+/// Executes `prog` on `net` and accumulates times.
+pub fn simulate(prog: &CommProgram, net: &NetworkModel) -> SimResult {
+    let mut r = SimResult::default();
+    sim_items(&prog.items, net, 1, &mut r);
+    r
+}
+
+/// Executes `prog` assuming perfect CPU–network overlap within each loop
+/// body: per iteration, communication hides under computation (or vice
+/// versa), so a body costs `max(compute, comm)` instead of their sum.
+///
+/// This is the §6 regime the paper anticipates for future machines ("if
+/// the CPU–network overlap can be exploited more effectively"), under which
+/// the trade-off between combining and overlap changes and the subset
+/// elimination step would have to be dropped. The returned
+/// [`SimResult::compute_us`]/[`SimResult::comm_us`] split is unchanged;
+/// use [`OverlapResult::total_us`] for the overlapped wall-clock.
+pub fn simulate_overlapped(prog: &CommProgram, net: &NetworkModel) -> OverlapResult {
+    let eager = simulate(prog, net);
+    let total = overlap_items(&prog.items, net);
+    OverlapResult {
+        breakdown: eager,
+        total_us: total,
+    }
+}
+
+/// Result of an overlapped simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct OverlapResult {
+    /// The non-overlapped component breakdown (same as [`simulate`]).
+    pub breakdown: SimResult,
+    /// Wall-clock with per-body overlap applied.
+    pub total_us: f64,
+}
+
+impl OverlapResult {
+    /// Wall-clock time, µs.
+    pub fn total_us(&self) -> f64 {
+        self.total_us
+    }
+
+    /// Fraction of the serial communication time hidden by overlap.
+    pub fn hidden_fraction(&self) -> f64 {
+        let serial = self.breakdown.total_us();
+        if self.breakdown.comm_us <= 0.0 {
+            return 0.0;
+        }
+        ((serial - self.total_us) / self.breakdown.comm_us).clamp(0.0, 1.0)
+    }
+}
+
+/// Time of one execution of a body with compute/comm overlapping inside it;
+/// nested loops are opaque (their own overlap already applied).
+fn overlap_items(items: &[PhaseItem], net: &NetworkModel) -> f64 {
+    let mut compute = 0.0f64;
+    let mut comm = 0.0f64;
+    for item in items {
+        match item {
+            PhaseItem::Compute { flops, mem_bytes } => {
+                compute += net.compute_time_us(*flops, *mem_bytes);
+            }
+            PhaseItem::Comm(phase) => {
+                for m in &phase.msgs {
+                    comm += m.time_us(net);
+                }
+            }
+            PhaseItem::Loop { trips, body } => {
+                compute += *trips as f64 * overlap_items(body, net);
+            }
+        }
+    }
+    compute.max(comm)
+}
+
+fn sim_items(items: &[PhaseItem], net: &NetworkModel, mult: u64, r: &mut SimResult) {
+    for item in items {
+        match item {
+            PhaseItem::Compute { flops, mem_bytes } => {
+                r.compute_us += mult as f64 * net.compute_time_us(*flops, *mem_bytes);
+            }
+            PhaseItem::Comm(phase) => {
+                for m in &phase.msgs {
+                    r.comm_us += mult as f64 * m.time_us(net);
+                    r.messages += mult * m.rounds.max(1);
+                    r.bytes += mult as f64 * m.bytes;
+                }
+            }
+            PhaseItem::Loop { trips, body } => {
+                sim_items(body, net, mult.saturating_mul(*trips), r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p2p(bytes: f64) -> Msg {
+        Msg {
+            bytes,
+            rounds: 1,
+            kind: MsgKind::PointToPoint,
+            pieces: 1,
+        }
+    }
+
+    #[test]
+    fn loop_multiplies_costs() {
+        let net = NetworkModel::sp2();
+        let prog = CommProgram {
+            name: "t".into(),
+            items: vec![PhaseItem::Loop {
+                trips: 10,
+                body: vec![
+                    PhaseItem::Compute {
+                        flops: 100.0,
+                        mem_bytes: 800.0,
+                    },
+                    PhaseItem::Comm(CommPhase {
+                        msgs: vec![p2p(1024.0)],
+                    }),
+                ],
+            }],
+        };
+        let r = simulate(&prog, &net);
+        assert_eq!(r.messages, 10);
+        assert!((r.bytes - 10240.0).abs() < 1e-9);
+        let single = net.msg_time_us(1024.0);
+        assert!((r.comm_us - 10.0 * single).abs() < 1e-6);
+    }
+
+    #[test]
+    fn combined_message_beats_separate_messages() {
+        let net = NetworkModel::now_myrinet();
+        let sep = CommProgram {
+            name: "sep".into(),
+            items: vec![PhaseItem::Comm(CommPhase {
+                msgs: vec![p2p(2048.0), p2p(2048.0)],
+            })],
+        };
+        let mut comb_msg = p2p(4096.0);
+        comb_msg.pieces = 2;
+        let comb = CommProgram {
+            name: "comb".into(),
+            items: vec![PhaseItem::Comm(CommPhase {
+                msgs: vec![comb_msg],
+            })],
+        };
+        let rs = simulate(&sep, &net);
+        let rc = simulate(&comb, &net);
+        assert!(rc.comm_us < rs.comm_us);
+        assert_eq!(rc.messages, 1);
+        assert_eq!(rs.messages, 2);
+    }
+
+    #[test]
+    fn collective_rounds_accumulate() {
+        let net = NetworkModel::sp2();
+        let red = Msg {
+            bytes: 32.0,
+            rounds: 5, // log2(25) rounded up
+            kind: MsgKind::Collective,
+            pieces: 1,
+        };
+        let prog = CommProgram {
+            name: "r".into(),
+            items: vec![PhaseItem::Comm(CommPhase { msgs: vec![red] })],
+        };
+        let r = simulate(&prog, &net);
+        assert_eq!(r.messages, 5);
+        assert!(r.comm_us > 4.0 * net.startup_us);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let net = NetworkModel::sp2();
+        let prog = CommProgram {
+            name: "n".into(),
+            items: vec![PhaseItem::Loop {
+                trips: 3,
+                body: vec![PhaseItem::Loop {
+                    trips: 4,
+                    body: vec![PhaseItem::Comm(CommPhase {
+                        msgs: vec![p2p(8.0)],
+                    })],
+                }],
+            }],
+        };
+        assert_eq!(simulate(&prog, &net).messages, 12);
+    }
+
+    #[test]
+    fn overlap_hides_communication_under_compute() {
+        let net = NetworkModel::sp2();
+        let prog = CommProgram {
+            name: "o".into(),
+            items: vec![PhaseItem::Loop {
+                trips: 10,
+                body: vec![
+                    PhaseItem::Compute {
+                        flops: 100_000.0,
+                        mem_bytes: 1000.0,
+                    },
+                    PhaseItem::Comm(CommPhase {
+                        msgs: vec![p2p(256.0)],
+                    }),
+                ],
+            }],
+        };
+        let eager = simulate(&prog, &net);
+        let lazy = simulate_overlapped(&prog, &net);
+        // Compute dominates: comm fully hidden.
+        assert!(lazy.total_us() < eager.total_us());
+        assert!((lazy.total_us() - eager.compute_us).abs() < 1e-6);
+        assert!((lazy.hidden_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_cannot_beat_the_longer_side() {
+        let net = NetworkModel::now_myrinet();
+        // Comm-dominated: overlap hides the (smaller) compute instead.
+        let prog = CommProgram {
+            name: "o2".into(),
+            items: vec![
+                PhaseItem::Compute {
+                    flops: 10.0,
+                    mem_bytes: 10.0,
+                },
+                PhaseItem::Comm(CommPhase {
+                    msgs: vec![p2p(1024.0), p2p(1024.0)],
+                }),
+            ],
+        };
+        let eager = simulate(&prog, &net);
+        let lazy = simulate_overlapped(&prog, &net);
+        assert!(lazy.total_us() >= eager.comm_us - 1e-9);
+        assert!(lazy.total_us() <= eager.total_us() + 1e-9);
+    }
+
+    #[test]
+    fn comm_fraction_bounds() {
+        let r = SimResult {
+            compute_us: 75.0,
+            comm_us: 25.0,
+            messages: 1,
+            bytes: 1.0,
+        };
+        assert!((r.comm_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(SimResult::default().comm_fraction(), 0.0);
+    }
+}

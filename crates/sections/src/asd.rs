@@ -1,0 +1,89 @@
+//! Available Section Descriptors: `(D, M)` pairs (§4.6).
+
+use gcomm_ir::ArrayId;
+
+use crate::mapping::Mapping;
+use crate::section::Section;
+use crate::symcmp::SymCtx;
+
+/// An Available Section Descriptor: the data `D` (an array section) together
+/// with the mapping `M` describing which processors receive it.
+///
+/// A communication `(D1, M1)` is made redundant by `(D2, M2)` when
+/// `D1 ⊆ D2` and `M1(D1) ⊆ M2(D1)` — see [`Asd::subsumed_by`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Asd {
+    /// The array whose data is communicated.
+    pub array: ArrayId,
+    /// The communicated section of that array.
+    pub section: Section,
+    /// The sender→receiver mapping.
+    pub mapping: Mapping,
+}
+
+impl Asd {
+    /// Creates a descriptor.
+    pub fn new(array: ArrayId, section: Section, mapping: Mapping) -> Self {
+        Asd {
+            array,
+            section,
+            mapping,
+        }
+    }
+
+    /// True if communication described by `self` is made redundant by a
+    /// communication described by `other` having already happened:
+    /// same array, `self.section ⊆ other.section`, and `self`'s mapping a
+    /// subset of `other`'s.
+    pub fn subsumed_by(&self, other: &Asd, ctx: &SymCtx) -> bool {
+        self.array == other.array
+            && self.mapping.subset_of(&other.mapping)
+            && self.section.subset_of(&other.section, ctx)
+    }
+
+    /// True if the two descriptors describe byte-identical communication.
+    pub fn same_comm(&self, other: &Asd) -> bool {
+        self == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::section::DimSect;
+    use gcomm_ir::{Affine, ParamId, Var};
+
+    fn n() -> Affine {
+        Affine::var(Var::Param(ParamId(0)))
+    }
+    fn sect(lo: i64, hi_off: i64) -> Section {
+        Section::new(vec![DimSect::Range {
+            lo: Affine::constant(lo),
+            hi: n().offset(hi_off),
+            step: 1,
+        }])
+    }
+
+    #[test]
+    fn subsumption_requires_section_subset() {
+        let ctx = SymCtx::default();
+        let m = Mapping::Shift { offsets: vec![1] };
+        let small = Asd::new(ArrayId(0), sect(2, -1), m.clone());
+        let big = Asd::new(ArrayId(0), sect(1, 0), m.clone());
+        assert!(small.subsumed_by(&big, &ctx));
+        assert!(!big.subsumed_by(&small, &ctx));
+    }
+
+    #[test]
+    fn subsumption_requires_same_array_and_mapping() {
+        let ctx = SymCtx::default();
+        let m1 = Mapping::Shift { offsets: vec![1] };
+        let m2 = Mapping::Shift { offsets: vec![-1] };
+        let a = Asd::new(ArrayId(0), sect(1, 0), m1.clone());
+        let b = Asd::new(ArrayId(1), sect(1, 0), m1.clone());
+        let c = Asd::new(ArrayId(0), sect(1, 0), m2);
+        assert!(!a.subsumed_by(&b, &ctx));
+        assert!(!a.subsumed_by(&c, &ctx));
+        assert!(a.subsumed_by(&a.clone(), &ctx));
+    }
+}

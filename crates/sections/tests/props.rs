@@ -1,0 +1,157 @@
+//! Property-based tests for the section algebra: the subsumption and
+//! combining machinery of §4.6–4.7 rests on these laws.
+
+use proptest::prelude::*;
+
+use gcomm_ir::{Affine, ParamId, Var};
+use gcomm_sections::{DimSect, Section, SymCtx};
+
+/// Random affine bound over one size parameter: `c·n + k` with small
+/// coefficients (the shapes stencil codes produce).
+fn bound() -> impl Strategy<Value = Affine> {
+    (0i64..=1, -4i64..=4).prop_map(|(c, k)| {
+        if c == 0 {
+            Affine::constant(k.rem_euclid(8) + 1)
+        } else {
+            Affine::new(k, [(Var::Param(ParamId(0)), c)])
+        }
+    })
+}
+
+fn dim() -> impl Strategy<Value = DimSect> {
+    (bound(), 0i64..=3, prop::sample::select(vec![1i64, 1, 1, 2])).prop_map(|(lo, span, step)| {
+        DimSect::Range {
+            hi: lo.offset(span * step),
+            lo,
+            step,
+        }
+    })
+}
+
+fn section() -> impl Strategy<Value = Section> {
+    prop::collection::vec(dim(), 1..3).prop_map(Section::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Subset is reflexive.
+    #[test]
+    fn subset_reflexive(s in section()) {
+        let ctx = SymCtx::default();
+        prop_assert!(s.subset_of(&s, &ctx));
+    }
+
+    /// Subset is transitive (on provable instances).
+    #[test]
+    fn subset_transitive(a in section(), b in section(), c in section()) {
+        let ctx = SymCtx::default();
+        if a.subset_of(&b, &ctx) && b.subset_of(&c, &ctx) {
+            prop_assert!(a.subset_of(&c, &ctx));
+        }
+    }
+
+    /// A provable subset always overlaps (non-emptiness of our ranges).
+    #[test]
+    fn subset_implies_overlap(a in section(), b in section()) {
+        let ctx = SymCtx::default();
+        if a.subset_of(&b, &ctx) {
+            prop_assert!(a.overlaps(&b, &ctx));
+        }
+    }
+
+    /// The union bounding box covers both operands and is commutative in
+    /// coverage.
+    #[test]
+    fn union_covers_operands(a in section(), b in section()) {
+        let ctx = SymCtx::default();
+        if let Some(u) = a.union_bbox(&b, &ctx) {
+            prop_assert!(a.subset_of(&u, &ctx), "a ⊄ a∪b: {a:?} {b:?} {u:?}");
+            prop_assert!(b.subset_of(&u, &ctx), "b ⊄ a∪b: {a:?} {b:?} {u:?}");
+        }
+        if let (Some(u1), Some(u2)) = (a.union_bbox(&b, &ctx), b.union_bbox(&a, &ctx)) {
+            prop_assert!(u1.subset_of(&u2, &ctx) && u2.subset_of(&u1, &ctx));
+        }
+    }
+
+    /// Union with a superset is the superset (absorption).
+    #[test]
+    fn union_absorption(a in section(), b in section()) {
+        let ctx = SymCtx::default();
+        if a.subset_of(&b, &ctx) {
+            let u = a.union_bbox(&b, &ctx).expect("subset pairs always union");
+            prop_assert!(u.subset_of(&b, &ctx) && b.subset_of(&u, &ctx));
+        }
+    }
+
+    /// Counting respects subset at concrete sizes.
+    #[test]
+    fn count_monotone_under_subset(a in section(), b in section(), n in 6i64..=24) {
+        let ctx = SymCtx::default();
+        let bind = |v: Var| match v {
+            Var::Param(_) => Some(n),
+            Var::Loop(_) => None,
+        };
+        if a.subset_of(&b, &ctx) {
+            if let (Some(ca), Some(cb)) = (a.count(&bind), b.count(&bind)) {
+                prop_assert!(ca <= cb, "count({a:?})={ca} > count({b:?})={cb} at n={n}");
+            }
+        }
+    }
+
+    /// Provably-disjoint sections never share a concrete element.
+    #[test]
+    fn disjointness_is_sound(a in section(), b in section(), n in 6i64..=16) {
+        let ctx = SymCtx::default();
+        if a.rank() != b.rank() || a.overlaps(&b, &ctx) {
+            return Ok(());
+        }
+        // Enumerate both at a concrete size and intersect.
+        let bind = |v: Var| match v {
+            Var::Param(_) => Some(n),
+            Var::Loop(_) => None,
+        };
+        let enumerate = |s: &Section| -> Option<Vec<Vec<i64>>> {
+            let mut dims = Vec::new();
+            for d in &s.dims {
+                let lo = d.lo()?.eval(&bind)?;
+                let hi = d.hi()?.eval(&bind)?;
+                let st = d.step()?;
+                let mut v = Vec::new();
+                let mut i = lo;
+                while i <= hi {
+                    v.push(i);
+                    i += st;
+                }
+                dims.push(v);
+            }
+            let mut out: Vec<Vec<i64>> = vec![Vec::new()];
+            for d in &dims {
+                let mut next = Vec::new();
+                for pre in &out {
+                    for &x in d {
+                        let mut e = pre.clone();
+                        e.push(x);
+                        next.push(e);
+                    }
+                }
+                out = next;
+            }
+            Some(out)
+        };
+        if let (Some(ea), Some(eb)) = (enumerate(&a), enumerate(&b)) {
+            for x in &ea {
+                prop_assert!(!eb.contains(x),
+                    "claimed disjoint but share {x:?}: {a:?} vs {b:?} at n={n}");
+            }
+        }
+    }
+
+    /// `same_shape` is an equivalence on provable instances and subset in
+    /// both directions implies same shape for unit strides.
+    #[test]
+    fn same_shape_symmetric(a in section(), b in section()) {
+        prop_assert_eq!(a.same_shape(&b), b.same_shape(&a));
+        prop_assert!(a.same_shape(&a));
+    }
+}

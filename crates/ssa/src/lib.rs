@@ -1,0 +1,659 @@
+//! # gcomm-ssa — whole-array SSA form
+//!
+//! SSA construction in the flavour required by §4.1 of *Global Communication
+//! Analysis and Optimization* (PLDI 1996):
+//!
+//! * variables are **whole arrays** (and scalars); subscripts are ignored at
+//!   this level,
+//! * every regular (source) definition is **preserving** — it may leave part
+//!   of the array untouched — so each definition records the definition
+//!   reaching immediately before it (`Reaching(d)` in the paper),
+//! * a **pseudo-definition at ENTRY** exists for every variable, which
+//!   "simplifies dataflow analyses" (Fig. 8 caption),
+//! * φ-definitions appear at loop **headers** (φ-Enter, with an `r_pre`
+//!   parameter reaching from outside the loop and an `r_post` parameter
+//!   reaching around the backedge), at loop **postexits** (φ-Exit, merging
+//!   the zero-trip edge with the loop-exit edge), and at ordinary **join**
+//!   points.
+//!
+//! Because the augmented CFG already contains preheader/postexit nodes and
+//! zero-trip edges, placing φs on iterated dominance frontiers yields exactly
+//! the φ-Enter/φ-Exit structure the paper describes — no special casing.
+//!
+//! # Example
+//!
+//! ```
+//! let src = "
+//! program p
+//! param n
+//! real a(n,n) distribute (block,block)
+//! do i = 2, n
+//!   a(i, 1:n) = a(i-1, 1:n)
+//! enddo
+//! end";
+//! let ast = gcomm_lang::parse_program(src)?;
+//! let ir = gcomm_ir::lower(&ast)?;
+//! let ssa = gcomm_ssa::SsaForm::build(&ir);
+//! // The read of `a` in the loop reaches a phi-Enter at the loop header.
+//! let d = ssa.use_def(gcomm_ir::StmtId(0), 0).unwrap();
+//! assert!(matches!(ssa.def(d).kind, gcomm_ssa::DefKind::PhiEnter { .. }));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+
+use gcomm_ir::{ArrayId, DomTree, IrProgram, LoopId, NodeId, NodeKind, Pos, StmtId};
+
+/// Identifier of an SSA definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DefId(pub u32);
+
+/// The kind of an SSA definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefKind {
+    /// Pseudo-definition at procedure entry (one per variable).
+    Entry,
+    /// A source definition; **preserving** (partial write). `prev` is the
+    /// definition reaching immediately before it (the paper's
+    /// `Reaching(d)`).
+    Regular {
+        /// The defining statement.
+        stmt: StmtId,
+        /// Definition reaching just before this one.
+        prev: DefId,
+    },
+    /// φ-Enter at a loop header.
+    PhiEnter {
+        /// The loop whose header carries this φ.
+        in_loop: LoopId,
+        /// Parameter reaching from outside the loop (via the preheader).
+        r_pre: DefId,
+        /// Parameter reaching around the backedge.
+        r_post: DefId,
+    },
+    /// φ-Exit at a loop postexit (merges zero-trip and loop-exit values).
+    PhiExit {
+        /// The loop whose postexit carries this φ.
+        of_loop: LoopId,
+        /// Incoming definitions, one per predecessor edge.
+        args: Vec<DefId>,
+    },
+    /// φ at an ordinary join point.
+    PhiMerge {
+        /// Incoming definitions, one per predecessor edge.
+        args: Vec<DefId>,
+    },
+}
+
+impl DefKind {
+    /// True for any φ-definition.
+    pub fn is_phi(&self) -> bool {
+        matches!(
+            self,
+            DefKind::PhiEnter { .. } | DefKind::PhiExit { .. } | DefKind::PhiMerge { .. }
+        )
+    }
+
+    /// The φ parameters (empty for non-φ definitions).
+    pub fn phi_args(&self) -> Vec<DefId> {
+        match self {
+            DefKind::PhiEnter { r_pre, r_post, .. } => vec![*r_pre, *r_post],
+            DefKind::PhiExit { args, .. } | DefKind::PhiMerge { args } => args.clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// An SSA definition of one (whole-array) variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefInfo {
+    /// The defined variable.
+    pub var: ArrayId,
+    /// Kind and parameters.
+    pub kind: DefKind,
+    /// CFG node holding the definition.
+    pub node: NodeId,
+    /// The definition reaching immediately before this one in dominator
+    /// order (`None` only for the ENTRY pseudo-definition). For regular
+    /// defs this equals `prev`; for φs it is the value on the renaming
+    /// stack when the φ was created. This is the upward chain walked by the
+    /// `Earliest` traversal.
+    pub dom_prev: Option<DefId>,
+    /// Nesting level of `node`.
+    pub level: u32,
+}
+
+/// SSA form of a program: definitions plus use→def and def-position maps.
+#[derive(Debug, Clone)]
+pub struct SsaForm {
+    defs: Vec<DefInfo>,
+    /// Reaching definition for each `(statement, read index)`.
+    use_defs: HashMap<(StmtId, usize), DefId>,
+    /// φ definitions by node (in creation order).
+    phis_by_node: HashMap<NodeId, Vec<DefId>>,
+    /// ENTRY pseudo-def per variable.
+    entry_defs: Vec<DefId>,
+}
+
+impl SsaForm {
+    /// Builds SSA form for `prog` (dominators are computed internally).
+    pub fn build(prog: &IrProgram) -> SsaForm {
+        let dt = DomTree::compute(&prog.cfg);
+        Self::build_with(prog, &dt)
+    }
+
+    /// Builds SSA form using a precomputed dominator tree.
+    pub fn build_with(prog: &IrProgram, dt: &DomTree) -> SsaForm {
+        Builder::new(prog, dt).run()
+    }
+
+    /// Definition info by id.
+    pub fn def(&self, d: DefId) -> &DefInfo {
+        &self.defs[d.0 as usize]
+    }
+
+    /// Number of definitions.
+    pub fn def_count(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Iterates all definition ids.
+    pub fn def_ids(&self) -> impl Iterator<Item = DefId> {
+        (0..self.defs.len() as u32).map(DefId)
+    }
+
+    /// The definition reaching read `idx` of statement `s`.
+    pub fn use_def(&self, s: StmtId, idx: usize) -> Option<DefId> {
+        self.use_defs.get(&(s, idx)).copied()
+    }
+
+    /// The ENTRY pseudo-definition of a variable.
+    pub fn entry_def(&self, var: ArrayId) -> DefId {
+        self.entry_defs[var.0 as usize]
+    }
+
+    /// φ definitions at a node.
+    pub fn phis_at(&self, node: NodeId) -> &[DefId] {
+        self.phis_by_node.get(&node).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The program position of a definition: ENTRY and φs sit at the top of
+    /// their node, regular defs immediately after their statement.
+    pub fn def_pos(&self, prog: &IrProgram, d: DefId) -> Pos {
+        let info = self.def(d);
+        match &info.kind {
+            DefKind::Regular { stmt, .. } => Pos::after(prog, *stmt),
+            _ => Pos::top(info.node),
+        }
+    }
+
+    /// Walks the upward (dominator-order) chain of definitions starting at
+    /// `d` and ending at the ENTRY pseudo-definition, inclusive.
+    pub fn dom_chain(&self, d: DefId) -> Vec<DefId> {
+        let mut out = vec![d];
+        let mut cur = d;
+        while let Some(p) = self.def(cur).dom_prev {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// All regular reaching definitions of a use, found by walking the SSA
+    /// graph from the use's reaching definition through φs (each φ explored
+    /// once). This is the set "d ranges over the reaching regular defs of u"
+    /// in §4.2 — the ENTRY pseudo-def is excluded.
+    pub fn reaching_regular_defs(&self, s: StmtId, idx: usize) -> Vec<DefId> {
+        let Some(start) = self.use_def(s, idx) else {
+            return Vec::new();
+        };
+        let mut seen = vec![false; self.defs.len()];
+        let mut out = Vec::new();
+        let mut stack = vec![start];
+        while let Some(d) = stack.pop() {
+            if seen[d.0 as usize] {
+                continue;
+            }
+            seen[d.0 as usize] = true;
+            match &self.def(d).kind {
+                DefKind::Entry => {}
+                DefKind::Regular { prev, .. } => {
+                    out.push(d);
+                    // Preserving def: earlier values may still be visible.
+                    stack.push(*prev);
+                }
+                k => stack.extend(k.phi_args()),
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+struct Builder<'a> {
+    prog: &'a IrProgram,
+    dt: &'a DomTree,
+    defs: Vec<DefInfo>,
+    use_defs: HashMap<(StmtId, usize), DefId>,
+    phis_by_node: HashMap<NodeId, Vec<DefId>>,
+    entry_defs: Vec<DefId>,
+    /// For φ filling: per (node, var), the pending φ def and per-pred args.
+    phi_slots: HashMap<(NodeId, ArrayId), DefId>,
+    /// Collected φ args: (phi def, pred node, incoming def).
+    phi_args: Vec<(DefId, NodeId, DefId)>,
+    stacks: Vec<Vec<DefId>>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(prog: &'a IrProgram, dt: &'a DomTree) -> Self {
+        Builder {
+            prog,
+            dt,
+            defs: Vec::new(),
+            use_defs: HashMap::new(),
+            phis_by_node: HashMap::new(),
+            entry_defs: Vec::new(),
+            phi_slots: HashMap::new(),
+            phi_args: Vec::new(),
+            stacks: vec![Vec::new(); prog.arrays.len()],
+        }
+    }
+
+    fn add_def(&mut self, var: ArrayId, kind: DefKind, node: NodeId, dom_prev: Option<DefId>) -> DefId {
+        let id = DefId(self.defs.len() as u32);
+        self.defs.push(DefInfo {
+            var,
+            kind,
+            node,
+            dom_prev,
+            level: self.prog.cfg.node(node).level,
+        });
+        id
+    }
+
+    fn run(mut self) -> SsaForm {
+        let prog = self.prog;
+        let nvars = prog.arrays.len();
+
+        // 1. ENTRY pseudo-defs.
+        for v in 0..nvars {
+            let var = ArrayId(v as u32);
+            let d = self.add_def(var, DefKind::Entry, prog.cfg.entry, None);
+            self.entry_defs.push(d);
+        }
+
+        // 2. φ placement via iterated dominance frontiers. Every variable has
+        // a def at ENTRY, so the def-node seed per variable is {entry} ∪
+        // {nodes with assignments to it}.
+        let mut def_nodes: Vec<Vec<NodeId>> = vec![vec![prog.cfg.entry]; nvars];
+        for (sid, info) in prog.stmts.iter().enumerate() {
+            let _ = sid;
+            if let Some(lhs) = info.kind.def() {
+                let list = &mut def_nodes[lhs.array.0 as usize];
+                if !list.contains(&info.node) {
+                    list.push(info.node);
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..nvars {
+            let var = ArrayId(v as u32);
+            let mut work: Vec<NodeId> = def_nodes[v].clone();
+            let mut has_phi: Vec<bool> = vec![false; prog.cfg.len()];
+            while let Some(n) = work.pop() {
+                for &f in self.dt.frontier(n) {
+                    if !has_phi[f.0 as usize] {
+                        has_phi[f.0 as usize] = true;
+                        // Kind is determined at fill time; placeholder now.
+                        let kind = match prog.cfg.node(f).kind {
+                            NodeKind::Header(l) => DefKind::PhiEnter {
+                                in_loop: l,
+                                r_pre: DefId(u32::MAX),
+                                r_post: DefId(u32::MAX),
+                            },
+                            NodeKind::PostExit(l) => DefKind::PhiExit {
+                                of_loop: l,
+                                args: Vec::new(),
+                            },
+                            _ => DefKind::PhiMerge { args: Vec::new() },
+                        };
+                        let d = self.add_def(var, kind, f, None);
+                        self.phis_by_node.entry(f).or_default().push(d);
+                        self.phi_slots.insert((f, var), d);
+                        work.push(f);
+                    }
+                }
+            }
+        }
+
+        // 3. Renaming over the dominator tree (iterative).
+        for v in 0..nvars {
+            self.stacks[v].push(self.entry_defs[v]);
+        }
+        self.rename(prog.cfg.entry);
+
+        // 4. Fill φ argument lists in predecessor order.
+        for (phi, pred, incoming) in std::mem::take(&mut self.phi_args) {
+            let node = self.defs[phi.0 as usize].node;
+            let preds = prog.cfg.node(node).preds.clone();
+            let pred_idx = preds.iter().position(|&p| p == pred).unwrap_or(0);
+            match &mut self.defs[phi.0 as usize].kind {
+                DefKind::PhiEnter { in_loop, r_pre, r_post } => {
+                    // The preheader predecessor supplies r_pre; the backedge
+                    // (a node inside the loop) supplies r_post.
+                    let li = prog.loop_info(*in_loop);
+                    if pred == li.preheader {
+                        *r_pre = incoming;
+                    } else {
+                        *r_post = incoming;
+                    }
+                }
+                DefKind::PhiExit { args, .. } | DefKind::PhiMerge { args } => {
+                    if args.len() < preds.len() {
+                        args.resize(preds.len(), DefId(u32::MAX));
+                    }
+                    args[pred_idx] = incoming;
+                }
+                _ => unreachable!("phi arg for non-phi def"),
+            }
+        }
+        // Drop unfilled placeholder args (unreachable predecessor edges).
+        for d in &mut self.defs {
+            if let DefKind::PhiExit { args, .. } | DefKind::PhiMerge { args } = &mut d.kind {
+                args.retain(|a| a.0 != u32::MAX);
+            }
+        }
+
+        SsaForm {
+            defs: self.defs,
+            use_defs: self.use_defs,
+            phis_by_node: self.phis_by_node,
+            entry_defs: self.entry_defs,
+        }
+    }
+
+    fn rename(&mut self, root: NodeId) {
+        // Iterative DFS over the dominator tree, tracking pushes to undo.
+        enum Action {
+            Visit(NodeId),
+            Pop(ArrayId),
+        }
+        let mut stack = vec![Action::Visit(root)];
+        while let Some(action) = stack.pop() {
+            match action {
+                Action::Pop(var) => {
+                    self.stacks[var.0 as usize].pop();
+                }
+                Action::Visit(n) => {
+                    let mut pushes: Vec<ArrayId> = Vec::new();
+
+                    // φ defs at the top of the node.
+                    for &phi in self
+                        .phis_by_node
+                        .get(&n)
+                        .cloned()
+                        .unwrap_or_default()
+                        .iter()
+                    {
+                        let var = self.defs[phi.0 as usize].var;
+                        let top = *self.stacks[var.0 as usize].last().expect("entry def");
+                        self.defs[phi.0 as usize].dom_prev = Some(top);
+                        self.stacks[var.0 as usize].push(phi);
+                        pushes.push(var);
+                    }
+
+                    // Statements: reads first, then the def.
+                    for &sid in &self.prog.cfg.node(n).stmts.clone() {
+                        let info = self.prog.stmt(sid);
+                        for (i, read) in info.kind.reads().iter().enumerate() {
+                            let var = read.access.array;
+                            let top = *self.stacks[var.0 as usize].last().expect("entry def");
+                            self.use_defs.insert((sid, i), top);
+                        }
+                        if let Some(lhs) = info.kind.def() {
+                            let var = lhs.array;
+                            let prev = *self.stacks[var.0 as usize].last().expect("entry def");
+                            let d = self.add_def(
+                                var,
+                                DefKind::Regular { stmt: sid, prev },
+                                n,
+                                Some(prev),
+                            );
+                            self.stacks[var.0 as usize].push(d);
+                            pushes.push(var);
+                        }
+                    }
+
+                    // Feed φ args of CFG successors.
+                    for &succ in &self.prog.cfg.node(n).succs.clone() {
+                        for &phi in self
+                            .phis_by_node
+                            .get(&succ)
+                            .cloned()
+                            .unwrap_or_default()
+                            .iter()
+                        {
+                            let var = self.defs[phi.0 as usize].var;
+                            let top = *self.stacks[var.0 as usize].last().expect("entry def");
+                            self.phi_args.push((phi, n, top));
+                        }
+                    }
+
+                    // Schedule pops, then children (children processed before
+                    // pops since the stack is LIFO).
+                    for var in pushes.into_iter().rev() {
+                        stack.push(Action::Pop(var));
+                    }
+                    for &c in self.dt.children(n) {
+                        stack.push(Action::Visit(c));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> (IrProgram, SsaForm) {
+        let ast = gcomm_lang::parse_program(src).unwrap();
+        let ir = gcomm_ir::lower(&ast).unwrap();
+        let ssa = SsaForm::build(&ir);
+        (ir, ssa)
+    }
+
+    #[test]
+    fn straightline_use_reaches_regular_def() {
+        let (ir, ssa) = build(
+            "
+program t
+param n
+real a(n), b(n) distribute (block)
+a(1:n) = 1
+b(2:n) = a(1:n-1)
+end",
+        );
+        let d = ssa.use_def(StmtId(1), 0).unwrap();
+        match &ssa.def(d).kind {
+            DefKind::Regular { stmt, prev } => {
+                assert_eq!(*stmt, StmtId(0));
+                // prev of the def is the ENTRY pseudo-def.
+                assert!(matches!(ssa.def(*prev).kind, DefKind::Entry));
+            }
+            other => panic!("expected regular def, got {other:?}"),
+        }
+        let _ = ir;
+    }
+
+    #[test]
+    fn loop_carried_use_reaches_phi_enter() {
+        let (ir, ssa) = build(
+            "
+program t
+param n
+real a(n,n) distribute (block,block)
+do i = 2, n
+  a(i, 1:n) = a(i-1, 1:n)
+enddo
+end",
+        );
+        let d = ssa.use_def(StmtId(0), 0).unwrap();
+        match &ssa.def(d).kind {
+            DefKind::PhiEnter { r_pre, r_post, .. } => {
+                assert!(matches!(ssa.def(*r_pre).kind, DefKind::Entry));
+                match &ssa.def(*r_post).kind {
+                    DefKind::Regular { stmt, .. } => assert_eq!(*stmt, StmtId(0)),
+                    other => panic!("r_post should be the loop def, got {other:?}"),
+                }
+            }
+            other => panic!("expected phi-enter, got {other:?}"),
+        }
+        // The phi must sit at the loop header.
+        assert_eq!(ssa.def(d).node, ir.loop_info(LoopId(0)).header);
+    }
+
+    #[test]
+    fn post_loop_use_reaches_phi_exit() {
+        let (ir, ssa) = build(
+            "
+program t
+param n
+real a(n,n), b(n,n) distribute (block,block)
+do i = 2, n
+  a(i, 1:n) = 0
+enddo
+b(:, :) = a(:, :)
+end",
+        );
+        let d = ssa.use_def(StmtId(1), 0).unwrap();
+        match &ssa.def(d).kind {
+            DefKind::PhiExit { args, .. } => {
+                assert_eq!(args.len(), 2, "zero-trip + loop-exit values");
+            }
+            other => panic!("expected phi-exit, got {other:?}"),
+        }
+        assert_eq!(ssa.def(d).node, ir.loop_info(LoopId(0)).postexit);
+    }
+
+    #[test]
+    fn branch_merge_creates_phi() {
+        let (_, ssa) = build(
+            "
+program t
+param n
+real a(n,n), d(n,n), c(n,n) distribute (block,block)
+real cond
+if (cond > 0) then
+  a(:, :) = 3
+else
+  a(:, :) = d(:, :)
+endif
+c(:, :) = a(:, :)
+end",
+        );
+        // Statement ids: 0 = cond, 1 = then-assign, 2 = else-assign, 3 = use.
+        let d = ssa.use_def(StmtId(3), 0).unwrap();
+        match &ssa.def(d).kind {
+            DefKind::PhiMerge { args } => {
+                assert_eq!(args.len(), 2);
+                for a in args {
+                    assert!(matches!(ssa.def(*a).kind, DefKind::Regular { .. }));
+                }
+            }
+            other => panic!("expected merge phi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dom_chain_terminates_at_entry() {
+        let (_, ssa) = build(
+            "
+program t
+param n
+real a(n,n) distribute (block,block)
+do i = 2, n
+  a(i, 1:n) = a(i-1, 1:n)
+enddo
+end",
+        );
+        let u = ssa.use_def(StmtId(0), 0).unwrap();
+        let chain = ssa.dom_chain(u);
+        assert!(matches!(
+            ssa.def(*chain.last().unwrap()).kind,
+            DefKind::Entry
+        ));
+        // Chain is strictly upward: ids decrease in dominator depth order is
+        // not guaranteed, but it must be acyclic and terminate.
+        assert!(chain.len() >= 2);
+    }
+
+    #[test]
+    fn reaching_regular_defs_through_phis() {
+        let (_, ssa) = build(
+            "
+program t
+param n
+real a(n,n), d(n,n), c(n,n) distribute (block,block)
+real cond
+if (cond > 0) then
+  a(:, :) = 3
+else
+  a(:, :) = d(:, :)
+endif
+c(:, :) = a(:, :)
+end",
+        );
+        let defs = ssa.reaching_regular_defs(StmtId(3), 0);
+        // Both branch assignments reach the use.
+        assert_eq!(defs.len(), 2);
+    }
+
+    #[test]
+    fn unassigned_variable_reaches_entry() {
+        let (_, ssa) = build(
+            "
+program t
+param n
+real a(n), b(n) distribute (block)
+b(1:n) = a(1:n)
+end",
+        );
+        let d = ssa.use_def(StmtId(0), 0).unwrap();
+        assert!(matches!(ssa.def(d).kind, DefKind::Entry));
+        assert!(ssa.reaching_regular_defs(StmtId(0), 0).is_empty());
+    }
+
+    #[test]
+    fn nested_loops_have_phis_at_both_headers() {
+        let (ir, ssa) = build(
+            "
+program t
+param n
+real a(n,n) distribute (block,block)
+do t1 = 1, 10
+  do i = 2, n
+    a(i, 1:n) = a(i-1, 1:n)
+  enddo
+enddo
+end",
+        );
+        let outer = ir.loop_info(LoopId(0));
+        let inner = ir.loop_info(LoopId(1));
+        assert_eq!(ssa.phis_at(outer.header).len(), 1);
+        assert_eq!(ssa.phis_at(inner.header).len(), 1);
+        assert_eq!(ssa.phis_at(inner.postexit).len(), 1);
+        assert_eq!(ssa.phis_at(outer.postexit).len(), 1);
+        // The inner phi's r_pre comes from the outer phi (through the
+        // preheader), and its r_post from the loop body def.
+        let inner_phi = ssa.phis_at(inner.header)[0];
+        match &ssa.def(inner_phi).kind {
+            DefKind::PhiEnter { r_pre, r_post, .. } => {
+                assert!(ssa.def(*r_pre).kind.is_phi());
+                assert!(matches!(ssa.def(*r_post).kind, DefKind::Regular { .. }));
+            }
+            other => panic!("expected phi-enter, got {other:?}"),
+        }
+    }
+}

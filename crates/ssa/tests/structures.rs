@@ -1,0 +1,184 @@
+//! SSA construction on pathological control structures: conditionals inside
+//! loops, loops in both branch arms, sequential loops redefining the same
+//! array, and empty constructs.
+
+use gcomm_ir::{IrProgram, LoopId, StmtId};
+use gcomm_ssa::{DefKind, SsaForm};
+
+fn build(src: &str) -> (IrProgram, SsaForm) {
+    let ast = gcomm_lang::parse_program(src).unwrap();
+    let ir = gcomm_ir::lower(&ast).unwrap();
+    let ssa = SsaForm::build(&ir);
+    (ir, ssa)
+}
+
+#[test]
+fn conditional_def_inside_loop() {
+    // a defined only on one arm inside the loop: the use after the if sees
+    // a merge φ whose arguments are the arm's def and the header φ.
+    let (ir, ssa) = build(
+        "
+program t
+param n
+real a(n,n), b(n,n) distribute (block,block)
+real c
+do i = 1, n
+  if (c > 0) then
+    a(i, 1:n) = 1
+  endif
+  b(i, 1:n) = a(i, 1:n)
+enddo
+end",
+    );
+    // Statements: 0 = cond, 1 = then-assign, 2 = b assign.
+    let d = ssa.use_def(StmtId(2), 0).unwrap();
+    match &ssa.def(d).kind {
+        DefKind::PhiMerge { args } => {
+            assert_eq!(args.len(), 2);
+            let kinds: Vec<bool> = args
+                .iter()
+                .map(|&a| matches!(ssa.def(a).kind, DefKind::Regular { .. }))
+                .collect();
+            assert!(kinds.contains(&true), "one arg is the then-arm def");
+            assert!(
+                args.iter()
+                    .any(|&a| matches!(ssa.def(a).kind, DefKind::PhiEnter { .. })),
+                "the other flows from the loop header"
+            );
+        }
+        other => panic!("expected merge phi, got {other:?}"),
+    }
+    let _ = ir;
+}
+
+#[test]
+fn loops_in_both_branches() {
+    let (ir, ssa) = build(
+        "
+program t
+param n
+real a(n,n), b(n,n) distribute (block,block)
+real c
+if (c > 0) then
+  do i = 1, n
+    a(i, 1:n) = 1
+  enddo
+else
+  do j = 1, n
+    a(j, 1:n) = 2
+  enddo
+endif
+b(1:n, 1:n) = a(1:n, 1:n)
+end",
+    );
+    assert_eq!(ir.loops.len(), 2);
+    // The final use merges two φ-exits (one per arm's loop).
+    let d = ssa.use_def(StmtId(3), 0).unwrap();
+    match &ssa.def(d).kind {
+        DefKind::PhiMerge { args } => {
+            assert_eq!(args.len(), 2);
+            for &a in args {
+                assert!(
+                    matches!(ssa.def(a).kind, DefKind::PhiExit { .. }),
+                    "each arm contributes its loop's exit value"
+                );
+            }
+        }
+        other => panic!("expected merge of exits, got {other:?}"),
+    }
+}
+
+#[test]
+fn sequential_loops_chain_exit_values() {
+    let (ir, ssa) = build(
+        "
+program t
+param n
+real a(n,n), b(n,n) distribute (block,block)
+do i = 1, n
+  a(i, 1:n) = 1
+enddo
+do i = 1, n
+  a(i, 1:n) = a(i, 1:n) + 1
+enddo
+b(1:n, 1:n) = a(1:n, 1:n)
+end",
+    );
+    // The second loop's header φ takes its r_pre from the first loop's
+    // φ-exit.
+    let hdr2 = ir.loop_info(LoopId(1)).header;
+    let phi = ssa.phis_at(hdr2)[0];
+    match &ssa.def(phi).kind {
+        DefKind::PhiEnter { r_pre, .. } => {
+            assert!(matches!(ssa.def(*r_pre).kind, DefKind::PhiExit { .. }));
+        }
+        other => panic!("expected phi-enter, got {other:?}"),
+    }
+    // And the final use reads the second loop's exit φ.
+    let d = ssa.use_def(StmtId(2), 0).unwrap();
+    assert_eq!(ssa.def(d).node, ir.loop_info(LoopId(1)).postexit);
+}
+
+#[test]
+fn triple_nesting_phi_chain() {
+    let (ir, ssa) = build(
+        "
+program t
+param n
+real a(n,n) distribute (block,block)
+do x = 1, 4
+  do y = 1, 4
+    do z = 2, n
+      a(z, 1:n) = a(z-1, 1:n)
+    enddo
+  enddo
+enddo
+end",
+    );
+    assert_eq!(ir.loops.len(), 3);
+    // Every header carries a φ for a; the use chains to the innermost one.
+    for l in 0..3u32 {
+        assert_eq!(ssa.phis_at(ir.loop_info(LoopId(l)).header).len(), 1);
+    }
+    let d = ssa.use_def(StmtId(0), 0).unwrap();
+    assert_eq!(ssa.def(d).node, ir.loop_info(LoopId(2)).header);
+    // The dominator chain from the use's def walks up through all three
+    // headers to ENTRY.
+    let chain = ssa.dom_chain(d);
+    let header_count = chain
+        .iter()
+        .filter(|&&x| matches!(ssa.def(x).kind, DefKind::PhiEnter { .. }))
+        .count();
+    assert_eq!(header_count, 3);
+}
+
+#[test]
+fn use_before_any_def_in_branchy_code() {
+    let (_, ssa) = build(
+        "
+program t
+param n
+real a(n,n), b(n,n) distribute (block,block)
+real c
+if (c > 0) then
+  b(1:n, 1:n) = a(1:n, 1:n)
+endif
+a(1:n, 1:n) = 0
+end",
+    );
+    // The read of a inside the branch reaches the ENTRY pseudo-def.
+    let d = ssa.use_def(StmtId(1), 0).unwrap();
+    assert!(matches!(ssa.def(d).kind, DefKind::Entry));
+}
+
+#[test]
+fn def_count_scales_linearly() {
+    // Sanity: no φ explosion on a moderately nested kernel.
+    let (ir, ssa) = build(gcomm_kernels::SHALLOW);
+    assert!(
+        ssa.def_count() < ir.stmts.len() * 6 + ir.arrays.len() * 4,
+        "{} defs for {} statements",
+        ssa.def_count(),
+        ir.stmts.len()
+    );
+}

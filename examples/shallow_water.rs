@@ -1,0 +1,47 @@
+//! The NCAR shallow-water benchmark (paper §2.2, Figure 2, and §5):
+//! compiles the kernel under the three code versions, reproduces the static
+//! message counts of Figure 10's table (20 / 14 / 8), and simulates a run
+//! on both evaluation platforms.
+//!
+//! Run with: `cargo run --example shallow_water`
+
+use gcomm::core::{lower_to_sim, SimConfig};
+use gcomm::machine::{simulate, NetworkModel, ProcGrid};
+use gcomm::{compile, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = gcomm::kernels::SHALLOW;
+
+    println!("== static communication call sites (paper: 20 / 14 / 8) ==");
+    let (orig, nored, comb) = gcomm::static_counts(src)?;
+    println!("orig={orig}  nored={nored}  comb={comb}\n");
+
+    println!("== placement under the global algorithm ==");
+    let global = compile(src, Strategy::Global)?;
+    print!("{}", global.report());
+
+    println!("\n== simulated runtime, n = 512, one timestep loop ==");
+    for (name, net, p) in [
+        ("SP2 (P=25)", NetworkModel::sp2(), 25u32),
+        ("NOW (P=8)", NetworkModel::now_myrinet(), 8),
+    ] {
+        println!("{name}:");
+        let mut base = None;
+        for strategy in [Strategy::Original, Strategy::EarliestRE, Strategy::Global] {
+            let c = compile(src, strategy)?;
+            let cfg = SimConfig::uniform(&c, ProcGrid::balanced(p, 2), 512).with("nsteps", 10);
+            let r = simulate(&lower_to_sim(&c, &cfg), &net);
+            let total = r.total_us();
+            let norm = total / *base.get_or_insert(total);
+            println!(
+                "  {:<10} total {:>10.0} us  comm {:>9.0} us  ({} msgs)  normalized {:.3}",
+                format!("{strategy:?}"),
+                total,
+                r.comm_us,
+                r.messages,
+                norm
+            );
+        }
+    }
+    Ok(())
+}

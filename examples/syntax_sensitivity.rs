@@ -1,0 +1,32 @@
+//! Syntax sensitivity (paper §2.3, Figure 3): earliest placement is
+//! sensitive to how the source is phrased — scalarizing the F90 assignments
+//! into separate loops splits the `a` and `b` messages under earliest
+//! placement, while the global algorithm combines them in both forms.
+//!
+//! Run with: `cargo run --example syntax_sensitivity`
+
+use gcomm::{compile, Strategy};
+
+fn show(name: &str, src: &str) -> Result<(usize, usize), Box<dyn std::error::Error>> {
+    let nored = compile(src, Strategy::EarliestRE)?;
+    let comb = compile(src, Strategy::Global)?;
+    println!("== {name} ==");
+    println!("earliest placement: {} message(s)", nored.static_messages());
+    print!("{}", nored.report());
+    println!("global placement:   {} message(s)", comb.static_messages());
+    print!("{}", comb.report());
+    println!();
+    Ok((nored.static_messages(), comb.static_messages()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (_, comb_f90) = show("Figure 3, F90 source", gcomm::kernels::FIG3_F90)?;
+    let (_, comb_scal) = show("Figure 3, scalarized", gcomm::kernels::FIG3_SCALARIZED)?;
+
+    // The global algorithm is robust to the rephrasing: one combined
+    // message either way.
+    assert_eq!(comb_f90, 1);
+    assert_eq!(comb_scal, 1);
+    println!("global placement ships one combined message under both phrasings");
+    Ok(())
+}

@@ -1,0 +1,212 @@
+//! `gcommc` — command-line driver for the gcomm communication optimizer.
+//!
+//! ```text
+//! gcommc [OPTIONS] <file.hpf | - >
+//!
+//! Options:
+//!   --strategy orig|nored|partial|comb   placement strategy (default: comb)
+//!   --counts                     print static message counts for all three
+//!   --dot-cfg                    print the augmented CFG as Graphviz DOT
+//!   --dot-dom                    print the dominator tree as DOT
+//!   --verify                     dynamically verify the schedule (n = 8)
+//!   --sim <n>                    simulate at size n on SP2 and NOW
+//!   --entries                    list communication entries before placement
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! echo 'program p
+//! param n
+//! real a(n,n), b(n,n) distribute (block, block)
+//! b(2:n, 1:n) = a(1:n-1, 1:n)
+//! end' | cargo run --bin gcommc -- --counts -
+//! ```
+
+use std::collections::HashMap;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use gcomm::core::{commgen, lower_to_sim, SimConfig};
+use gcomm::machine::{simulate, NetworkModel, ProcGrid};
+use gcomm::{compile, Strategy};
+
+struct Opts {
+    strategy: Strategy,
+    counts: bool,
+    dot_cfg: bool,
+    dot_dom: bool,
+    verify: bool,
+    sim: Option<i64>,
+    entries: bool,
+    input: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gcommc [--strategy orig|nored|partial|comb] [--counts] [--dot-cfg] [--dot-dom] \
+         [--verify] [--sim <n>] [--entries] <file | ->"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Opts {
+    let mut o = Opts {
+        strategy: Strategy::Global,
+        counts: false,
+        dot_cfg: false,
+        dot_dom: false,
+        verify: false,
+        sim: None,
+        entries: false,
+        input: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--strategy" => {
+                o.strategy = match args.next().as_deref() {
+                    Some("orig") => Strategy::Original,
+                    Some("nored") => Strategy::EarliestRE,
+                    Some("partial") => Strategy::EarliestPartialRE,
+                    Some("comb") => Strategy::Global,
+                    _ => usage(),
+                }
+            }
+            "--counts" => o.counts = true,
+            "--dot-cfg" => o.dot_cfg = true,
+            "--dot-dom" => o.dot_dom = true,
+            "--verify" => o.verify = true,
+            "--entries" => o.entries = true,
+            "--sim" => {
+                o.sim = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--help" | "-h" => usage(),
+            _ if o.input.is_none() => o.input = Some(a),
+            _ => usage(),
+        }
+    }
+    if o.input.is_none() {
+        usage();
+    }
+    o
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let path = opts.input.as_deref().unwrap_or("-");
+    let src = if path == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("gcommc: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("gcommc: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let compiled = match compile(&src, opts.strategy) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gcommc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.dot_cfg {
+        print!("{}", gcomm::ir::dot::cfg_dot(&compiled.prog));
+        return ExitCode::SUCCESS;
+    }
+    if opts.dot_dom {
+        let dt = gcomm::ir::DomTree::compute(&compiled.prog.cfg);
+        print!("{}", gcomm::ir::dot::dom_dot(&compiled.prog, &dt));
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.entries {
+        let entries = commgen::number(commgen::generate(&compiled.prog));
+        println!("{} communication entr(ies):", entries.len());
+        for e in &entries {
+            println!("  {:<20} at {} (reads {:?})", e.label, e.stmt, e.reads);
+        }
+    }
+
+    println!("{}", compiled.report());
+
+    if opts.counts {
+        match gcomm::static_counts(&src) {
+            Ok((o, n, c)) => println!("static messages: orig={o} nored={n} comb={c}"),
+            Err(e) => eprintln!("gcommc: {e}"),
+        }
+    }
+
+    if let Some(n) = opts.sim {
+        let rank = compiled
+            .prog
+            .arrays
+            .iter()
+            .map(|a| a.distributed_dims().len())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        for (p, net) in [(25u32, NetworkModel::sp2()), (8, NetworkModel::now_myrinet())] {
+            let cfg = SimConfig::uniform(&compiled, ProcGrid::balanced(p, rank), n)
+                .with("nsteps", 10);
+            let r = simulate(&lower_to_sim(&compiled, &cfg), &net);
+            println!(
+                "{} P={p} n={n}: total {:.0} us (compute {:.0}, comm {:.0}, {} msgs, {:.0} B)",
+                net.name,
+                r.total_us(),
+                r.compute_us,
+                r.comm_us,
+                r.messages,
+                r.bytes
+            );
+        }
+    }
+
+    if opts.verify {
+        let rank = compiled
+            .prog
+            .arrays
+            .iter()
+            .map(|a| a.distributed_dims().len())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let grid = ProcGrid::balanced(4, rank);
+        let mut params: HashMap<String, i64> = compiled
+            .prog
+            .params
+            .iter()
+            .map(|p| (p.clone(), 8))
+            .collect();
+        params.insert("nsteps".into(), 2);
+        match gcomm_exec::verify_schedule(&compiled, &grid, &params) {
+            Ok(rep) if rep.ok() => println!(
+                "verify: OK ({} remote elements checked, {} comm events)",
+                rep.remote_elements_checked, rep.comm_events
+            ),
+            Ok(rep) => {
+                println!("verify: {} violation(s)", rep.errors.len());
+                for e in rep.errors.iter().take(5) {
+                    println!("  {e}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("gcommc: verification failed to run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,65 @@
+//! Overlap-mode simulation (§6 future direction): when the CPU and network
+//! can proceed concurrently, communication hides under computation, and the
+//! relative value of message combining shrinks — the regime in which the
+//! paper notes its subset-elimination simplification "would have to be
+//! dropped".
+
+use gcomm::core::{lower_to_sim, SimConfig};
+use gcomm::machine::{simulate, simulate_overlapped, NetworkModel, ProcGrid};
+use gcomm::{compile, Strategy};
+
+fn programs(n: i64, s: Strategy) -> gcomm::machine::CommProgram {
+    let c = compile(gcomm::kernels::SHALLOW, s).unwrap();
+    let cfg = SimConfig::uniform(&c, ProcGrid::balanced(25, 2), n).with("nsteps", 10);
+    lower_to_sim(&c, &cfg)
+}
+
+#[test]
+fn overlap_never_slower_never_free() {
+    for s in [Strategy::Original, Strategy::Global] {
+        let prog = programs(512, s);
+        let net = NetworkModel::sp2();
+        let eager = simulate(&prog, &net);
+        let lazy = simulate_overlapped(&prog, &net);
+        assert!(lazy.total_us() <= eager.total_us() + 1e-6);
+        assert!(lazy.total_us() >= eager.compute_us.max(eager.comm_us) - 1e-6);
+    }
+}
+
+#[test]
+fn overlap_shrinks_the_benefit_of_combining() {
+    // At a compute-heavy size, overlap hides most communication, so the
+    // gap between the baseline and the optimized schedule narrows.
+    let net = NetworkModel::sp2();
+    let orig = programs(512, Strategy::Original);
+    let comb = programs(512, Strategy::Global);
+
+    let eager_gain = 1.0 - simulate(&comb, &net).total_us() / simulate(&orig, &net).total_us();
+    let lazy_gain =
+        1.0 - simulate_overlapped(&comb, &net).total_us()
+            / simulate_overlapped(&orig, &net).total_us();
+    assert!(
+        lazy_gain <= eager_gain + 1e-9,
+        "overlap must not increase the relative benefit (eager {eager_gain:.4}, lazy {lazy_gain:.4})"
+    );
+}
+
+#[test]
+fn comm_bound_kernels_still_benefit_under_overlap() {
+    // gravity at a small size is communication-bound: even with perfect
+    // overlap, combining wins wall-clock.
+    let net = NetworkModel::sp2();
+    let build = |s| {
+        let c = compile(gcomm::kernels::GRAVITY, s).unwrap();
+        let cfg = SimConfig::uniform(&c, ProcGrid::balanced(25, 2), 64).with("nsteps", 4);
+        lower_to_sim(&c, &cfg)
+    };
+    let orig = simulate_overlapped(&build(Strategy::Original), &net);
+    let comb = simulate_overlapped(&build(Strategy::Global), &net);
+    assert!(
+        comb.total_us() < orig.total_us(),
+        "comb {} !< orig {}",
+        comb.total_us(),
+        orig.total_us()
+    );
+}

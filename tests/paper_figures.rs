@@ -1,0 +1,154 @@
+//! Integration tests locking every compile-time result the paper reports:
+//! the static message-count table (Figure 10, top) and the behaviours of
+//! the motivating Figures 1–4.
+
+use gcomm::{compile, static_counts, CommKind, Strategy};
+
+/// The static message counts of Figure 10's table, verbatim.
+#[test]
+fn figure10_table_static_counts() {
+    let expected = [
+        ("shallow", "main", 20, 14, 8),
+        ("trimesh", "normdot", 24, 24, 4),
+        ("trimesh", "gauss", 13, 13, 4),
+        ("hydflo", "flux", 52, 30, 6),
+        ("hydflo", "hydro", 12, 12, 6),
+    ];
+    for (bench, routine, orig, nored, comb) in expected {
+        let src = gcomm::kernels::all_kernels()
+            .into_iter()
+            .find(|(b, r, _)| *b == bench && *r == routine)
+            .map(|(_, _, s)| s)
+            .unwrap();
+        let (o, n, c) = static_counts(src).unwrap();
+        assert_eq!(
+            (o, n, c),
+            (orig, nored, comb),
+            "{bench}:{routine} static counts"
+        );
+    }
+}
+
+/// Gravity reports NNC and SUM rows separately (8/8/4 and 8/8/2).
+#[test]
+fn figure10_gravity_by_kind() {
+    let src = gcomm::kernels::GRAVITY;
+    let count = |s, k| compile(src, s).unwrap().schedule.count_kind(k);
+    for (kind, orig, nored, comb) in [
+        (CommKind::Nnc, 8, 8, 4),
+        (CommKind::Reduction, 8, 8, 2),
+    ] {
+        assert_eq!(count(Strategy::Original, kind), orig);
+        assert_eq!(count(Strategy::EarliestRE, kind), nored);
+        assert_eq!(count(Strategy::Global, kind), comb);
+    }
+}
+
+/// Figure 1: the NNC for `g` and `glast` combine pairwise by direction,
+/// and each set of four partial sums combines into one reduction — but the
+/// `g` sums and `glast` sums stay separate (their sections' shapes differ).
+#[test]
+fn figure1_combining_structure() {
+    let c = compile(gcomm::kernels::FIG1_GRAVITY, Strategy::Global).unwrap();
+    let nnc: Vec<_> = c
+        .schedule
+        .groups
+        .iter()
+        .filter(|g| g.kind == CommKind::Nnc)
+        .collect();
+    assert_eq!(nnc.len(), 4);
+    for g in &nnc {
+        assert_eq!(g.entries.len(), 2, "each direction pairs g with glast");
+        let arrays: std::collections::HashSet<_> = g
+            .entries
+            .iter()
+            .map(|&e| c.schedule.entry(e).array)
+            .collect();
+        assert_eq!(arrays.len(), 2, "the pair spans both arrays");
+    }
+    let sums: Vec<_> = c
+        .schedule
+        .groups
+        .iter()
+        .filter(|g| g.kind == CommKind::Reduction)
+        .collect();
+    assert_eq!(sums.len(), 2);
+    for g in &sums {
+        assert_eq!(g.entries.len(), 4, "four partial sums per reduction call");
+        let arrays: std::collections::HashSet<_> = g
+            .entries
+            .iter()
+            .map(|&e| c.schedule.entry(e).array)
+            .collect();
+        assert_eq!(arrays.len(), 1, "sums of one array only");
+    }
+}
+
+/// Figure 2 / §2.2: redundancy elimination alone leaves 14 exchanges;
+/// message combining as the guiding profit motive reaches 8, with placement
+/// not at the earliest point.
+#[test]
+fn figure2_shallow_schedule() {
+    let (orig, nored, comb) = static_counts(gcomm::kernels::FIG2_SHALLOW).unwrap();
+    assert_eq!((orig, nored, comb), (20, 14, 8));
+    // The global schedule must contain at least one multi-entry group
+    // placed later than some member's earliest point — combining, not just
+    // redundancy.
+    let c = compile(gcomm::kernels::FIG2_SHALLOW, Strategy::Global).unwrap();
+    assert!(c.schedule.groups.iter().any(|g| g.entries.len() >= 2));
+}
+
+/// Figure 3: earliest placement separates the messages in both phrasings
+/// here (defs in different statements/loops), while the global algorithm
+/// combines them into one in both — robustness to syntax.
+#[test]
+fn figure3_syntax_robustness() {
+    for src in [gcomm::kernels::FIG3_F90, gcomm::kernels::FIG3_SCALARIZED] {
+        let nored = compile(src, Strategy::EarliestRE).unwrap();
+        let comb = compile(src, Strategy::Global).unwrap();
+        assert_eq!(nored.static_messages(), 2);
+        assert_eq!(comb.static_messages(), 1);
+        assert_eq!(comb.schedule.groups[0].entries.len(), 2);
+    }
+}
+
+/// Figure 4 (running example): 4 entries; earliest placement catches only
+/// a1 (3 messages); the global algorithm absorbs both b1 and a1 and ships a
+/// single combined {a2, b2} message.
+#[test]
+fn figure4_full_story() {
+    let src = gcomm::kernels::FIG4_RUNNING;
+    assert_eq!(
+        compile(src, Strategy::Original).unwrap().static_messages(),
+        4
+    );
+    let nored = compile(src, Strategy::EarliestRE).unwrap();
+    assert_eq!(nored.static_messages(), 3);
+    assert_eq!(nored.schedule.eliminated(), 1);
+    let comb = compile(src, Strategy::Global).unwrap();
+    assert_eq!(comb.static_messages(), 1);
+    assert_eq!(comb.schedule.eliminated(), 2);
+    let g = &comb.schedule.groups[0];
+    assert_eq!(g.entries.len(), 2);
+    assert_eq!(g.kind, CommKind::Nnc);
+}
+
+/// The reduction in static counts is monotone for every kernel:
+/// comb ≤ nored ≤ orig, with comb strictly better somewhere.
+#[test]
+fn counts_monotone_across_strategies() {
+    for (bench, routine, src) in gcomm::kernels::all_kernels() {
+        let (o, n, c) = static_counts(src).unwrap();
+        assert!(c <= n && n <= o, "{bench}:{routine}: {c} <= {n} <= {o}");
+        assert!(c < o, "{bench}:{routine}: the paper's algorithm must win");
+    }
+}
+
+/// Reduction in messages reaches the paper's headline "factor of almost
+/// nine" on hydflo's flux routine (52 → 6).
+#[test]
+fn headline_factor_of_nine() {
+    let (o, _, c) = static_counts(gcomm::kernels::HYDFLO_FLUX).unwrap();
+    let factor = o as f64 / c as f64;
+    assert!(factor > 8.5, "got {factor}");
+}

@@ -1,0 +1,117 @@
+//! Shape checks for the runtime experiments (Figure 10, panels a–f): who
+//! wins, by roughly what factor, and how the gap behaves as sizes grow.
+//! Absolute times are simulator outputs, not 1996 hardware — the shapes are
+//! what the reproduction asserts (see EXPERIMENTS.md).
+
+use gcomm::core::{lower_to_sim, SimConfig};
+use gcomm::machine::{simulate, NetworkModel, ProcGrid, SimResult};
+use gcomm::{compile, Strategy};
+
+fn run(src: &str, p: u32, axes: usize, n: i64, strategy: Strategy, net: &NetworkModel) -> SimResult {
+    let c = compile(src, strategy).unwrap();
+    let cfg = SimConfig::uniform(&c, ProcGrid::balanced(p, axes), n).with("nsteps", 10);
+    simulate(&lower_to_sim(&c, &cfg), net)
+}
+
+type Panel = (&'static str, &'static str, u32, usize, Vec<i64>, NetworkModel);
+
+fn panels() -> Vec<Panel> {
+    vec![
+        ("sp2-shallow", gcomm::kernels::SHALLOW, 25, 2, vec![128, 256, 512], NetworkModel::sp2()),
+        ("sp2-gravity", gcomm::kernels::GRAVITY, 25, 2, vec![100, 200, 325], NetworkModel::sp2()),
+        ("now-shallow", gcomm::kernels::SHALLOW, 8, 2, vec![400, 450, 500], NetworkModel::now_myrinet()),
+        ("now-gravity", gcomm::kernels::GRAVITY, 8, 2, vec![100, 174, 274], NetworkModel::now_myrinet()),
+        ("sp2-hydflo", gcomm::kernels::HYDFLO_FLUX, 25, 3, vec![28, 48, 64], NetworkModel::sp2()),
+        ("now-trimesh", gcomm::kernels::TRIMESH_NORMDOT, 8, 2, vec![192, 256, 320], NetworkModel::now_myrinet()),
+    ]
+}
+
+/// comb ≤ nored ≤ orig in communication time, for every panel and size.
+#[test]
+fn communication_time_ordering() {
+    for (name, src, p, axes, sizes, net) in panels() {
+        for n in sizes {
+            let orig = run(src, p, axes, n, Strategy::Original, &net);
+            let nored = run(src, p, axes, n, Strategy::EarliestRE, &net);
+            let comb = run(src, p, axes, n, Strategy::Global, &net);
+            assert!(
+                comb.comm_us <= nored.comm_us + 1e-6 && nored.comm_us <= orig.comm_us + 1e-6,
+                "{name} n={n}: comm times {:.0} / {:.0} / {:.0}",
+                orig.comm_us,
+                nored.comm_us,
+                comb.comm_us
+            );
+            assert!((orig.compute_us - comb.compute_us).abs() < 1e-6);
+        }
+    }
+}
+
+/// "In many cases, the communication cost is reduced by a factor of two."
+#[test]
+fn communication_cut_by_factor_two_or_more() {
+    let mut wins = 0;
+    let mut total = 0;
+    for (_, src, p, axes, sizes, net) in panels() {
+        for n in sizes {
+            let orig = run(src, p, axes, n, Strategy::Original, &net);
+            let comb = run(src, p, axes, n, Strategy::Global, &net);
+            total += 1;
+            if orig.comm_us / comb.comm_us.max(1e-12) >= 2.0 {
+                wins += 1;
+            }
+        }
+    }
+    assert!(
+        wins * 2 >= total,
+        "2x communication cut in only {wins}/{total} cases"
+    );
+}
+
+/// Dynamic message counts drop in line with the static table.
+#[test]
+fn dynamic_message_counts_drop() {
+    for (name, src, p, axes, sizes, net) in panels() {
+        let n = sizes[0];
+        let orig = run(src, p, axes, n, Strategy::Original, &net);
+        let comb = run(src, p, axes, n, Strategy::Global, &net);
+        assert!(
+            comb.messages < orig.messages,
+            "{name}: {} !< {}",
+            comb.messages,
+            orig.messages
+        );
+    }
+}
+
+/// Relative gains shrink as the problem grows (startup amortizes — the
+/// visible trend across each Figure 10 panel).
+#[test]
+fn gains_shrink_with_problem_size() {
+    for (name, src, p, axes, sizes, net) in panels() {
+        let gain = |n| {
+            let orig = run(src, p, axes, n, Strategy::Original, &net);
+            let comb = run(src, p, axes, n, Strategy::Global, &net);
+            1.0 - comb.total_us() / orig.total_us()
+        };
+        let small = gain(sizes[0]);
+        let large = gain(*sizes.last().unwrap());
+        assert!(
+            large <= small + 0.02,
+            "{name}: gain should not grow with n (small {small:.3}, large {large:.3})"
+        );
+    }
+}
+
+/// The NOW's higher per-message overhead makes combining relatively more
+/// valuable there than on the SP2 (§5's cross-platform observation).
+#[test]
+fn now_benefits_more_than_sp2() {
+    let gain = |p: u32, net: &NetworkModel, n: i64| {
+        let orig = run(gcomm::kernels::SHALLOW, p, 2, n, Strategy::Original, net);
+        let comb = run(gcomm::kernels::SHALLOW, p, 2, n, Strategy::Global, net);
+        1.0 - comb.total_us() / orig.total_us()
+    };
+    let sp2 = gain(25, &NetworkModel::sp2(), 512);
+    let now = gain(8, &NetworkModel::now_myrinet(), 512);
+    assert!(now > sp2, "NOW gain {now:.3} vs SP2 gain {sp2:.3}");
+}
