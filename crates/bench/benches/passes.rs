@@ -1,74 +1,123 @@
-//! Criterion benches: compile-time cost of each analysis pass and of the
-//! three end-to-end strategies, per benchmark kernel.
+//! Compile-time cost of each analysis pass and of the three end-to-end
+//! strategies, per benchmark kernel.
 //!
-//! The paper reports no compilation times; these benches are supplementary
-//! evidence that the global analysis is cheap (it was added to a production
-//! compiler, pHPF).
+//! The paper reports no compilation times; these measurements are
+//! supplementary evidence that the global analysis is cheap (it was added
+//! to a production compiler, pHPF). Plain `harness = false` timing loop —
+//! the build environment has no benchmarking crates.
+//!
+//! Usage: `cargo bench -p gcomm-bench` (add `-- <substring>` to filter).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use gcomm_core::{commgen, compile, strategy, AnalysisCtx, CombinePolicy, Strategy};
 use gcomm_ssa::SsaForm;
 
-fn bench_frontend(c: &mut Criterion) {
-    let mut g = c.benchmark_group("frontend");
-    for (bench, routine, src) in gcomm_kernels::all_kernels() {
-        let id = format!("{bench}-{routine}");
-        g.bench_with_input(BenchmarkId::new("parse", &id), &src, |b, src| {
-            b.iter(|| gcomm_lang::parse_program(src).unwrap())
-        });
-        let ast = gcomm_lang::parse_program(src).unwrap();
-        g.bench_with_input(BenchmarkId::new("lower", &id), &ast, |b, ast| {
-            b.iter(|| gcomm_ir::lower(ast).unwrap())
-        });
+/// Times `f` with warmup, repeating until ~50 ms elapse, and reports the
+/// mean per-iteration time in microseconds.
+fn time_us<F: FnMut()>(mut f: F) -> f64 {
+    for _ in 0..3 {
+        f();
     }
-    g.finish();
+    let mut iters: u64 = 0;
+    let start = Instant::now();
+    while start.elapsed().as_millis() < 50 || iters < 10 {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
 }
 
-fn bench_analyses(c: &mut Criterion) {
-    let mut g = c.benchmark_group("analysis");
+fn report(group: &str, name: &str, id: &str, us: f64, filter: Option<&str>) {
+    let label = format!("{group}/{name}/{id}");
+    if let Some(f) = filter {
+        if !label.contains(f) {
+            return;
+        }
+    }
+    println!("{label:<44} {us:>10.1} us/iter");
+}
+
+fn main() {
+    let filter_arg: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let filter = filter_arg.first().map(String::as_str);
+
     for (bench, routine, src) in gcomm_kernels::all_kernels() {
         let id = format!("{bench}-{routine}");
+
+        report(
+            "frontend",
+            "parse",
+            &id,
+            time_us(|| {
+                gcomm_lang::parse_program(src).unwrap();
+            }),
+            filter,
+        );
         let ast = gcomm_lang::parse_program(src).unwrap();
+        report(
+            "frontend",
+            "lower",
+            &id,
+            time_us(|| {
+                gcomm_ir::lower(&ast).unwrap();
+            }),
+            filter,
+        );
+
         let prog = gcomm_ir::lower(&ast).unwrap();
-        g.bench_with_input(BenchmarkId::new("ssa", &id), &prog, |b, prog| {
-            b.iter(|| SsaForm::build(prog))
-        });
-        g.bench_with_input(BenchmarkId::new("commgen", &id), &prog, |b, prog| {
-            b.iter(|| commgen::generate(prog))
-        });
-        g.bench_with_input(BenchmarkId::new("placement", &id), &prog, |b, prog| {
-            b.iter(|| {
-                let entries = commgen::number(commgen::generate(prog));
-                let ctx = AnalysisCtx::new(prog);
+        report(
+            "analysis",
+            "ssa",
+            &id,
+            time_us(|| {
+                SsaForm::build(&prog);
+            }),
+            filter,
+        );
+        report(
+            "analysis",
+            "commgen",
+            &id,
+            time_us(|| {
+                commgen::generate(&prog);
+            }),
+            filter,
+        );
+        report(
+            "analysis",
+            "placement",
+            &id,
+            time_us(|| {
+                let entries = commgen::number(commgen::generate(&prog));
+                let ctx = AnalysisCtx::new(&prog);
                 strategy::run_with_policy(
                     &ctx,
                     entries,
                     Strategy::Global,
                     &CombinePolicy::default(),
-                )
-            })
-        });
-    }
-    g.finish();
-}
+                );
+            }),
+            filter,
+        );
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end-to-end");
-    for (bench, routine, src) in gcomm_kernels::all_kernels() {
-        let id = format!("{bench}-{routine}");
         for (name, s) in [
             ("orig", Strategy::Original),
             ("nored", Strategy::EarliestRE),
             ("comb", Strategy::Global),
         ] {
-            g.bench_with_input(BenchmarkId::new(name, &id), &(src, s), |b, (src, s)| {
-                b.iter(|| compile(src, *s).unwrap())
-            });
+            report(
+                "end-to-end",
+                name,
+                &id,
+                time_us(|| {
+                    compile(src, s).unwrap();
+                }),
+                filter,
+            );
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_frontend, bench_analyses, bench_end_to_end);
-criterion_main!(benches);

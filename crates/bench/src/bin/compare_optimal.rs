@@ -4,10 +4,8 @@
 //! how far the §4.7 greedy lands from the true optimum on procedures small
 //! enough to enumerate, scoring both with the machine simulator.
 
-use gcomm_core::{
-    compile, optimal_placement, CombinePolicy, SimConfig, Strategy,
-};
 use gcomm_core::optimal::comm_cost;
+use gcomm_core::{compile, optimal_placement, CombinePolicy, SimConfig, Strategy};
 use gcomm_machine::{NetworkModel, ProcGrid};
 
 fn main() {

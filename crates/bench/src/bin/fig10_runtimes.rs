@@ -6,13 +6,42 @@
 //!   cargo run -p gcomm-bench --bin fig10_runtimes            # all panels
 //!   cargo run -p gcomm-bench --bin fig10_runtimes -- sp2 shallow
 //!   cargo run -p gcomm-bench --bin fig10_runtimes -- --json
+//!   cargo run -p gcomm-bench --bin fig10_runtimes -- --faults seed=42,loss=0.01
 
-use gcomm_bench::{bar, paper_sizes, runtime_row, runtime_source, Platform};
+use gcomm_bench::{
+    bar, fault_row, json, paper_sizes, runtime_row, runtime_source, FaultRow, Platform,
+};
+use gcomm_machine::FaultPlan;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let filt: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let json_out = args.iter().any(|a| a == "--json");
+    let mut plan = FaultPlan::quiet();
+    let mut filt: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {}
+            "--faults" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("--faults requires a spec (e.g. seed=42,loss=0.01)");
+                    std::process::exit(2);
+                };
+                plan = match FaultPlan::parse(spec) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag {a}");
+                std::process::exit(2);
+            }
+            _ => filt.push(a),
+        }
+    }
 
     let panels: Vec<(Platform, &str, &str)> = vec![
         (Platform::Sp2, "shallow", "(a) SP2 shallow, P=25, n x n"),
@@ -36,32 +65,96 @@ fn main() {
         let Some(src) = runtime_source(bench) else {
             continue;
         };
-        if !json {
-            println!("== Figure 10 {title} ==");
-            println!("   ('#' = network time, '-' = CPU time; orig normalized to 1.0)");
+        if plan.is_quiet() {
+            run_clean_panel(src, pf, bench, title, json_out);
+        } else {
+            run_fault_panel(src, pf, bench, title, json_out, &plan);
         }
-        let mut rows = Vec::new();
-        for n in paper_sizes(pf, bench) {
-            let row = runtime_row(src, pf, n).expect("kernel compiles");
-            if json {
-                rows.push(row);
-                continue;
-            }
-            for (name, r) in [("orig", &row.orig), ("nored", &row.nored), ("comb", &row.comb)] {
-                let norm = row.normalized(r);
-                let dark = r.comm_us / row.orig.total_us();
-                println!("n={:<5} {:<6} {:<5.3} |{}", row.n, name, norm, bar(norm, dark));
-            }
+    }
+}
+
+fn run_clean_panel(src: &str, pf: Platform, bench: &str, title: &str, json_out: bool) {
+    if !json_out {
+        println!("== Figure 10 {title} ==");
+        println!("   ('#' = network time, '-' = CPU time; orig normalized to 1.0)");
+    }
+    let mut rows = Vec::new();
+    for n in paper_sizes(pf, bench) {
+        let row = runtime_row(src, pf, n).expect("kernel compiles");
+        if json_out {
+            rows.push(row);
+            continue;
+        }
+        for (name, r) in [
+            ("orig", &row.orig),
+            ("nored", &row.nored),
+            ("comb", &row.comb),
+        ] {
+            let norm = row.normalized(r);
+            let dark = r.comm_us / row.orig.total_us();
             println!(
-                "        comm cut {:.2}x, overall gain {:.1}%",
-                row.comm_speedup(),
-                100.0 * (1.0 - row.normalized(&row.comb))
+                "n={:<5} {:<6} {:<5.3} |{}",
+                row.n,
+                name,
+                norm,
+                bar(norm, dark)
             );
         }
-        if json {
-            println!("{}", serde_json::to_string(&rows).expect("serialize"));
-        } else {
-            println!();
+        println!(
+            "        comm cut {:.2}x, overall gain {:.1}%",
+            row.comm_speedup(),
+            100.0 * (1.0 - row.normalized(&row.comb))
+        );
+    }
+    if json_out {
+        println!("{}", json::runtime_rows(&rows));
+    } else {
+        println!();
+    }
+}
+
+fn run_fault_panel(
+    src: &str,
+    pf: Platform,
+    bench: &str,
+    title: &str,
+    json_out: bool,
+    plan: &FaultPlan,
+) {
+    if !json_out {
+        println!("== Figure 10 {title} [fault-injected] ==");
+        println!("   (orig normalized to 1.0; rexmit = retransmitted rounds)");
+    }
+    let mut rows: Vec<FaultRow> = Vec::new();
+    for n in paper_sizes(pf, bench) {
+        let row = fault_row(src, pf, n, plan).expect("kernel compiles");
+        if json_out {
+            rows.push(row);
+            continue;
         }
+        for (name, r) in [
+            ("orig", &row.orig),
+            ("nored", &row.nored),
+            ("comb", &row.comb),
+        ] {
+            let norm = row.normalized(r);
+            let dark = r.result.comm_us / row.orig.total_us();
+            println!(
+                "n={:<5} {:<6} {:<5.3} |{:<40} rexmit {:<6} timeouts {:<5} backoff {:>9.1}us fallbacks {}",
+                row.n,
+                name,
+                norm,
+                bar(norm, dark),
+                r.faults.retransmits,
+                r.faults.timeouts,
+                r.faults.backoff_us,
+                r.faults.fallbacks
+            );
+        }
+    }
+    if json_out {
+        println!("{}", json::fault_rows(&rows));
+    } else {
+        println!();
     }
 }

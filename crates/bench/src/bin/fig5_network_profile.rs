@@ -3,6 +3,7 @@
 //!
 //! Usage: `cargo run -p gcomm-bench --bin fig5_network_profile [--json]`
 
+use gcomm_bench::json;
 use gcomm_machine::profile::{default_sizes, profile};
 use gcomm_machine::NetworkModel;
 
@@ -12,7 +13,7 @@ fn main() {
     for net in [NetworkModel::sp2(), NetworkModel::now_myrinet()] {
         let pts = profile(&net, &sizes);
         if json {
-            println!("{}", serde_json::to_string(&pts).expect("serialize"));
+            println!("{}", json::profile_points(&pts));
             continue;
         }
         println!("== Figure 5: {} ==", net.name);

@@ -27,10 +27,17 @@ fn main() {
         }
         let og = orig.schedule.count_kind(CommKind::General);
         if og > 0 {
-            println!("{bench:<10} {routine:<9} GEN   {og:>6} {:>7} {:>6}", nored.schedule.count_kind(CommKind::General), comb.schedule.count_kind(CommKind::General));
+            println!(
+                "{bench:<10} {routine:<9} GEN   {og:>6} {:>7} {:>6}",
+                nored.schedule.count_kind(CommKind::General),
+                comb.schedule.count_kind(CommKind::General)
+            );
         }
         if std::env::args().any(|a| a == "-v") {
-            println!("--- {bench}:{routine} global placement ---\n{}", comb.report());
+            println!(
+                "--- {bench}:{routine} global placement ---\n{}",
+                comb.report()
+            );
         }
     }
 }

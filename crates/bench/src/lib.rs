@@ -10,8 +10,9 @@
 //! * `ablation_greedy`, `ablation_threshold`, `ablation_subset` — A1–A3.
 
 use gcomm_core::{compile, lower_to_sim, Compiled, CoreError, SimConfig, Strategy};
-use gcomm_machine::{simulate, NetworkModel, ProcGrid, SimResult};
-use serde::Serialize;
+use gcomm_machine::fault::FaultPlan;
+use gcomm_machine::profile::ProfilePoint;
+use gcomm_machine::{simulate, simulate_with_faults, NetworkModel, ProcGrid, SimReport, SimResult};
 
 /// Timesteps simulated per run (everything scales linearly in this).
 pub const NSTEPS: i64 = 10;
@@ -53,7 +54,7 @@ impl Platform {
 }
 
 /// One row of a Figure-10-style runtime experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RuntimeRow {
     /// Problem size `n`.
     pub n: i64,
@@ -118,6 +119,148 @@ pub fn runtime_row(src: &str, platform: Platform, n: i64) -> Result<RuntimeRow, 
         nored: simulate_kernel(src, Strategy::EarliestRE, platform, n)?,
         comb: simulate_kernel(src, Strategy::Global, platform, n)?,
     })
+}
+
+/// Like [`simulate_kernel`], but executes under a fault plan and returns
+/// the full report with retry/backoff statistics.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the kernel fails to compile.
+pub fn simulate_kernel_with_faults(
+    src: &str,
+    strategy: Strategy,
+    platform: Platform,
+    n: i64,
+    plan: &FaultPlan,
+) -> Result<SimReport, CoreError> {
+    let c = compile(src, strategy)?;
+    let grid = ProcGrid::balanced(platform.nproc(), grid_rank(&c));
+    let cfg = SimConfig::uniform(&c, grid, n).with("nsteps", NSTEPS);
+    let prog = lower_to_sim(&c, &cfg);
+    Ok(simulate_with_faults(&prog, &platform.model(), plan))
+}
+
+/// One Figure-10-style row executed under a fault plan.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Problem size `n`.
+    pub n: i64,
+    /// Baseline simulation.
+    pub orig: SimReport,
+    /// Earliest + redundancy elimination.
+    pub nored: SimReport,
+    /// The paper's algorithm.
+    pub comb: SimReport,
+}
+
+impl FaultRow {
+    /// Total time of a strategy, normalized so `orig` is 1.0.
+    pub fn normalized(&self, r: &SimReport) -> f64 {
+        r.total_us() / self.orig.total_us().max(1e-12)
+    }
+}
+
+/// Runs all three strategies for one kernel/platform/size under a fault
+/// plan. Each strategy replays the same plan (same seed), so they face the
+/// same adversary.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the kernel fails to compile.
+pub fn fault_row(
+    src: &str,
+    platform: Platform,
+    n: i64,
+    plan: &FaultPlan,
+) -> Result<FaultRow, CoreError> {
+    Ok(FaultRow {
+        n,
+        orig: simulate_kernel_with_faults(src, Strategy::Original, platform, n, plan)?,
+        nored: simulate_kernel_with_faults(src, Strategy::EarliestRE, platform, n, plan)?,
+        comb: simulate_kernel_with_faults(src, Strategy::Global, platform, n, plan)?,
+    })
+}
+
+/// Minimal JSON emitters for the benchmark binaries (the build environment
+/// has no serialization crates; these write the same shapes by hand —
+/// `f64` via Rust's shortest-roundtrip `Display`).
+pub mod json {
+    use super::{FaultRow, ProfilePoint, RuntimeRow, SimReport, SimResult};
+
+    /// `SimResult` as a JSON object.
+    pub fn sim_result(r: &SimResult) -> String {
+        format!(
+            "{{\"compute_us\":{},\"comm_us\":{},\"messages\":{},\"bytes\":{}}}",
+            r.compute_us, r.comm_us, r.messages, r.bytes
+        )
+    }
+
+    /// `SimReport` as a JSON object (result + fault counters).
+    pub fn sim_report(r: &SimReport) -> String {
+        let f = &r.faults;
+        format!(
+            "{{\"result\":{},\"faults\":{{\"retransmits\":{},\"timeouts\":{},\
+             \"backoff_us\":{},\"fallbacks\":{},\"giveups\":{},\
+             \"degraded_phases\":{},\"straggled_phases\":{}}}}}",
+            sim_result(&r.result),
+            f.retransmits,
+            f.timeouts,
+            f.backoff_us,
+            f.fallbacks,
+            f.giveups,
+            f.degraded_phases,
+            f.straggled_phases
+        )
+    }
+
+    /// An array of Figure-10 rows.
+    pub fn runtime_rows(rows: &[RuntimeRow]) -> String {
+        let items: Vec<String> = rows
+            .iter()
+            .map(|row| {
+                format!(
+                    "{{\"n\":{},\"orig\":{},\"nored\":{},\"comb\":{}}}",
+                    row.n,
+                    sim_result(&row.orig),
+                    sim_result(&row.nored),
+                    sim_result(&row.comb)
+                )
+            })
+            .collect();
+        format!("[{}]", items.join(","))
+    }
+
+    /// An array of fault-injected Figure-10 rows.
+    pub fn fault_rows(rows: &[FaultRow]) -> String {
+        let items: Vec<String> = rows
+            .iter()
+            .map(|row| {
+                format!(
+                    "{{\"n\":{},\"orig\":{},\"nored\":{},\"comb\":{}}}",
+                    row.n,
+                    sim_report(&row.orig),
+                    sim_report(&row.nored),
+                    sim_report(&row.comb)
+                )
+            })
+            .collect();
+        format!("[{}]", items.join(","))
+    }
+
+    /// An array of Figure-5 profile points.
+    pub fn profile_points(pts: &[ProfilePoint]) -> String {
+        let items: Vec<String> = pts
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"bytes\":{},\"bcopy_mb\":{},\"inject_mb\":{},\"recv_mb\":{}}}",
+                    p.bytes, p.bcopy_mb, p.inject_mb, p.recv_mb
+                )
+            })
+            .collect();
+        format!("[{}]", items.join(","))
+    }
 }
 
 /// The problem sizes the paper plots per (platform, benchmark).

@@ -148,12 +148,7 @@ end",
         );
         let ctx = AnalysisCtx::new(&prog);
         let e = &entries[0];
-        let cands = candidates(
-            &ctx,
-            e,
-            earliest_pos(&ctx, e),
-            latest(&ctx, e),
-        );
+        let cands = candidates(&ctx, e, earliest_pos(&ctx, e), latest(&ctx, e));
         assert_eq!(cands.len(), 1);
     }
 }

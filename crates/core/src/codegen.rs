@@ -8,10 +8,10 @@
 
 use std::collections::HashMap;
 
+use gcomm_ir::StmtKind;
 use gcomm_ir::{AccessRef, LoopId, SubscriptIr, Var};
 use gcomm_machine::{CommPhase, CommProgram, Msg, MsgKind, PhaseItem, ProcGrid};
 use gcomm_sections::Mapping;
-use gcomm_ir::StmtKind;
 
 use crate::ctx::AnalysisCtx;
 use crate::entry::CommKind;
@@ -101,7 +101,9 @@ fn build_items(
     let mut phase = CommPhase::default();
     for g in &compiled.schedule.groups {
         if prog.cfg.node(g.pos.node).enclosing == context {
-            phase.msgs.push(group_msg(compiled, cfg, ctx, mid, g, p_total));
+            phase
+                .msgs
+                .push(group_msg(compiled, cfg, ctx, mid, g, p_total));
         }
     }
     if !phase.msgs.is_empty() {
@@ -240,8 +242,8 @@ fn group_msg(
                         .and_then(|d| d.count(&bind))
                         .unwrap_or(1)
                         .max(1) as f64;
-                    let local_ext = (ext / cfg.grid.axis(axis.min(cfg.grid.rank() - 1)) as f64)
-                        .max(1.0);
+                    let local_ext =
+                        (ext / cfg.grid.axis(axis.min(cfg.grid.rank() - 1)) as f64).max(1.0);
                     let cyclic = arr.dist.get(dim) == Some(&gcomm_lang::Dist::Cyclic);
                     ghost = if cyclic {
                         local

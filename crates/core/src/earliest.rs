@@ -91,7 +91,13 @@ pub fn rcount(
                 return 1;
             };
             let d_acc = d_acc.clone();
-            if ctx.ext_dep(d_stmt, &d_acc, u_stmt, u_acc, l.min(ctx.prog.cnl(d_stmt, u_stmt))) {
+            if ctx.ext_dep(
+                d_stmt,
+                &d_acc,
+                u_stmt,
+                u_acc,
+                l.min(ctx.prog.cnl(d_stmt, u_stmt)),
+            ) {
                 1
             } else {
                 // Preserving definition: earlier values shine through.

@@ -83,9 +83,7 @@ pub fn compatible(
         // share a message; sizes are assumed within range for boundary
         // strips ("rules of thumb like assuming that NNC ... [is] operating
         // within the range suitable for combining").
-        (CommKind::Nnc, CommKind::Nnc) => {
-            size_ok(ctx, a, b, level, policy)
-        }
+        (CommKind::Nnc, CommKind::Nnc) => size_ok(ctx, a, b, level, policy),
         _ => {
             // General data motion: different arrays need identical sections
             // under the shared descriptor; same-array entries need a
@@ -251,16 +249,14 @@ mod tests {
 
     #[test]
     fn same_shift_different_arrays_combine() {
-        let (_, entries, groups) = run(
-            "
+        let (_, entries, groups) = run("
 program t
 param n
 real a(n,n), b(n,n), c(n,n) distribute (block,block)
 a(1:n, 1:n) = 1
 b(1:n, 1:n) = 2
 c(2:n, 1:n) = a(1:n-1, 1:n) + b(1:n-1, 1:n)
-end",
-        );
+end");
         assert_eq!(entries.len(), 2);
         assert_eq!(groups.len(), 1, "a and b east-shifts share one message");
         assert_eq!(groups[0].entries.len(), 2);
@@ -268,29 +264,25 @@ end",
 
     #[test]
     fn opposite_shifts_stay_separate() {
-        let (_, _, groups) = run(
-            "
+        let (_, _, groups) = run("
 program t
 param n
 real a(n,n), c(n,n), d(n,n) distribute (block,block)
 c(2:n, 1:n) = a(1:n-1, 1:n)
 d(1:n-1, 1:n) = a(2:n, 1:n)
-end",
-        );
+end");
         assert_eq!(groups.len(), 2);
     }
 
     #[test]
     fn reductions_of_same_array_combine() {
-        let (_, entries, groups) = run(
-            "
+        let (_, entries, groups) = run("
 program t
 param n
 real g(n,n) distribute (block,block)
 real s
 s = sum(g(1, 1:n)) + sum(g(2, 1:n)) + sum(g(3, 1:n))
-end",
-        );
+end");
         assert_eq!(entries.len(), 3);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].entries.len(), 3);
@@ -299,16 +291,14 @@ end",
 
     #[test]
     fn reductions_of_different_rank_arrays_stay_separate() {
-        let (_, _, groups) = run(
-            "
+        let (_, _, groups) = run("
 program t
 param n, nx
 real g(nx,n,n) distribute (*,block,block)
 real h(n,n) distribute (block,block)
 real s
 s = sum(g(1, 2, 1:n)) + sum(h(2, 1:n))
-end",
-        );
+end");
         assert_eq!(groups.len(), 2);
     }
 

@@ -86,10 +86,7 @@ end",
         let ctx = AnalysisCtx::new(&prog);
         assert_eq!(comm_level(&ctx, &entries[0]), 0);
         let p = latest(&ctx, &entries[0]);
-        assert!(matches!(
-            prog.cfg.node(p.node).kind,
-            NodeKind::PreHeader(_)
-        ));
+        assert!(matches!(prog.cfg.node(p.node).kind, NodeKind::PreHeader(_)));
     }
 
     #[test]
@@ -134,10 +131,7 @@ end",
         assert_eq!(comm_level(&ctx, e), 1);
         let p = latest(&ctx, e);
         assert_eq!(p.level(&prog), 1);
-        assert!(matches!(
-            prog.cfg.node(p.node).kind,
-            NodeKind::PreHeader(_)
-        ));
+        assert!(matches!(prog.cfg.node(p.node).kind, NodeKind::PreHeader(_)));
     }
 
     #[test]
@@ -176,7 +170,10 @@ enddo
 end",
         );
         let ctx = AnalysisCtx::new(&prog);
-        assert_eq!(latest(&ctx, &entries[0]), Pos::before(&prog, entries[0].stmt));
+        assert_eq!(
+            latest(&ctx, &entries[0]),
+            Pos::before(&prog, entries[0].stmt)
+        );
     }
 
     #[test]
@@ -191,6 +188,9 @@ c(2:n) = a(1:n-1)
 end",
         );
         let ctx = AnalysisCtx::new(&prog);
-        assert_eq!(latest(&ctx, &entries[0]), Pos::before(&prog, entries[0].stmt));
+        assert_eq!(
+            latest(&ctx, &entries[0]),
+            Pos::before(&prog, entries[0].stmt)
+        );
     }
 }

@@ -68,11 +68,13 @@ pub mod schedule;
 pub mod strategy;
 pub mod subset;
 
-pub use ctx::AnalysisCtx;
 pub use codegen::{lower_to_sim, SimConfig};
+pub use ctx::AnalysisCtx;
 pub use entry::{CommEntry, CommKind, EntryId};
 pub use greedy::{CombinePolicy, GreedyOrder};
 pub use optimal::{optimal_placement, OptimalResult};
-pub use pipeline::{compile, compile_program, compile_with_policy, Compiled, CoreError};
+pub use pipeline::{
+    compile, compile_diagnostics, compile_program, compile_with_policy, Compiled, CoreError,
+};
 pub use schedule::{PlacedGroup, Schedule};
 pub use strategy::Strategy;

@@ -235,8 +235,7 @@ end",
         let cfg = SimConfig::uniform(&c, ProcGrid::balanced(4, 2), 32).with("nsteps", 2);
         let net = NetworkModel::sp2();
         let greedy_cost = comm_cost(&c, &cfg, &net);
-        let opt =
-            optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, 30_000).unwrap();
+        let opt = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, 30_000).unwrap();
         // The greedy must be within 10% of the best assignment found.
         assert!(
             greedy_cost <= opt.comm_us * 1.10,

@@ -88,6 +88,22 @@ pub fn compile_with_policy(
     Ok(Compiled { prog, schedule })
 }
 
+/// Compiles like [`compile`], but accumulates frontend diagnostics instead
+/// of stopping at the first: the parser recovers at statement boundaries
+/// and reports every independent syntax error; a clean parse that fails
+/// validation or lowering reports those errors with source lines.
+///
+/// # Errors
+///
+/// Returns every diagnostic collected (never an empty vector).
+pub fn compile_diagnostics(src: &str, strategy: Strategy) -> Result<Compiled, Vec<CoreError>> {
+    let ast = gcomm_lang::parse_program_diagnostics(src)
+        .map_err(|errs| errs.into_iter().map(CoreError::from).collect::<Vec<_>>())?;
+    let prog = gcomm_ir::lower(&ast).map_err(|e| vec![CoreError::from(e)])?;
+    let schedule = compile_program(&prog, strategy, &CombinePolicy::default());
+    Ok(Compiled { prog, schedule })
+}
+
 /// Runs a strategy over an already-lowered program.
 pub fn compile_program(prog: &IrProgram, strategy: Strategy, policy: &CombinePolicy) -> Schedule {
     let entries = commgen::number(commgen::generate(prog));
@@ -156,5 +172,20 @@ end";
     #[test]
     fn error_on_bad_source() {
         assert!(compile("program x\nq = 1\nend", Strategy::Global).is_err());
+    }
+
+    #[test]
+    fn diagnostics_accumulate_multiple_errors() {
+        let src = "program x\nparam n\nreal a(n) distribute (block)\n\
+                   a(2:n = 0\na(1) = = 1\nend";
+        let errs = compile_diagnostics(src, Strategy::Global).unwrap_err();
+        assert!(errs.len() >= 2, "got {errs:?}");
+        assert!(errs.iter().all(|e| e.message.contains("line")));
+    }
+
+    #[test]
+    fn diagnostics_match_compile_on_good_source() {
+        let c = compile_diagnostics(FIG4, Strategy::Global).unwrap();
+        assert_eq!(c.static_messages(), 1);
     }
 }

@@ -107,13 +107,7 @@ fn earliest_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
     // Pairwise redundancy elimination: an entry is covered by an earlier,
     // dominating entry whose vectorized data subsumes it.
     let mut order: Vec<usize> = (0..entries.len()).collect();
-    order.sort_by_key(|&i| {
-        (
-            ctx.dt.depth(pos[i].node),
-            pos[i].slot,
-            entries[i].id,
-        )
-    });
+    order.sort_by_key(|&i| (ctx.dt.depth(pos[i].node), pos[i].slot, entries[i].id));
     let mut alive = vec![true; entries.len()];
     let mut absorptions = Vec::new();
     for (oi, &i2) in order.iter().enumerate() {

@@ -124,7 +124,8 @@ mod tests {
         // {e0, e1} → p1 cleared.
         t.cands
             .insert(EntryId(0), [pos(1, 0), pos(2, 0)].into_iter().collect());
-        t.cands.insert(EntryId(1), [pos(2, 0)].into_iter().collect());
+        t.cands
+            .insert(EntryId(1), [pos(2, 0)].into_iter().collect());
         subset_eliminate(&mut t, &dt);
         assert_eq!(t.cands[&EntryId(0)].len(), 1);
         assert!(t.cands[&EntryId(0)].contains(&pos(2, 0)));
@@ -153,8 +154,10 @@ mod tests {
     fn incomparable_sets_survive() {
         let (_, dt) = line_cfg(3);
         let mut t = CandidateTable::default();
-        t.cands.insert(EntryId(0), [pos(1, 0)].into_iter().collect());
-        t.cands.insert(EntryId(1), [pos(2, 0)].into_iter().collect());
+        t.cands
+            .insert(EntryId(0), [pos(1, 0)].into_iter().collect());
+        t.cands
+            .insert(EntryId(1), [pos(2, 0)].into_iter().collect());
         subset_eliminate(&mut t, &dt);
         assert!(t.cands[&EntryId(0)].contains(&pos(1, 0)));
         assert!(t.cands[&EntryId(1)].contains(&pos(2, 0)));
@@ -170,7 +173,8 @@ mod tests {
         );
         t.cands
             .insert(EntryId(1), [pos(2, 0), pos(3, 0)].into_iter().collect());
-        t.cands.insert(EntryId(2), [pos(3, 0)].into_iter().collect());
+        t.cands
+            .insert(EntryId(2), [pos(3, 0)].into_iter().collect());
         subset_eliminate(&mut t, &dt);
         for ps in t.cands.values() {
             assert!(!ps.is_empty());

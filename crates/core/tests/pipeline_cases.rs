@@ -35,10 +35,7 @@ b(1:n) = a(1:n)
 end";
     let c = compile(src, Strategy::Global).unwrap();
     assert_eq!(c.static_messages(), 1);
-    assert!(matches!(
-        c.schedule.groups[0].mapping,
-        Mapping::General(_)
-    ));
+    assert!(matches!(c.schedule.groups[0].mapping, Mapping::General(_)));
 }
 
 #[test]

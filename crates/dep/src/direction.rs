@@ -201,12 +201,7 @@ fn window_of(d: &DimSect, common: &[LoopId]) -> Option<Window> {
     }
 }
 
-fn dim_constraint(
-    dd: &DimSect,
-    ud: &DimSect,
-    common: &[LoopId],
-    ctx: &SymCtx,
-) -> DimOutcome {
+fn dim_constraint(dd: &DimSect, ud: &DimSect, common: &[LoopId], ctx: &SymCtx) -> DimOutcome {
     let (Some(wd), Some(wu)) = (window_of(dd, common), window_of(ud, common)) else {
         return DimOutcome::Unconstrained;
     };

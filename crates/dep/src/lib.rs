@@ -19,7 +19,7 @@
 pub mod direction;
 pub mod widen;
 
-pub use direction::{Dir, DirSet, DepResult};
+pub use direction::{DepResult, Dir, DirSet};
 
 use gcomm_ir::{AccessRef, IrProgram, StmtId};
 
@@ -117,14 +117,16 @@ mod tests {
     #[test]
     fn carried_stencil_dependence() {
         // a(i,·) = a(i-1,·): flow dependence carried at level 1, distance 1.
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real a(n,n) distribute (block,block)
 do i = 2, n
   a(i, 1:n) = a(i-1, 1:n)
 enddo
-end");
+end",
+        );
         let t = DepTest::new(&p);
         let (d, u) = def_use(&p, StmtId(0), StmtId(0), 0);
         assert!(t.is_array_dep(StmtId(0), &d, StmtId(0), &u, 1));
@@ -135,7 +137,8 @@ end");
     fn same_iteration_read_before_write_not_carried() {
         // use a(i,·) and later def a(i,·): only (=) direction; reading before
         // writing in the same iteration is an anti-dependence, not flow.
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real a(n,n), b(n,n) distribute (block,block)
@@ -143,7 +146,8 @@ do i = 1, n
   b(i, 1:n) = a(i, 1:n)
   a(i, 1:n) = b(i, 1:n)
 enddo
-end");
+end",
+        );
         let t = DepTest::new(&p);
         // def of a is stmt 1, use of a in stmt 0.
         let dacc = p.stmt(StmtId(1)).kind.def().unwrap().clone();
@@ -159,7 +163,8 @@ end");
     fn timestep_carried_dependence_at_outer_level() {
         // Writes of slab i never reach reads of slab i within a timestep but
         // do across timesteps.
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n, nx
 real g(nx,n,n) distribute (*,block,block)
@@ -170,7 +175,8 @@ do ts = 1, 10
     g(i, 1:n, 1:n) = w(i, 1:n, 1:n)
   enddo
 enddo
-end");
+end",
+        );
         let t = DepTest::new(&p);
         let dacc = p.stmt(StmtId(1)).kind.def().unwrap().clone();
         let (_, uacc) = def_use(&p, StmtId(1), StmtId(0), 0);
@@ -182,13 +188,15 @@ end");
 
     #[test]
     fn loop_independent_dependence() {
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real a(n), c(n) distribute (block)
 a(1:n) = 1
 c(2:n) = a(1:n-1)
-end");
+end",
+        );
         let t = DepTest::new(&p);
         let (d, u) = def_use(&p, StmtId(0), StmtId(1), 0);
         assert!(t.is_array_dep(StmtId(0), &d, StmtId(1), &u, 0));
@@ -197,7 +205,8 @@ end");
 
     #[test]
     fn disjoint_sections_no_dependence() {
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real b(n,n), c(n,n) distribute (block,block)
@@ -205,7 +214,8 @@ do i = 1, n
   b(i, 1:n:2) = 1
   c(i, 1:n) = b(i, 2:n:2)
 enddo
-end");
+end",
+        );
         let t = DepTest::new(&p);
         let (d, u) = def_use(&p, StmtId(0), StmtId(1), 0);
         // Odd columns written, even columns read: provably disjoint.
@@ -216,14 +226,16 @@ end");
 
     #[test]
     fn distance_two_dependence_direction() {
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real a(n,n) distribute (block,block)
 do i = 3, n
   a(i, 1:n) = a(i-2, 1:n)
 enddo
-end");
+end",
+        );
         let t = DepTest::new(&p);
         let (d, u) = def_use(&p, StmtId(0), StmtId(0), 0);
         let res = t.analyze(StmtId(0), &d, StmtId(0), &u);
@@ -237,14 +249,16 @@ end");
     fn reverse_offset_gives_negative_direction_only() {
         // a(i,·) = a(i+1,·): the def at iteration i can only affect reads at
         // earlier iterations (Neg) — no flow dependence carried forward.
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real a(n,n) distribute (block,block)
 do i = 1, n - 1
   a(i, 1:n) = a(i+1, 1:n)
 enddo
-end");
+end",
+        );
         let t = DepTest::new(&p);
         let (d, u) = def_use(&p, StmtId(0), StmtId(0), 0);
         let res = t.analyze(StmtId(0), &d, StmtId(0), &u);
@@ -256,7 +270,8 @@ end");
 
     #[test]
     fn whole_array_def_conservative_at_outer_loop() {
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real a(n,n), b(n,n) distribute (block,block)
@@ -264,7 +279,8 @@ do ts = 1, 10
   a(:, :) = b(:, :)
   b(:, :) = a(:, :)
 enddo
-end");
+end",
+        );
         let t = DepTest::new(&p);
         let (d, u) = def_use(&p, StmtId(0), StmtId(1), 0);
         // def a(:,:) at ts, use a(:,:) at ts' >= ts: both carried and

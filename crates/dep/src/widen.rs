@@ -25,11 +25,7 @@ pub fn widen_access(
     keep_level: u32,
 ) -> Section {
     let keep: Vec<LoopId> = chain[..(keep_level as usize).min(chain.len())].to_vec();
-    let dims = acc
-        .subs
-        .iter()
-        .map(|s| widen_sub(prog, s, &keep))
-        .collect();
+    let dims = acc.subs.iter().map(|s| widen_sub(prog, s, &keep)).collect();
     Section::new(dims)
 }
 
@@ -91,8 +87,7 @@ fn widen_elem(prog: &IrProgram, e: &Affine, keep: &[LoopId]) -> DimSect {
     if bad.len() == 1 {
         let (l, c) = bad[0];
         let li = prog.loop_info(l);
-        let bounds_clean =
-            bad_vars(&li.lo, keep).is_empty() && bad_vars(&li.hi, keep).is_empty();
+        let bounds_clean = bad_vars(&li.lo, keep).is_empty() && bad_vars(&li.hi, keep).is_empty();
         if bounds_clean {
             let (vmin, vmax) = if li.step > 0 {
                 (&li.lo, &li.hi)
@@ -168,14 +163,16 @@ mod tests {
 
     #[test]
     fn widen_unit_stencil_over_loop() {
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real a(n,n) distribute (block,block)
 do i = 2, n
   a(i, 1:n) = a(i-1, 1:n)
 enddo
-end");
+end",
+        );
         let acc = read_acc(&p, StmtId(0), 0);
         let chain = p.stmt_loop_chain(StmtId(0));
         let s = widen_access(&p, &acc, &chain, 0);
@@ -193,7 +190,8 @@ end");
 
     #[test]
     fn widen_preserves_kept_loop_vars() {
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real a(n,n) distribute (block,block)
@@ -202,7 +200,8 @@ do t1 = 1, 8
     a(i, 1:n) = a(i-1, 1:n)
   enddo
 enddo
-end");
+end",
+        );
         let acc = read_acc(&p, StmtId(0), 0);
         let chain = p.stmt_loop_chain(StmtId(0));
         // Keep the timestep loop (level 1), widen the i loop only.
@@ -218,7 +217,8 @@ end");
 
     #[test]
     fn widen_keeps_stride_of_strided_loop() {
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real b(n,n), c(n,n) distribute (block,block)
@@ -227,7 +227,8 @@ do i = 2, n
     c(i, j) = b(i - 1, j)
   enddo
 enddo
-end");
+end",
+        );
         let acc = read_acc(&p, StmtId(0), 0);
         let chain = p.stmt_loop_chain(StmtId(0));
         let s = widen_access(&p, &acc, &chain, 1); // widen j, keep i
@@ -250,14 +251,16 @@ end");
 
     #[test]
     fn widen_negative_coefficient() {
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real a(n,n) distribute (block,block)
 do i = 1, n
   a(i, 1) = a(n - i + 1, 1)
 enddo
-end");
+end",
+        );
         let acc = read_acc(&p, StmtId(0), 0);
         let chain = p.stmt_loop_chain(StmtId(0));
         let s = widen_access(&p, &acc, &chain, 0);
@@ -275,7 +278,8 @@ end");
     fn widen_triangular_bounds_through_outer_var() {
         // Inner loop bound depends on the outer var; widening both must
         // saturate through the chain.
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real a(n,n) distribute (block,block)
@@ -284,7 +288,8 @@ do i = 1, n
     a(i, j) = 0
   enddo
 enddo
-end");
+end",
+        );
         let lhs = p.stmt(StmtId(0)).kind.def().unwrap().clone();
         let chain = p.stmt_loop_chain(StmtId(0));
         let s = widen_access(&p, &lhs, &chain, 0);
@@ -300,7 +305,8 @@ end");
 
     #[test]
     fn widen_nonaffine_is_any() {
-        let p = prog("
+        let p = prog(
+            "
 program t
 param n
 real a(n,n), q(n,n) distribute (block,block)
@@ -309,7 +315,8 @@ do i = 1, n
     a(i, j) = q(i * j, j)
   enddo
 enddo
-end");
+end",
+        );
         let acc = read_acc(&p, StmtId(0), 0);
         let chain = p.stmt_loop_chain(StmtId(0));
         let s = widen_access(&p, &acc, &chain, 0);

@@ -21,14 +21,16 @@ fn def_use(p: &IrProgram, d: StmtId, u: StmtId, r: usize) -> (AccessRef, AccessR
 fn gcd_infeasible_strides() {
     // Writes even positions 2i, reads odd positions 2i+1 within the same
     // dimension: 2δ = 1 has no integer solution.
-    let p = prog("
+    let p = prog(
+        "
 program t
 param n
 real a(n + n, n) distribute (block,block)
 do i = 1, n
   a(2 * i, 1) = a(2 * i + 1, 1) * 0.5
 enddo
-end");
+end",
+    );
     let t = DepTest::new(&p);
     let (d, u) = def_use(&p, StmtId(0), StmtId(0), 0);
     let res = t.analyze(StmtId(0), &d, StmtId(0), &u);
@@ -38,7 +40,8 @@ end");
 #[test]
 fn symbolic_distance_is_conservative() {
     // Distance n is unknown at compile time: all directions stay possible.
-    let p = prog("
+    let p = prog(
+        "
 program t
 param n
 real a(3:n+n), c(3:n+n) distribute (block)
@@ -46,13 +49,17 @@ do i = 3, n
   a(i) = 1
   c(i) = a(i + n)
 enddo
-end");
+end",
+    );
     let t = DepTest::new(&p);
     let (d, u) = def_use(&p, StmtId(0), StmtId(1), 0);
     let res = t.analyze(StmtId(0), &d, StmtId(1), &u);
     assert!(res.possible);
     for dir in [Dir::Neg, Dir::Zero, Dir::Pos] {
-        assert!(res.allowed[0].contains(dir), "unknown distance keeps {dir:?}");
+        assert!(
+            res.allowed[0].contains(dir),
+            "unknown distance keeps {dir:?}"
+        );
     }
 }
 
@@ -60,7 +67,8 @@ end");
 fn coupled_subscript_gcd() {
     // a(2i + 4j) written, a(2i + 4j + 1) read: gcd(2,4) = 2 does not
     // divide 1 → no dependence.
-    let p = prog("
+    let p = prog(
+        "
 program t
 param n
 real a(9 * n) distribute (block)
@@ -71,7 +79,8 @@ do i = 1, n
     q(2 * i + 4 * j + 1) = a(2 * i + 4 * j + 1)
   enddo
 enddo
-end");
+end",
+    );
     let t = DepTest::new(&p);
     let (d, u) = def_use(&p, StmtId(0), StmtId(1), 0);
     let res = t.analyze(StmtId(0), &d, StmtId(1), &u);
@@ -82,7 +91,8 @@ end");
 fn window_dependence_bounded_distance() {
     // a(i..i+2) written, a(i-5..i-3) read: the values flow forward
     // with carried distance 3..5 — strictly positive, no Zero/Neg.
-    let p = prog("
+    let p = prog(
+        "
 program t
 param n
 real a(n + 9) distribute (block)
@@ -91,7 +101,8 @@ do i = 6, n
   a(i:i+2) = 1
   b(i) = a(i-5) + a(i-4) + a(i-3)
 enddo
-end");
+end",
+    );
     let t = DepTest::new(&p);
     let dacc = p.stmt(StmtId(0)).kind.def().unwrap().clone();
     for r in 0..3 {
@@ -107,7 +118,8 @@ end");
 #[test]
 fn dep_level_respects_outer_only_dependence() {
     // Inner loop j independent; outer loop i carries distance 1.
-    let p = prog("
+    let p = prog(
+        "
 program t
 param n
 real a(n,n) distribute (block,block)
@@ -116,7 +128,8 @@ do i = 2, n
     a(i, j) = a(i-1, j)
   enddo
 enddo
-end");
+end",
+    );
     let t = DepTest::new(&p);
     let (d, u) = def_use(&p, StmtId(0), StmtId(0), 0);
     assert_eq!(t.dep_level(StmtId(0), &d, StmtId(0), &u), 1);
@@ -126,7 +139,8 @@ end");
 
 #[test]
 fn inner_carried_dependence_at_level_two() {
-    let p = prog("
+    let p = prog(
+        "
 program t
 param n
 real a(n,n) distribute (block,block)
@@ -135,7 +149,8 @@ do i = 1, n
     a(i, j) = a(i, j-1)
   enddo
 enddo
-end");
+end",
+    );
     let t = DepTest::new(&p);
     let (d, u) = def_use(&p, StmtId(0), StmtId(0), 0);
     assert_eq!(t.dep_level(StmtId(0), &d, StmtId(0), &u), 2);
@@ -149,7 +164,8 @@ end");
 fn different_arrays_never_tested_here_but_disjoint_cols() {
     // Same array, disjoint column blocks: no dependence even across the
     // timestep loop.
-    let p = prog("
+    let p = prog(
+        "
 program t
 param n
 real a(n, 9) distribute (block, *)
@@ -158,7 +174,8 @@ do ts = 1, 10
   a(1:n, 1) = 1
   b(1:n, 1) = a(1:n, 2)
 enddo
-end");
+end",
+    );
     let t = DepTest::new(&p);
     let (d, u) = def_use(&p, StmtId(0), StmtId(1), 0);
     let res = t.analyze(StmtId(0), &d, StmtId(1), &u);
@@ -170,7 +187,8 @@ fn negative_step_loop_directions() {
     // Backward loop writing a(i) and reading a(i+1): the read sees the
     // value written by the *previous* iteration (which had larger i) —
     // a forward-carried dependence in iteration order.
-    let p = prog("
+    let p = prog(
+        "
 program t
 param n
 real a(n + 1), c(n + 1) distribute (block)
@@ -178,7 +196,8 @@ do i = n, 1, -1
   a(i) = 1
   c(i) = a(i + 1)
 enddo
-end");
+end",
+    );
     let t = DepTest::new(&p);
     let (d, u) = def_use(&p, StmtId(0), StmtId(1), 0);
     let res = t.analyze(StmtId(0), &d, StmtId(1), &u);

@@ -153,8 +153,7 @@ pub trait Monitor {
 
     /// Called immediately before a statement executes (after `at_pos` for
     /// its slot).
-    fn before_stmt(&mut self, prog: &IrProgram, st: &State, stmt: StmtId)
-        -> Result<(), ExecError>;
+    fn before_stmt(&mut self, prog: &IrProgram, st: &State, stmt: StmtId) -> Result<(), ExecError>;
 }
 
 /// A monitor that does nothing.
@@ -205,10 +204,7 @@ pub struct Interp<'a> {
 ///
 /// Returns [`ExecError`] on unbound parameters, out-of-bounds accesses,
 /// non-affine subscripts, or fuel exhaustion.
-pub fn interpret(
-    prog: &IrProgram,
-    params: &HashMap<String, i64>,
-) -> Result<FinalState, ExecError> {
+pub fn interpret(prog: &IrProgram, params: &HashMap<String, i64>) -> Result<FinalState, ExecError> {
     let mut it = Interp::new(prog, params)?;
     it.run(&mut NoMonitor)?;
     Ok(FinalState { state: it.st })
@@ -534,7 +530,8 @@ impl<'a> Interp<'a> {
                         .loops
                         .iter()
                         .enumerate()
-                        .map(|(i, li)| (li, LoopId(i as u32))).rfind(|(li, l)| li.var == r.array && self.st.loop_vals.contains_key(l))
+                        .map(|(i, li)| (li, LoopId(i as u32)))
+                        .rfind(|(li, l)| li.var == r.array && self.st.loop_vals.contains_key(l))
                     {
                         return Ok(self.st.loop_vals[&l] as f64);
                     }
@@ -708,10 +705,7 @@ mod tests {
     fn run(src: &str, params: &[(&str, i64)]) -> (IrProgram, FinalState) {
         let ast = gcomm_lang::parse_program(src).unwrap();
         let prog = gcomm_ir::lower(&ast).unwrap();
-        let map: HashMap<String, i64> = params
-            .iter()
-            .map(|(k, v)| (k.to_string(), *v))
-            .collect();
+        let map: HashMap<String, i64> = params.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         let fs = interpret(&prog, &map).unwrap();
         (prog, fs)
     }

@@ -259,12 +259,7 @@ impl<'a> Monitor for SchedMonitor<'a> {
         Ok(())
     }
 
-    fn before_stmt(
-        &mut self,
-        prog: &IrProgram,
-        st: &State,
-        stmt: StmtId,
-    ) -> Result<(), ExecError> {
+    fn before_stmt(&mut self, prog: &IrProgram, st: &State, stmt: StmtId) -> Result<(), ExecError> {
         let info = prog.stmt(stmt);
         let reads = info.kind.reads();
         let lhs = info.kind.def();
@@ -372,10 +367,7 @@ mod tests {
                     rep.ok(),
                     "{bench}:{routine} {strategy:?}: {} violations, first: {}",
                     rep.errors.len(),
-                    rep.errors
-                        .first()
-                        .map(|e| e.message.as_str())
-                        .unwrap_or("")
+                    rep.errors.first().map(|e| e.message.as_str()).unwrap_or("")
                 );
                 assert!(
                     rep.remote_elements_checked > 0,

@@ -47,9 +47,7 @@ pub fn cfg_dot(prog: &IrProgram) -> String {
                 (NodeKind::PreHeader(a), NodeKind::PostExit(b)) if a == b => {
                     " [style=dashed, label=\"zero-trip\"]"
                 }
-                (_, NodeKind::Header(l))
-                    if prog.loop_info(l).preheader != id =>
-                {
+                (_, NodeKind::Header(l)) if prog.loop_info(l).preheader != id => {
                     " [style=bold, label=\"back\"]"
                 }
                 _ => "",
@@ -117,11 +115,7 @@ end";
         let d = dom_dot(&p, &dt);
         // Every reachable non-entry node has exactly one parent edge.
         let edges = d.matches(" -> ").count();
-        let nodes = p
-            .cfg
-            .node_ids()
-            .filter(|&n| dt.is_reachable(n))
-            .count();
+        let nodes = p.cfg.node_ids().filter(|&n| dt.is_reachable(n)).count();
         assert_eq!(edges, nodes - 1);
     }
 }

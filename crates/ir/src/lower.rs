@@ -12,26 +12,82 @@ use crate::program::{
     StmtKind, SubscriptIr,
 };
 
-/// An error raised during lowering.
+/// An error raised during lowering, carrying the source line where known
+/// (`line == 0` means no specific location — e.g. a declaration).
+///
+/// Every variant is a *user-input* condition: lowering never panics on any
+/// parsed program, it reports one of these instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LowerError {
-    /// Description of the problem.
-    pub message: String,
+pub enum LowerError {
+    /// A declared array bound is not affine in the parameters.
+    NonAffineBound {
+        /// Array whose declaration is at fault.
+        array: String,
+    },
+    /// A loop bound is not affine in parameters and enclosing loop
+    /// variables.
+    NonAffineLoopBound {
+        /// Loop variable.
+        var: String,
+        /// Which bound.
+        which: &'static str,
+    },
+    /// A reference names an array that was never declared.
+    UnknownArray {
+        /// The undeclared name.
+        array: String,
+        /// Source line of the reference (0 if unknown).
+        line: u32,
+    },
+    /// A reference subscripts an array with more subscripts than its
+    /// declared rank.
+    RankMismatch {
+        /// Array name.
+        array: String,
+        /// Declared rank.
+        rank: usize,
+        /// Subscripts supplied.
+        subs: usize,
+        /// Source line of the reference (0 if unknown).
+        line: u32,
+    },
+}
+
+impl LowerError {
+    /// The 1-based source line the error points at, or 0 when it has no
+    /// specific location.
+    pub fn line(&self) -> u32 {
+        match self {
+            LowerError::NonAffineBound { .. } | LowerError::NonAffineLoopBound { .. } => 0,
+            LowerError::UnknownArray { line, .. } | LowerError::RankMismatch { line, .. } => *line,
+        }
+    }
 }
 
 impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.message)
+        if self.line() > 0 {
+            write!(f, "line {}: ", self.line())?;
+        }
+        match self {
+            LowerError::NonAffineBound { array } => {
+                write!(f, "array `{array}`: non-affine bound")
+            }
+            LowerError::NonAffineLoopBound { var, which } => {
+                write!(f, "loop `{var}`: non-affine {which} bound")
+            }
+            LowerError::UnknownArray { array, .. } => write!(f, "unknown array `{array}`"),
+            LowerError::RankMismatch {
+                array, rank, subs, ..
+            } => write!(
+                f,
+                "array `{array}` has rank {rank} but is subscripted with {subs} subscript(s)"
+            ),
+        }
     }
 }
 
 impl std::error::Error for LowerError {}
-
-impl LowerError {
-    fn new(m: impl Into<String>) -> Self {
-        LowerError { message: m.into() }
-    }
-}
 
 /// Lowers a validated AST program into the IR.
 ///
@@ -84,10 +140,14 @@ impl<'a> Lowerer<'a> {
             for d in &decl.dims {
                 let lo = this
                     .param_affine(&d.lo)
-                    .ok_or_else(|| LowerError::new(format!("array `{}`: non-affine bound", decl.name)))?;
+                    .ok_or_else(|| LowerError::NonAffineBound {
+                        array: decl.name.clone(),
+                    })?;
                 let hi = this
                     .param_affine(&d.hi)
-                    .ok_or_else(|| LowerError::new(format!("array `{}`: non-affine bound", decl.name)))?;
+                    .ok_or_else(|| LowerError::NonAffineBound {
+                        array: decl.name.clone(),
+                    })?;
                 dims.push((lo, hi));
             }
             let id = ArrayId(this.array_infos.len() as u32);
@@ -161,7 +221,7 @@ impl<'a> Lowerer<'a> {
     }
 
     fn lower_assign(&mut self, a: &Assign) -> Result<(), LowerError> {
-        let lhs = self.lower_ref(&a.lhs)?;
+        let lhs = self.lower_ref(&a.lhs, a.line)?;
         let mut reads = Vec::new();
         let mut err = None;
         let mut flops = 0u32;
@@ -178,7 +238,7 @@ impl<'a> Lowerer<'a> {
             {
                 return;
             }
-            match self.lower_ref(r) {
+            match self.lower_ref(r, a.line) {
                 Ok(access) => reads.push(Read {
                     access,
                     reduction: in_sum,
@@ -190,7 +250,15 @@ impl<'a> Lowerer<'a> {
             return Err(e);
         }
         let rhs = a.rhs.clone();
-        self.push_stmt(StmtKind::Assign { lhs, reads, flops, rhs }, a.line);
+        self.push_stmt(
+            StmtKind::Assign {
+                lhs,
+                reads,
+                flops,
+                rhs,
+            },
+            a.line,
+        );
         Ok(())
     }
 
@@ -199,14 +267,24 @@ impl<'a> Lowerer<'a> {
         let outer_level = self.cur_level();
         let lo = self
             .affine(&d.lo)
-            .ok_or_else(|| LowerError::new(format!("loop `{}`: non-affine lower bound", d.var)))?;
+            .ok_or_else(|| LowerError::NonAffineLoopBound {
+                var: d.var.clone(),
+                which: "lower",
+            })?;
         let hi = self
             .affine(&d.hi)
-            .ok_or_else(|| LowerError::new(format!("loop `{}`: non-affine upper bound", d.var)))?;
+            .ok_or_else(|| LowerError::NonAffineLoopBound {
+                var: d.var.clone(),
+                which: "upper",
+            })?;
 
         let l = LoopId(self.loops.len() as u32);
-        let preheader = self.cfg.add_node(NodeKind::PreHeader(l), outer, outer_level);
-        let header = self.cfg.add_node(NodeKind::Header(l), Some(l), outer_level + 1);
+        let preheader = self
+            .cfg
+            .add_node(NodeKind::PreHeader(l), outer, outer_level);
+        let header = self
+            .cfg
+            .add_node(NodeKind::Header(l), Some(l), outer_level + 1);
         self.loops.push(LoopInfo {
             var: d.var.clone(),
             lo,
@@ -258,7 +336,7 @@ impl<'a> Lowerer<'a> {
             {
                 return;
             }
-            match self.lower_ref(r) {
+            match self.lower_ref(r, 0) {
                 Ok(access) => reads.push(Read {
                     access,
                     reduction: in_sum,
@@ -299,13 +377,27 @@ impl<'a> Lowerer<'a> {
         Ok(())
     }
 
-    fn lower_ref(&self, r: &ArrayRef) -> Result<AccessRef, LowerError> {
+    fn lower_ref(&self, r: &ArrayRef, line: u32) -> Result<AccessRef, LowerError> {
         let &array = self
             .arrays
             .get(&r.array)
-            .ok_or_else(|| LowerError::new(format!("unknown array `{}`", r.array)))?;
+            .ok_or_else(|| LowerError::UnknownArray {
+                array: r.array.clone(),
+                line,
+            })?;
         let info = &self.array_infos[array.0 as usize];
         let rank = info.rank();
+        if !r.subs.is_empty() && r.subs.len() != rank {
+            // Guard the `info.dims[i]` indexing below: a reference with more
+            // subscripts than the declared rank is user input, not an
+            // internal invariant.
+            return Err(LowerError::RankMismatch {
+                array: r.array.clone(),
+                rank,
+                subs: r.subs.len(),
+                line,
+            });
+        }
 
         let mut subs = Vec::with_capacity(rank);
         if r.subs.is_empty() {
@@ -619,6 +711,40 @@ end");
             _ => panic!(),
         }
         let _ = p;
+    }
+
+    #[test]
+    fn rank_mismatch_is_an_error_not_a_panic() {
+        // Bypass validation (which also catches this) to prove lowering
+        // itself guards the subscript indexing.
+        let src = "program t\nparam n\nreal a(n) distribute (block)\na(1, 2) = 0\nend";
+        let ast = gcomm_lang::Parser::new(src)
+            .unwrap()
+            .parse_program()
+            .unwrap();
+        let e = lower(&ast).unwrap_err();
+        match e {
+            LowerError::RankMismatch {
+                rank, subs, line, ..
+            } => {
+                assert_eq!((rank, subs), (1, 2));
+                assert_eq!(line, 4);
+            }
+            other => panic!("expected rank mismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_array_is_an_error_not_a_panic() {
+        let src = "program t\nq(1) = 1\nend";
+        let ast = gcomm_lang::Parser::new(src)
+            .unwrap()
+            .parse_program()
+            .unwrap();
+        let e = lower(&ast).unwrap_err();
+        assert!(matches!(e, LowerError::UnknownArray { .. }), "{e}");
+        assert_eq!(e.line(), 2);
+        assert!(e.to_string().contains("line 2"));
     }
 
     #[test]

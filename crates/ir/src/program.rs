@@ -290,10 +290,7 @@ impl IrProgram {
     pub fn cnl(&self, a: StmtId, b: StmtId) -> u32 {
         let ca = self.stmt_loop_chain(a);
         let cb = self.stmt_loop_chain(b);
-        ca.iter()
-            .zip(cb.iter())
-            .take_while(|(x, y)| x == y)
-            .count() as u32
+        ca.iter().zip(cb.iter()).take_while(|(x, y)| x == y).count() as u32
     }
 
     /// The chain of loops enclosing a CFG node, outermost first.
@@ -308,10 +305,7 @@ impl IrProgram {
     pub fn cnl_node_stmt(&self, n: NodeId, s: StmtId) -> u32 {
         let ca = self.node_loop_chain(n);
         let cb = self.stmt_loop_chain(s);
-        ca.iter()
-            .zip(cb.iter())
-            .take_while(|(x, y)| x == y)
-            .count() as u32
+        ca.iter().zip(cb.iter()).take_while(|(x, y)| x == y).count() as u32
     }
 
     /// The loop at `level` (1-based) in the chain enclosing statement `s`.

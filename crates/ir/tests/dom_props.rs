@@ -38,13 +38,11 @@ fn program_src() -> impl Strategy<Value = String> {
         Just("v0(2:n, 1:n) = v1(1:n-1, 1:n)\n".to_string()),
         Just("v1(1:n, 1:n) = v0(1:n, 1:n)\n".to_string()),
         Just("do i = 2, n\n  v0(i, 1:n) = v1(i-1, 1:n)\nenddo\n".to_string()),
+        Just("if (s > 0) then\n  v0(1:n, 1:n) = 1\nelse\n  v1(1:n, 1:n) = 2\nendif\n".to_string()),
+        Just("do i = 1, n\n  if (s > 0) then\n    v1(i, 1:n) = 0\n  endif\nenddo\n".to_string()),
         Just(
-            "if (s > 0) then\n  v0(1:n, 1:n) = 1\nelse\n  v1(1:n, 1:n) = 2\nendif\n".to_string()
+            "do i = 1, n\n  do j = 1, n, 2\n    v0(i, j) = v1(i, j)\n  enddo\nenddo\n".to_string()
         ),
-        Just(
-            "do i = 1, n\n  if (s > 0) then\n    v1(i, 1:n) = 0\n  endif\nenddo\n".to_string()
-        ),
-        Just("do i = 1, n\n  do j = 1, n, 2\n    v0(i, j) = v1(i, j)\n  enddo\nenddo\n".to_string()),
     ];
     prop::collection::vec(piece, 1..6).prop_map(|pieces| {
         format!(

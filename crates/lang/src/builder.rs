@@ -177,7 +177,9 @@ impl ProgramBuilder {
     }
 
     fn current_body(&mut self) -> &mut Vec<Stmt> {
-        self.open_bodies.last_mut().expect("builder has no open body")
+        self.open_bodies
+            .last_mut()
+            .expect("builder has no open body")
     }
 
     /// Finishes the program and validates it.

@@ -66,3 +66,28 @@ pub fn parse_program(src: &str) -> Result<Program, LangError> {
     validate::validate(&prog)?;
     Ok(prog)
 }
+
+/// Parses a program, recovering at statement boundaries to collect every
+/// independent syntax error instead of stopping at the first one. A clean
+/// parse is then validated (declared names, ranks, distribution arity).
+///
+/// # Errors
+///
+/// Returns all diagnostics found, each with a line number where available.
+pub fn parse_program_diagnostics(src: &str) -> Result<Program, Vec<LangError>> {
+    let mut parser = match Parser::new(src) {
+        Ok(p) => p,
+        Err(e) => return Err(vec![e]),
+    };
+    let (prog, mut errs) = parser.parse_program_recovering();
+    if errs.is_empty() {
+        if let Err(e) = validate::validate(&prog) {
+            errs.push(e);
+        }
+    }
+    if errs.is_empty() {
+        Ok(prog)
+    } else {
+        Err(errs)
+    }
+}

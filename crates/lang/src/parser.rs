@@ -152,6 +152,157 @@ impl Parser {
         Ok(prog)
     }
 
+    /// Parses a complete program while recovering from statement-level
+    /// errors: after each failed declaration or statement the parser
+    /// resynchronizes to the next newline and continues, so one pass
+    /// collects every independent syntax error. Returns the (possibly
+    /// partial) program and all diagnostics; an empty vector means a clean
+    /// parse.
+    ///
+    /// Error recovery is best-effort: an error inside a `do`/`if` body
+    /// abandons the enclosing construct, which may cascade into an
+    /// "unmatched `enddo`" follow-up. Diagnostics are capped at
+    /// [`Self::MAX_ERRORS`].
+    pub fn parse_program_recovering(&mut self) -> (Program, Vec<LangError>) {
+        let mut errs: Vec<LangError> = Vec::new();
+        let mut prog = Program::default();
+
+        self.skip_newlines();
+        match (|p: &mut Self| -> Result<String, LangError> {
+            p.expect(TokenKind::Program)?;
+            let name = p.expect_ident()?;
+            p.end_of_stmt()?;
+            Ok(name)
+        })(self)
+        {
+            Ok(name) => prog.name = name,
+            Err(e) => {
+                errs.push(e);
+                self.sync_to_newline();
+            }
+        }
+        self.skip_newlines();
+
+        loop {
+            let before = self.pos;
+            match self.peek() {
+                TokenKind::Param => {
+                    self.bump();
+                    let r = (|p: &mut Self| -> Result<Vec<String>, LangError> {
+                        let mut names = Vec::new();
+                        loop {
+                            names.push(p.expect_ident()?);
+                            if !p.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        p.end_of_stmt()?;
+                        Ok(names)
+                    })(self);
+                    match r {
+                        Ok(names) => prog.params.extend(names),
+                        Err(e) => {
+                            errs.push(e);
+                            self.sync_to_newline();
+                        }
+                    }
+                    self.skip_newlines();
+                }
+                TokenKind::Real => {
+                    self.bump();
+                    let r = (|p: &mut Self| -> Result<Vec<ArrayDecl>, LangError> {
+                        let decls = p.array_decl_group()?;
+                        p.end_of_stmt()?;
+                        Ok(decls)
+                    })(self);
+                    match r {
+                        Ok(decls) => prog.arrays.extend(decls),
+                        Err(e) => {
+                            errs.push(e);
+                            self.sync_to_newline();
+                        }
+                    }
+                    self.skip_newlines();
+                }
+                _ => break,
+            }
+            if self.pos == before && self.peek() == &TokenKind::Eof {
+                break;
+            }
+            if errs.len() >= Self::MAX_ERRORS {
+                return (prog, errs);
+            }
+        }
+
+        loop {
+            self.skip_newlines();
+            let before = self.pos;
+            let r = match self.peek() {
+                TokenKind::End | TokenKind::Eof => break,
+                TokenKind::EndDo | TokenKind::EndIf | TokenKind::Else => {
+                    errs.push(LangError::at(
+                        self.line(),
+                        format!("unmatched `{}`", self.peek()),
+                    ));
+                    self.bump();
+                    self.sync_to_newline();
+                    if errs.len() >= Self::MAX_ERRORS {
+                        return (prog, errs);
+                    }
+                    continue;
+                }
+                TokenKind::Do => self.do_loop(),
+                TokenKind::If => self.if_stmt(),
+                _ => self.assign(),
+            };
+            match r {
+                Ok(s) => prog.body.push(s),
+                Err(e) => {
+                    errs.push(e);
+                    self.sync_to_newline();
+                    if errs.len() >= Self::MAX_ERRORS {
+                        return (prog, errs);
+                    }
+                }
+            }
+            // Guarantee forward progress even on a zero-consumption error.
+            if self.pos == before {
+                if self.peek() == &TokenKind::Eof {
+                    break;
+                }
+                self.bump();
+            }
+        }
+
+        if let Err(e) = self.expect(TokenKind::End) {
+            errs.push(e);
+        } else {
+            if let TokenKind::Ident(_) | TokenKind::Program = self.peek() {
+                self.bump();
+            }
+            self.skip_newlines();
+            if self.peek() != &TokenKind::Eof {
+                errs.push(LangError::at(
+                    self.line(),
+                    format!("unexpected {} after `end`", self.peek()),
+                ));
+            }
+        }
+        (prog, errs)
+    }
+
+    /// Hard cap on diagnostics collected by
+    /// [`Self::parse_program_recovering`].
+    pub const MAX_ERRORS: usize = 20;
+
+    /// Skips to just past the next newline (or stops at end of input).
+    fn sync_to_newline(&mut self) {
+        while !matches!(self.peek(), TokenKind::Newline | TokenKind::Eof) {
+            self.bump();
+        }
+        self.eat(&TokenKind::Newline);
+    }
+
     /// `adecl ("," adecl)* ["distribute" "(" dist,... ")"]`
     fn array_decl_group(&mut self) -> Result<Vec<ArrayDecl>, LangError> {
         let mut decls = Vec::new();
@@ -391,7 +542,10 @@ impl Parser {
         if self.eat(&TokenKind::Colon) {
             step = self.const_int()?;
             if step == 0 {
-                return Err(LangError::at(self.line(), "section stride must be non-zero"));
+                return Err(LangError::at(
+                    self.line(),
+                    "section stride must be non-zero",
+                ));
             }
         }
         Ok(Subscript::Range { lo, hi, step })
@@ -521,8 +675,9 @@ mod tests {
 
     #[test]
     fn parses_bounds_declaration() {
-        let p = parse_program("program t\nparam n\nreal g(0:n+1, 1:n) distribute (block, block)\nend")
-            .unwrap();
+        let p =
+            parse_program("program t\nparam n\nreal g(0:n+1, 1:n) distribute (block, block)\nend")
+                .unwrap();
         let g = p.array("g").unwrap();
         assert_eq!(g.dims[0].lo, Expr::Int(0));
     }
@@ -618,9 +773,49 @@ end
     }
 
     #[test]
+    fn recovery_collects_multiple_errors() {
+        // Two independent bad statements plus one good one.
+        let src = "program t\nparam n\nreal a(n), c(n) distribute (block)\n\
+                   c(2:n) = a(1:n-1\nc(1) = 0\na(1) = = 2\nend";
+        let errs = crate::parse_program_diagnostics(src).unwrap_err();
+        assert!(errs.len() >= 2, "got {errs:?}");
+        assert!(errs.iter().all(|e| e.line > 0));
+    }
+
+    #[test]
+    fn recovery_matches_clean_parse_on_valid_input() {
+        let src = "program t\nparam n\nreal a(n), c(n) distribute (block)\nc(2:n) = a(1:n-1)\nend";
+        let p = crate::parse_program_diagnostics(src).unwrap();
+        let q = crate::parse_program(src).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn recovery_reports_unmatched_terminators() {
+        let errs = crate::parse_program_diagnostics("program t\nenddo\nend").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unmatched")));
+    }
+
+    #[test]
+    fn recovery_surfaces_validation_errors() {
+        let errs = crate::parse_program_diagnostics("program t\nq = 1\nend").unwrap_err();
+        assert_eq!(errs.len(), 1);
+    }
+
+    #[test]
+    fn recovery_caps_error_count() {
+        let mut src = String::from("program t\n");
+        for _ in 0..100 {
+            src.push_str("x = = 1\n");
+        }
+        src.push_str("end");
+        let errs = crate::parse_program_diagnostics(&src).unwrap_err();
+        assert!(errs.len() <= Parser::MAX_ERRORS);
+    }
+
+    #[test]
     fn precedence_mul_over_add() {
-        let p =
-            parse_program("program t\nreal s, q\ns = 1 + q * 2\nend").unwrap();
+        let p = parse_program("program t\nreal s, q\ns = 1 + q * 2\nend").unwrap();
         match &p.body[0] {
             Stmt::Assign(a) => match &a.rhs {
                 Expr::Bin(BinOp::Add, _, rhs) => {

@@ -122,8 +122,7 @@ fn scalarize_assign(prog: &Program, a: &Assign, counter: &mut usize) -> Option<S
         if r.subs.is_empty() {
             // Whole-array or scalar name: scalars are fine; whole arrays
             // would need rank checks — only allow rank 0 names here.
-            if prog.array(&r.array).map(|d| d.rank()) == Some(0) || prog.array(&r.array).is_none()
-            {
+            if prog.array(&r.array).map(|d| d.rank()) == Some(0) || prog.array(&r.array).is_none() {
                 return;
             }
             scalarizable = false;
@@ -233,11 +232,11 @@ fn scalarize_assign(prog: &Program, a: &Assign, counter: &mut usize) -> Option<S
     let new_rhs = rewrite_expr(&a.rhs, &rewrite_ref);
 
     // Build the loop nest, innermost = last range dimension.
-    let mut body = vec![Stmt::Assign(Assign {
+    let mut nest = Stmt::Assign(Assign {
         lhs: new_lhs,
         rhs: new_rhs,
         line: a.line,
-    })];
+    });
     for k in (0..lhs_trips.len()).rev() {
         let (_, t) = &lhs_trips[k];
         let (lo, hi, step) = if directions[k] >= 0 {
@@ -245,15 +244,15 @@ fn scalarize_assign(prog: &Program, a: &Assign, counter: &mut usize) -> Option<S
         } else {
             (t.hi.clone(), t.lo.clone(), -t.step)
         };
-        body = vec![Stmt::Do(DoLoop {
+        nest = Stmt::Do(DoLoop {
             var: vars[k].clone(),
             lo,
             hi,
             step,
-            body,
-        })];
+            body: vec![nest],
+        });
     }
-    Some(body.into_iter().next().expect("nest built"))
+    Some(nest)
 }
 
 /// Constant difference of two bound expressions, when syntactically

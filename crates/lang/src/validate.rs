@@ -40,7 +40,9 @@ impl<'a> Validator<'a> {
         let mut seen = HashSet::new();
         for p in &self.prog.params {
             if !seen.insert(p.as_str()) {
-                return Err(LangError::general(format!("duplicate declaration of `{p}`")));
+                return Err(LangError::general(format!(
+                    "duplicate declaration of `{p}`"
+                )));
             }
         }
         for a in &self.prog.arrays {
@@ -201,10 +203,7 @@ impl<'a> Validator<'a> {
                     }
                 } else {
                     let decl = self.prog.array(&r.array).ok_or_else(|| {
-                        LangError::at(
-                            line,
-                            format!("reference to undeclared array `{}`", r.array),
-                        )
+                        LangError::at(line, format!("reference to undeclared array `{}`", r.array))
                     })?;
                     self.check_ref_against(decl, r, line)
                 }

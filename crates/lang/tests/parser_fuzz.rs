@@ -1,0 +1,122 @@
+//! Fuzz-style property tests: the frontend must never panic, whatever
+//! bytes it is fed — it returns diagnostics instead. Covers raw random
+//! bytes, random token soup (keyword-dense input that gets much deeper
+//! into the parser), and mutated valid programs.
+
+use proptest::prelude::*;
+
+use gcomm_lang::{parse_program, parse_program_diagnostics};
+
+fn token_soup() -> BoxedStrategy<String> {
+    let word = prop::sample::select(vec![
+        "program",
+        "end",
+        "enddo",
+        "endif",
+        "do",
+        "if",
+        "then",
+        "else",
+        "param",
+        "real",
+        "distribute",
+        "align",
+        "block",
+        "cyclic",
+        "sum",
+        "n",
+        "a",
+        "x1",
+        "(",
+        ")",
+        ",",
+        ":",
+        "=",
+        "+",
+        "-",
+        "*",
+        "/",
+        "<",
+        ">",
+        "<=",
+        ">=",
+        "==",
+        "!=",
+        "1",
+        "42",
+        "-3",
+        "2.5",
+        "\n",
+        "  ",
+        "!",
+        "@",
+    ]);
+    prop::collection::vec(word, 0..60)
+        .prop_map(|ws| {
+            ws.iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .boxed()
+}
+
+const SEED_PROGRAM: &str = "program t
+param n
+real a(n,n), b(n,n) distribute (block, block)
+do i = 2, n
+  b(i, 1:n) = a(i-1, 1:n)
+enddo
+end";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = parse_program(&src);
+        let _ = parse_program_diagnostics(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(src in token_soup()) {
+        let _ = parse_program(&src);
+        let _ = parse_program_diagnostics(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_programs(
+        cut_at in 0usize..SEED_PROGRAM.len(),
+        insert_at in 0usize..SEED_PROGRAM.len(),
+        junk_bytes in prop::collection::vec(32u8..127, 0..10),
+    ) {
+        // Truncations and random splices of a valid program.
+        let truncated = &SEED_PROGRAM[..cut_at];
+        let _ = parse_program(truncated);
+        let _ = parse_program_diagnostics(truncated);
+
+        let junk = String::from_utf8_lossy(&junk_bytes).into_owned();
+        let mut spliced = String::with_capacity(SEED_PROGRAM.len() + junk.len());
+        spliced.push_str(&SEED_PROGRAM[..insert_at]);
+        spliced.push_str(&junk);
+        spliced.push_str(&SEED_PROGRAM[insert_at..]);
+        let _ = parse_program(&spliced);
+        let _ = parse_program_diagnostics(&spliced);
+    }
+
+    #[test]
+    fn diagnostics_agree_with_plain_parse_on_success(src in token_soup()) {
+        // Whenever the strict parser accepts, the recovering parser must
+        // accept with no diagnostics and produce the same program.
+        if let Ok(p) = parse_program(&src) {
+            match parse_program_diagnostics(&src) {
+                Ok(q) => prop_assert_eq!(p, q),
+                Err(errs) => prop_assert!(
+                    false,
+                    "recovering parser rejected input the strict parser accepts: {errs:?}"
+                ),
+            }
+        }
+    }
+}

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use gcomm_lang::{
-    parse_program, pretty::pretty, scalarize, ArrayRef, Assign, BinOp, DeclDim, Dist, DoLoop,
-    Expr, IfStmt, Program, Stmt, Subscript,
+    parse_program, pretty::pretty, scalarize, ArrayRef, Assign, BinOp, DeclDim, Dist, DoLoop, Expr,
+    IfStmt, Program, Stmt, Subscript,
 };
 
 const ARRAYS: [&str; 3] = ["aa", "bb", "cc"];
@@ -15,19 +15,19 @@ fn subscript(depth: u32) -> impl Strategy<Value = Subscript> {
     let idx = index_expr(depth);
     prop_oneof![
         idx.clone().prop_map(Subscript::Index),
-        (prop::option::of(idx.clone()), prop::option::of(idx), 1i64..=2).prop_map(
-            |(lo, hi, step)| Subscript::Range { lo, hi, step }
-        ),
+        (
+            prop::option::of(idx.clone()),
+            prop::option::of(idx),
+            1i64..=2
+        )
+            .prop_map(|(lo, hi, step)| Subscript::Range { lo, hi, step }),
     ]
 }
 
 fn index_expr(depth: u32) -> BoxedStrategy<Expr> {
     // Loop variables are deliberately excluded: the generated statements
     // may land outside the loop, where `ii` would be undeclared.
-    let leaf = prop_oneof![
-        (1i64..5).prop_map(Expr::Int),
-        Just(Expr::name("n")),
-    ];
+    let leaf = prop_oneof![(1i64..5).prop_map(Expr::Int), Just(Expr::name("n")),];
     if depth == 0 {
         return leaf.boxed();
     }
@@ -66,11 +66,7 @@ fn rhs_expr() -> impl Strategy<Value = Expr> {
         (1..100i64).prop_map(Expr::Int),
         (0.5f64..8.0).prop_map(Expr::Num),
         aref(),
-        (aref(), aref()).prop_map(|(a, b)| Expr::Bin(
-            BinOp::Mul,
-            Box::new(a),
-            Box::new(b)
-        )),
+        (aref(), aref()).prop_map(|(a, b)| Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))),
         aref().prop_map(|a| Expr::Neg(Box::new(a))),
     ]
 }

@@ -13,10 +13,8 @@
 //! the compiler uses the greedy heuristic of §4.7. This module provides the
 //! model itself so ablations can score schedules analytically.
 
-use serde::Serialize;
-
 /// Per-processor load of one communication pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProcLoad {
     /// Number of distinct partners the processor exchanges with.
     pub partners: u64,
@@ -25,7 +23,7 @@ pub struct ProcLoad {
 }
 
 /// A communication pattern: one load entry per processor.
-#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Pattern {
     /// Per-processor loads.
     pub loads: Vec<ProcLoad>,

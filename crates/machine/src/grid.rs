@@ -1,10 +1,8 @@
 //! Processor grids and block-distribution ownership arithmetic.
 
-use serde::Serialize;
-
 /// A rectangular processor grid (the HPF processors arrangement / template
 /// shape onto which distributed dimensions map).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProcGrid {
     /// Extent per grid axis.
     pub dims: Vec<u32>,

@@ -14,14 +14,21 @@
 //! * [`sim`] — a bulk-synchronous simulator executing a loop-structured
 //!   communication program and splitting time into compute and
 //!   communication, the quantities Figure 10 plots,
-//! * [`profile`] — the Figure-5 microbenchmark (bandwidth vs. buffer size).
+//! * [`profile`] — the Figure-5 microbenchmark (bandwidth vs. buffer size),
+//! * [`fault`] — seeded fault injection (message loss, link degradation,
+//!   stragglers) and the retry policy the simulator recovers with.
 
 pub mod cost;
+pub mod fault;
 pub mod grid;
 pub mod net;
 pub mod profile;
 pub mod sim;
 
+pub use fault::{FaultPlan, FaultSpecError, RetryPolicy};
 pub use grid::ProcGrid;
 pub use net::NetworkModel;
-pub use sim::{simulate, simulate_overlapped, CommPhase, CommProgram, Msg, MsgKind, OverlapResult, PhaseItem, SimResult};
+pub use sim::{
+    simulate, simulate_overlapped, simulate_with_faults, CommPhase, CommProgram, FaultStats, Msg,
+    MsgKind, OverlapResult, PhaseItem, SimReport, SimResult,
+};

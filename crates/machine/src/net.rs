@@ -7,15 +7,13 @@
 //! beyond — the cliff the paper's Figure 5 shows and that motivates the
 //! 20 KB combining threshold (§4.7).
 
-use serde::Serialize;
-
 /// A machine model: network, memory copy, and CPU parameters.
 ///
 /// Presets [`NetworkModel::sp2`] and [`NetworkModel::now_myrinet`] are
 /// calibrated to the qualitative features the paper reports: the SP2 has
 /// lower per-message overhead and higher bandwidth than the NOW (§5), and
 /// both amortize most startup cost well below the cache limit (§3).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkModel {
     /// Human-readable name.
     pub name: String,
@@ -110,6 +108,17 @@ impl NetworkModel {
             return 0.0;
         }
         bytes / self.bcopy_bw_mb(bytes)
+    }
+
+    /// A copy of this model with network bandwidth scaled down to
+    /// `factor` of its peak — a transiently degraded link. Startup cost
+    /// and local copy/compute parameters are unchanged.
+    pub fn degraded(&self, factor: f64) -> NetworkModel {
+        let f = factor.clamp(1e-6, 1.0);
+        NetworkModel {
+            peak_bw_mb: self.peak_bw_mb * f,
+            ..self.clone()
+        }
     }
 
     /// Time to compute `flops` floating-point operations streaming

@@ -6,12 +6,10 @@
 //! bandwidth. This module regenerates the same series from a
 //! [`NetworkModel`] (our synthetic stand-in for running the 1996 hardware).
 
-use serde::Serialize;
-
 use crate::net::NetworkModel;
 
 /// One row of the Figure-5 data: bandwidths at a given size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProfilePoint {
     /// Buffer / message size in bytes.
     pub bytes: u64,

@@ -1,0 +1,142 @@
+//! Property tests for the fault-injection simulator:
+//!
+//! * determinism — the same `FaultPlan` seed on the same program yields an
+//!   identical `SimReport`,
+//! * zero-fault regression — a quiet plan is bit-identical to the plain
+//!   simulator,
+//! * sanity — fault injection never makes communication cheaper, and never
+//!   touches compute time.
+
+use proptest::prelude::*;
+
+use gcomm_machine::{
+    simulate, simulate_with_faults, CommPhase, CommProgram, FaultPlan, Msg, MsgKind, NetworkModel,
+    PhaseItem,
+};
+
+fn msg_strategy() -> BoxedStrategy<Msg> {
+    (1u64..65536, 1u64..6, 1u64..8, any::<bool>())
+        .prop_map(|(bytes, rounds, pieces, p2p)| Msg {
+            bytes: bytes as f64,
+            rounds: if p2p { 1 } else { rounds },
+            kind: if p2p {
+                MsgKind::PointToPoint
+            } else {
+                MsgKind::Collective
+            },
+            pieces,
+        })
+        .boxed()
+}
+
+fn item_strategy() -> BoxedStrategy<PhaseItem> {
+    prop_oneof![
+        (1u64..100000, 1u64..100000).prop_map(|(flops, mem)| PhaseItem::Compute {
+            flops: flops as f64,
+            mem_bytes: mem as f64,
+        }),
+        prop::collection::vec(msg_strategy(), 1..4)
+            .prop_map(|msgs| PhaseItem::Comm(CommPhase { msgs })),
+        (1u64..8, prop::collection::vec(msg_strategy(), 1..3)).prop_map(|(trips, msgs)| {
+            PhaseItem::Loop {
+                trips,
+                body: vec![PhaseItem::Comm(CommPhase { msgs })],
+            }
+        }),
+    ]
+    .boxed()
+}
+
+fn prog_strategy() -> BoxedStrategy<CommProgram> {
+    prop::collection::vec(item_strategy(), 1..6)
+        .prop_map(|items| CommProgram {
+            name: "prop".into(),
+            items,
+        })
+        .boxed()
+}
+
+fn plan_strategy() -> BoxedStrategy<FaultPlan> {
+    (
+        any::<u64>(),
+        0u32..40,  // loss percent
+        0u32..50,  // degrade percent
+        1u32..10,  // degrade factor tenths
+        0u32..50,  // straggle percent
+        10u32..50, // straggle slowdown tenths
+        1u32..7,   // retries
+    )
+        .prop_map(|(seed, loss, dp, df, sp, ss, retries)| {
+            let mut plan = FaultPlan::with_loss(seed, loss as f64 / 100.0);
+            plan.degrade_prob = dp as f64 / 100.0;
+            plan.degrade_factor = df as f64 / 10.0;
+            plan.straggle_prob = sp as f64 / 100.0;
+            plan.straggle_slowdown = ss as f64 / 10.0;
+            plan.retry.max_attempts = retries;
+            plan
+        })
+        .boxed()
+}
+
+fn net_strategy() -> BoxedStrategy<NetworkModel> {
+    prop_oneof![Just(NetworkModel::sp2()), Just(NetworkModel::now_myrinet()),].boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn same_seed_yields_identical_report(
+        prog in prog_strategy(),
+        plan in plan_strategy(),
+        net in net_strategy(),
+    ) {
+        let a = simulate_with_faults(&prog, &net, &plan);
+        let b = simulate_with_faults(&prog, &net, &plan);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quiet_plan_matches_plain_simulator(
+        prog in prog_strategy(),
+        net in net_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // Any quiet plan, whatever its seed or retry settings, must take
+        // the closed-form path and reproduce simulate() bit for bit.
+        let mut plan = FaultPlan::quiet();
+        plan.seed = seed;
+        plan.retry.max_attempts = 1 + (seed % 7) as u32;
+        let rep = simulate_with_faults(&prog, &net, &plan);
+        let base = simulate(&prog, &net);
+        prop_assert_eq!(rep.result, base);
+        prop_assert!(rep.faults.is_clean());
+    }
+
+    #[test]
+    fn faults_never_make_runs_cheaper(
+        prog in prog_strategy(),
+        plan in plan_strategy(),
+        net in net_strategy(),
+    ) {
+        let clean = simulate(&prog, &net);
+        let faulty = simulate_with_faults(&prog, &net, &plan);
+        // Communication can only get slower; compute is untouched; traffic
+        // never shrinks (retransmissions only add bytes).
+        prop_assert!(faulty.result.comm_us >= clean.comm_us - 1e-9);
+        prop_assert!((faulty.result.compute_us - clean.compute_us).abs() < 1e-9);
+        prop_assert!(faulty.result.bytes >= clean.bytes - 1e-9);
+        prop_assert!(faulty.result.messages >= clean.messages);
+    }
+
+    #[test]
+    fn spec_roundtrip_preserves_quietness(
+        loss in 0u32..=100,
+        seed in any::<u64>(),
+    ) {
+        let spec = format!("seed={seed},loss={}", loss as f64 / 100.0);
+        let plan = FaultPlan::parse(&spec).unwrap();
+        prop_assert_eq!(plan.is_quiet(), loss == 0);
+        prop_assert_eq!(plan.seed, seed);
+    }
+}

@@ -1,0 +1,609 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The workspace's property tests were written against the real
+//! [`proptest`](https://crates.io/crates/proptest) API, but this build
+//! environment has no network access to crates.io, so this vendored shim
+//! implements exactly the API surface the tests use:
+//!
+//! * [`Strategy`](strategy::Strategy) with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive`, and `boxed`,
+//! * range strategies for the integer types and `f64`, tuple strategies up
+//!   to arity 8, [`Just`](strategy::Just), weighted [`prop_oneof!`],
+//! * `prop::collection::vec`, `prop::sample::select`, `prop::option::of`,
+//! * the [`proptest!`] test macro with `#![proptest_config(..)]`,
+//!   [`prop_assert!`], and [`prop_assert_eq!`].
+//!
+//! Differences from the real crate: generation is driven by a fixed-seed
+//! deterministic RNG keyed on the test name (every run explores the same
+//! cases), and there is **no shrinking** — a failing case reports the
+//! generated input verbatim. `proptest-regressions` files are ignored.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Per-test configuration (only `cases` is honoured by the shim).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A property failure raised by `prop_assert!` and friends.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        /// Human-readable failure description.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    /// Result type of a property body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `config.cases` generated cases of `body` over `strategy`,
+    /// panicking (like `#[test]` expects) on the first failing case.
+    pub fn run_cases<S, F>(config: &ProptestConfig, test_name: &str, strategy: &S, body: F)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: fmt::Debug,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut rng = TestRng::new(fnv1a(test_name));
+        for case in 0..config.cases {
+            let value = strategy.gen_value(&mut rng);
+            let mut shown = format!("{value:?}");
+            if shown.len() > 4096 {
+                let mut cut = 4096;
+                while !shown.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                shown.truncate(cut);
+                shown.push('…');
+            }
+            if let Err(e) = body(value) {
+                panic!(
+                    "property `{test_name}` failed at case {case}/{}: {e}\n  input: {shown}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values (the shim's notion of a proptest strategy).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized + 'static,
+            U: 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            BoxedStrategy::new(move |rng| f(self.gen_value(rng)))
+        }
+
+        /// Generates a value, then generates from the strategy it selects.
+        fn prop_flat_map<U, S2, F>(self, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized + 'static,
+            U: 'static,
+            S2: Strategy<Value = U>,
+            F: Fn(Self::Value) -> S2 + 'static,
+        {
+            BoxedStrategy::new(move |rng| f(self.gen_value(rng)).gen_value(rng))
+        }
+
+        /// Keeps only values satisfying `pred` (bounded retries; falls back
+        /// to the last draw if none satisfies it).
+        fn prop_filter<F>(self, _reason: &'static str, pred: F) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            BoxedStrategy::new(move |rng| {
+                let mut v = self.gen_value(rng);
+                for _ in 0..64 {
+                    if pred(&v) {
+                        break;
+                    }
+                    v = self.gen_value(rng);
+                }
+                v
+            })
+        }
+
+        /// Erases the strategy type (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy::new(move |rng| self.gen_value(rng))
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf case and `f`
+        /// wraps an inner strategy into the recursive case. `depth` bounds
+        /// the nesting; the size hints of the real API are accepted and
+        /// ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut cur = self.boxed();
+            for _ in 0..depth {
+                // Mix the shallower strategy back in so leaves appear at
+                // every level, not only at maximum depth.
+                cur = one_of(vec![(1, cur.clone()), (2, f(cur).boxed())]);
+            }
+            cur
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a generation function.
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy { gen: Rc::new(f) }
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1).max(1) as u64;
+                    (*self.start() as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $v:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A a)
+        (A a, B b)
+        (A a, B b, C c)
+        (A a, B b, C c, D d)
+        (A a, B b, C c, D d, E e)
+        (A a, B b, C c, D d, E e, F f)
+        (A a, B b, C c, D d, E e, F f, G g)
+        (A a, B b, C c, D d, E e, F f, G g, H h)
+    }
+
+    /// Weighted choice over boxed strategies (backs [`prop_oneof!`]).
+    pub fn one_of<T: 'static>(choices: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+        assert!(
+            !choices.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        let total: u64 = choices.iter().map(|&(w, _)| w as u64).sum();
+        BoxedStrategy::new(move |rng| {
+            let mut x = rng.below(total.max(1));
+            for (w, s) in &choices {
+                if x < *w as u64 {
+                    return s.gen_value(rng);
+                }
+                x -= *w as u64;
+            }
+            choices[choices.len() - 1].1.gen_value(rng)
+        })
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::BoxedStrategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Bias toward ASCII (the interesting range for text inputs),
+            // with occasional arbitrary scalar values.
+            if rng.below(4) > 0 {
+                (rng.below(0x80) as u8) as char
+            } else {
+                char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+            }
+        }
+    }
+
+    /// The canonical strategy of `T`.
+    pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+        BoxedStrategy::new(|rng| T::arbitrary(rng))
+    }
+}
+
+/// The `prop::` combinator namespace (`prop::collection::vec`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{BoxedStrategy, Strategy};
+
+        /// Inclusive size bounds of a generated collection.
+        pub trait SizeRange {
+            /// `(min, max)` inclusive.
+            fn size_bounds(&self) -> (usize, usize);
+        }
+
+        impl SizeRange for std::ops::Range<usize> {
+            fn size_bounds(&self) -> (usize, usize) {
+                (self.start, self.end.saturating_sub(1).max(self.start))
+            }
+        }
+
+        impl SizeRange for std::ops::RangeInclusive<usize> {
+            fn size_bounds(&self) -> (usize, usize) {
+                (*self.start(), *self.end())
+            }
+        }
+
+        impl SizeRange for usize {
+            fn size_bounds(&self) -> (usize, usize) {
+                (*self, *self)
+            }
+        }
+
+        /// A vector of `size` elements drawn from `elem`.
+        pub fn vec<S>(elem: S, size: impl SizeRange) -> BoxedStrategy<Vec<S::Value>>
+        where
+            S: Strategy + 'static,
+            S::Value: 'static,
+        {
+            let (lo, hi) = size.size_bounds();
+            BoxedStrategy::new(move |rng| {
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                (0..n).map(|_| elem.gen_value(rng)).collect()
+            })
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::BoxedStrategy;
+
+        /// Uniform choice from a fixed list.
+        pub fn select<T: Clone + 'static>(items: Vec<T>) -> BoxedStrategy<T> {
+            assert!(!items.is_empty(), "select needs at least one item");
+            BoxedStrategy::new(move |rng| items[rng.below(items.len() as u64) as usize].clone())
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::strategy::{BoxedStrategy, Strategy};
+
+        /// `Some` three times out of four, `None` otherwise.
+        pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+        where
+            S: Strategy + 'static,
+            S::Value: 'static,
+        {
+            BoxedStrategy::new(move |rng| {
+                if rng.below(4) < 3 {
+                    Some(inner.gen_value(rng))
+                } else {
+                    None
+                }
+            })
+        }
+    }
+}
+
+/// Declares property tests. Mirrors the real `proptest!` macro for the
+/// forms used in this workspace.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let __strategy = ($($strat,)+);
+                $crate::test_runner::run_cases(
+                    &__config,
+                    stringify!($name),
+                    &__strategy,
+                    |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing property when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $fmt:expr $(, $args:expr)* $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($fmt $(, $args)*),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $fmt:expr $(, $args:expr)* $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            concat!($fmt, "\n  left: `{:?}`\n right: `{:?}`")
+            $(, $args)*, __l, __r
+        );
+    }};
+}
+
+/// Weighted (or unweighted) choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(1);
+        for _ in 0..200 {
+            let v = (-3i64..5).gen_value(&mut rng);
+            assert!((-3..5).contains(&v));
+            let w = (2usize..=4).gen_value(&mut rng);
+            assert!((2..=4).contains(&w));
+            let f = (0.5f64..8.0).gen_value(&mut rng);
+            assert!((0.5..8.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        let strat = prop::collection::vec((0i64..100, any::<bool>()), 1..8);
+        let mut a = crate::test_runner::TestRng::new(7);
+        let mut b = crate::test_runner::TestRng::new(7);
+        for _ in 0..50 {
+            assert_eq!(strat.gen_value(&mut a), strat.gen_value(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(v in prop::collection::vec(0i64..10, 0..5), b in any::<bool>()) {
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(b, b);
+            for x in &v {
+                prop_assert!((0..10).contains(x), "{} out of range", x);
+            }
+        }
+    }
+}

@@ -127,19 +127,30 @@ mod tests {
 
     #[test]
     fn nnc_detection() {
-        assert!(Mapping::Shift { offsets: vec![0, 1] }.is_nnc());
+        assert!(Mapping::Shift {
+            offsets: vec![0, 1]
+        }
+        .is_nnc());
         assert!(Mapping::Shift {
             offsets: vec![-1, 1]
         }
         .is_nnc());
-        assert!(!Mapping::Shift { offsets: vec![0, 0] }.is_nnc());
-        assert!(!Mapping::Shift { offsets: vec![2, 0] }.is_nnc());
+        assert!(!Mapping::Shift {
+            offsets: vec![0, 0]
+        }
+        .is_nnc());
+        assert!(!Mapping::Shift {
+            offsets: vec![2, 0]
+        }
+        .is_nnc());
         assert!(!Mapping::Local.is_nnc());
     }
 
     #[test]
     fn compatibility_rules() {
-        let e = Mapping::Shift { offsets: vec![0, 1] };
+        let e = Mapping::Shift {
+            offsets: vec![0, 1],
+        };
         let w = Mapping::Shift {
             offsets: vec![0, -1],
         };
@@ -154,7 +165,9 @@ mod tests {
 
     #[test]
     fn partner_counts() {
-        let shift = Mapping::Shift { offsets: vec![1, 0] };
+        let shift = Mapping::Shift {
+            offsets: vec![1, 0],
+        };
         assert_eq!(shift.partners(25), 1);
         let red = Mapping::Reduction { op: ReduceOp::Sum };
         assert_eq!(red.partners(8), 3);
@@ -167,7 +180,9 @@ mod tests {
     fn display_nonempty() {
         for m in [
             Mapping::Local,
-            Mapping::Shift { offsets: vec![1, -1] },
+            Mapping::Shift {
+                offsets: vec![1, -1],
+            },
             Mapping::Reduction { op: ReduceOp::Sum },
             Mapping::Broadcast,
             Mapping::ToConstant,

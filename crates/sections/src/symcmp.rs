@@ -151,7 +151,10 @@ mod tests {
     fn mixed_sign_params_undecidable() {
         let c = SymCtx::default();
         // n - m: sign unknown.
-        let e = Affine::new(0, [(Var::Param(ParamId(0)), 1), (Var::Param(ParamId(1)), -1)]);
+        let e = Affine::new(
+            0,
+            [(Var::Param(ParamId(0)), 1), (Var::Param(ParamId(1)), -1)],
+        );
         assert_eq!(c.cmp(&e, &Affine::constant(0)), None);
     }
 

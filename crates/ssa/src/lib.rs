@@ -259,7 +259,13 @@ impl<'a> Builder<'a> {
         }
     }
 
-    fn add_def(&mut self, var: ArrayId, kind: DefKind, node: NodeId, dom_prev: Option<DefId>) -> DefId {
+    fn add_def(
+        &mut self,
+        var: ArrayId,
+        kind: DefKind,
+        node: NodeId,
+        dom_prev: Option<DefId>,
+    ) -> DefId {
         let id = DefId(self.defs.len() as u32);
         self.defs.push(DefInfo {
             var,
@@ -338,7 +344,11 @@ impl<'a> Builder<'a> {
             let preds = prog.cfg.node(node).preds.clone();
             let pred_idx = preds.iter().position(|&p| p == pred).unwrap_or(0);
             match &mut self.defs[phi.0 as usize].kind {
-                DefKind::PhiEnter { in_loop, r_pre, r_post } => {
+                DefKind::PhiEnter {
+                    in_loop,
+                    r_pre,
+                    r_post,
+                } => {
                     // The preheader predecessor supplies r_pre; the backedge
                     // (a node inside the loop) supplies r_post.
                     let li = prog.loop_info(*in_loop);
@@ -354,7 +364,10 @@ impl<'a> Builder<'a> {
                     }
                     args[pred_idx] = incoming;
                 }
-                _ => unreachable!("phi arg for non-phi def"),
+                // A non-phi def can only land here through an internal
+                // bookkeeping bug; dropping the argument degrades the SSA
+                // form instead of aborting the compiler.
+                _ => {}
             }
         }
         // Drop unfilled placeholder args (unreachable predecessor edges).
@@ -370,6 +383,16 @@ impl<'a> Builder<'a> {
             phis_by_node: self.phis_by_node,
             entry_defs: self.entry_defs,
         }
+    }
+
+    /// Current top-of-stack definition for `var`, falling back to the
+    /// array's entry definition if the rename stack was over-popped (an
+    /// internal inconsistency that must not abort compilation).
+    fn top_def(&self, var: ArrayId) -> DefId {
+        self.stacks[var.0 as usize]
+            .last()
+            .copied()
+            .unwrap_or(self.entry_defs[var.0 as usize])
     }
 
     fn rename(&mut self, root: NodeId) {
@@ -396,7 +419,7 @@ impl<'a> Builder<'a> {
                         .iter()
                     {
                         let var = self.defs[phi.0 as usize].var;
-                        let top = *self.stacks[var.0 as usize].last().expect("entry def");
+                        let top = self.top_def(var);
                         self.defs[phi.0 as usize].dom_prev = Some(top);
                         self.stacks[var.0 as usize].push(phi);
                         pushes.push(var);
@@ -407,12 +430,12 @@ impl<'a> Builder<'a> {
                         let info = self.prog.stmt(sid);
                         for (i, read) in info.kind.reads().iter().enumerate() {
                             let var = read.access.array;
-                            let top = *self.stacks[var.0 as usize].last().expect("entry def");
+                            let top = self.top_def(var);
                             self.use_defs.insert((sid, i), top);
                         }
                         if let Some(lhs) = info.kind.def() {
                             let var = lhs.array;
-                            let prev = *self.stacks[var.0 as usize].last().expect("entry def");
+                            let prev = self.top_def(var);
                             let d = self.add_def(
                                 var,
                                 DefKind::Regular { stmt: sid, prev },
@@ -434,7 +457,7 @@ impl<'a> Builder<'a> {
                             .iter()
                         {
                             let var = self.defs[phi.0 as usize].var;
-                            let top = *self.stacks[var.0 as usize].last().expect("entry def");
+                            let top = self.top_def(var);
                             self.phi_args.push((phi, n, top));
                         }
                     }

@@ -1,0 +1,33 @@
+//! Prints a benchmark kernel's mini-HPF source to stdout, for piping into
+//! `gcommc`:
+//!
+//! ```text
+//! cargo run --example dump_kernel shallow | cargo run --bin gcommc -- --sim 512 -
+//! ```
+//!
+//! With no argument, lists the available kernel names.
+
+fn main() {
+    let want = std::env::args().nth(1);
+    let kernels = gcomm::kernels::all_kernels();
+    match want {
+        Some(name) => {
+            for (bench, routine, src) in &kernels {
+                if *bench == name || format!("{bench}:{routine}") == name {
+                    print!("{src}");
+                    return;
+                }
+            }
+            eprintln!("unknown kernel `{name}`; available:");
+            for (bench, routine, _) in &kernels {
+                eprintln!("  {bench}:{routine}");
+            }
+            std::process::exit(2);
+        }
+        None => {
+            for (bench, routine, _) in &kernels {
+                println!("{bench}:{routine}");
+            }
+        }
+    }
+}

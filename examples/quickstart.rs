@@ -22,7 +22,10 @@ end";
 
     for strategy in [Strategy::Original, Strategy::EarliestRE, Strategy::Global] {
         let compiled = compile(src, strategy)?;
-        println!("=== {strategy:?}: {} message(s) ===", compiled.static_messages());
+        println!(
+            "=== {strategy:?}: {} message(s) ===",
+            compiled.static_messages()
+        );
         print!("{}", compiled.report());
         println!();
     }

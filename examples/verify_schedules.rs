@@ -56,14 +56,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nfault injection: hoisting one shallow message above its defs ...");
     let mut c = compile(gcomm::kernels::SHALLOW, Strategy::Global)?;
     c.schedule.groups[0].pos = Pos::top(c.prog.cfg.entry);
-    let mut params: HashMap<String, i64> =
-        c.prog.params.iter().map(|p| (p.clone(), 8)).collect();
+    let mut params: HashMap<String, i64> = c.prog.params.iter().map(|p| (p.clone(), 8)).collect();
     params.insert("nsteps".into(), 2);
     let rep = verify_schedule(&c, &ProcGrid::balanced(4, 2), &params)?;
     println!(
         "verifier found {} violation(s); first: {}",
         rep.errors.len(),
-        rep.errors.first().map(|e| e.message.as_str()).unwrap_or("-")
+        rep.errors
+            .first()
+            .map(|e| e.message.as_str())
+            .unwrap_or("-")
     );
     assert!(!rep.ok());
     Ok(())

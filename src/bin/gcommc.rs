@@ -10,6 +10,8 @@
 //!   --dot-dom                    print the dominator tree as DOT
 //!   --verify                     dynamically verify the schedule (n = 8)
 //!   --sim <n>                    simulate at size n on SP2 and NOW
+//!   --faults <spec>              inject faults into --sim runs, e.g.
+//!                                seed=42,loss=0.01,degrade=0.2:0.5,straggle=0.05:3
 //!   --entries                    list communication entries before placement
 //! ```
 //!
@@ -28,8 +30,8 @@ use std::io::Read as _;
 use std::process::ExitCode;
 
 use gcomm::core::{commgen, lower_to_sim, SimConfig};
-use gcomm::machine::{simulate, NetworkModel, ProcGrid};
-use gcomm::{compile, Strategy};
+use gcomm::machine::{simulate_with_faults, FaultPlan, NetworkModel, ProcGrid};
+use gcomm::{compile_diagnostics, Strategy};
 
 struct Opts {
     strategy: Strategy,
@@ -38,6 +40,7 @@ struct Opts {
     dot_dom: bool,
     verify: bool,
     sim: Option<i64>,
+    faults: FaultPlan,
     entries: bool,
     input: Option<String>,
 }
@@ -45,7 +48,7 @@ struct Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: gcommc [--strategy orig|nored|partial|comb] [--counts] [--dot-cfg] [--dot-dom] \
-         [--verify] [--sim <n>] [--entries] <file | ->"
+         [--verify] [--sim <n>] [--faults <spec>] [--entries] <file | ->"
     );
     std::process::exit(2);
 }
@@ -58,6 +61,7 @@ fn parse_args() -> Opts {
         dot_dom: false,
         verify: false,
         sim: None,
+        faults: FaultPlan::quiet(),
         entries: false,
         input: None,
     };
@@ -79,7 +83,21 @@ fn parse_args() -> Opts {
             "--verify" => o.verify = true,
             "--entries" => o.entries = true,
             "--sim" => {
-                o.sim = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+                o.sim = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--faults" => {
+                let Some(spec) = args.next() else { usage() };
+                o.faults = match FaultPlan::parse(&spec) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("gcommc: {e}");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--help" | "-h" => usage(),
             _ if o.input.is_none() => o.input = Some(a),
@@ -112,10 +130,14 @@ fn main() -> ExitCode {
         }
     };
 
-    let compiled = match compile(&src, opts.strategy) {
+    let compiled = match compile_diagnostics(&src, opts.strategy) {
         Ok(c) => c,
-        Err(e) => {
-            eprintln!("gcommc: {e}");
+        Err(errs) => {
+            let n = errs.len();
+            for e in errs {
+                eprintln!("gcommc: {e}");
+            }
+            eprintln!("gcommc: {n} error(s), no output");
             return ExitCode::FAILURE;
         }
     };
@@ -156,10 +178,14 @@ fn main() -> ExitCode {
             .max()
             .unwrap_or(1)
             .max(1);
-        for (p, net) in [(25u32, NetworkModel::sp2()), (8, NetworkModel::now_myrinet())] {
-            let cfg = SimConfig::uniform(&compiled, ProcGrid::balanced(p, rank), n)
-                .with("nsteps", 10);
-            let r = simulate(&lower_to_sim(&compiled, &cfg), &net);
+        for (p, net) in [
+            (25u32, NetworkModel::sp2()),
+            (8, NetworkModel::now_myrinet()),
+        ] {
+            let cfg =
+                SimConfig::uniform(&compiled, ProcGrid::balanced(p, rank), n).with("nsteps", 10);
+            let rep = simulate_with_faults(&lower_to_sim(&compiled, &cfg), &net, &opts.faults);
+            let r = rep.result;
             println!(
                 "{} P={p} n={n}: total {:.0} us (compute {:.0}, comm {:.0}, {} msgs, {:.0} B)",
                 net.name,
@@ -169,6 +195,20 @@ fn main() -> ExitCode {
                 r.messages,
                 r.bytes
             );
+            if !opts.faults.is_quiet() {
+                let f = rep.faults;
+                println!(
+                    "  faults: {} retransmitted rounds, {} timeouts, {:.0} us backoff, \
+                     {} fallbacks, {} giveups, {} degraded / {} straggled phases",
+                    f.retransmits,
+                    f.timeouts,
+                    f.backoff_us,
+                    f.fallbacks,
+                    f.giveups,
+                    f.degraded_phases,
+                    f.straggled_phases
+                );
+            }
         }
     }
 

@@ -38,8 +38,8 @@ pub use gcomm_machine as machine;
 pub use gcomm_sections as sections;
 pub use gcomm_ssa as ssa;
 
-pub use gcomm_core::{compile, CommKind, Strategy};
-pub use gcomm_lang::parse_program;
+pub use gcomm_core::{compile, compile_diagnostics, CommKind, Strategy};
+pub use gcomm_lang::{parse_program, parse_program_diagnostics};
 
 /// Convenience: compiles a kernel under all three strategies and returns
 /// the static message counts as `(orig, nored, comb)`.

@@ -58,8 +58,7 @@ fn chain_safe_without_subset_elimination() {
     let prog = gcomm::ir::lower(&ast).unwrap();
     let entries = commgen::number(commgen::generate(&prog));
     let ctx = AnalysisCtx::new(&prog);
-    let sched =
-        strategy::run_global_ablation(&ctx, entries, &CombinePolicy::default(), false);
+    let sched = strategy::run_global_ablation(&ctx, entries, &CombinePolicy::default(), false);
     for g in &sched.groups {
         for e in &sched.entries {
             let covered_by_group = sched

@@ -44,12 +44,7 @@ fn identical_subscripts_communicate_when_misaligned() {
     // template, so the read crosses processors.
     let c = compile(ALIGNED, Strategy::Global).unwrap();
     assert_eq!(c.static_messages(), 2, "{}", c.report());
-    let shifts: Vec<&Mapping> = c
-        .schedule
-        .groups
-        .iter()
-        .map(|g| &g.mapping)
-        .collect();
+    let shifts: Vec<&Mapping> = c.schedule.groups.iter().map(|g| &g.mapping).collect();
     assert!(shifts
         .iter()
         .all(|m| matches!(m, Mapping::Shift { offsets } if offsets.iter().any(|&o| o != 0))));

@@ -35,9 +35,8 @@ fn overlap_shrinks_the_benefit_of_combining() {
     let comb = programs(512, Strategy::Global);
 
     let eager_gain = 1.0 - simulate(&comb, &net).total_us() / simulate(&orig, &net).total_us();
-    let lazy_gain =
-        1.0 - simulate_overlapped(&comb, &net).total_us()
-            / simulate_overlapped(&orig, &net).total_us();
+    let lazy_gain = 1.0
+        - simulate_overlapped(&comb, &net).total_us() / simulate_overlapped(&orig, &net).total_us();
     assert!(
         lazy_gain <= eager_gain + 1e-9,
         "overlap must not increase the relative benefit (eager {eager_gain:.4}, lazy {lazy_gain:.4})"

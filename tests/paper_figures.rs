@@ -34,10 +34,7 @@ fn figure10_table_static_counts() {
 fn figure10_gravity_by_kind() {
     let src = gcomm::kernels::GRAVITY;
     let count = |s, k| compile(src, s).unwrap().schedule.count_kind(k);
-    for (kind, orig, nored, comb) in [
-        (CommKind::Nnc, 8, 8, 4),
-        (CommKind::Reduction, 8, 8, 2),
-    ] {
+    for (kind, orig, nored, comb) in [(CommKind::Nnc, 8, 8, 4), (CommKind::Reduction, 8, 8, 2)] {
         assert_eq!(count(Strategy::Original, kind), orig);
         assert_eq!(count(Strategy::EarliestRE, kind), nored);
         assert_eq!(count(Strategy::Global, kind), comb);

@@ -38,7 +38,12 @@ fn partial_re_reduces_volume_but_not_messages() {
     let partial = run(Strategy::EarliestPartialRE);
     let comb = run(Strategy::Global);
     // Volume: partial < plain earliest-RE.
-    assert!(partial.bytes < nored.bytes, "{} !< {}", partial.bytes, nored.bytes);
+    assert!(
+        partial.bytes < nored.bytes,
+        "{} !< {}",
+        partial.bytes,
+        nored.bytes
+    );
     // Messages: partial == plain; the global algorithm needs fewer — the
     // §4.6 argument that the global solution "reduces the communication
     // startup overhead" where partial RE only trims volume.
@@ -67,8 +72,7 @@ fn partial_re_schedules_verify_dynamically() {
         let mut params: HashMap<String, i64> =
             c.prog.params.iter().map(|p| (p.clone(), 8)).collect();
         params.insert("nsteps".into(), 2);
-        let rep =
-            gcomm_exec::verify_schedule(&c, &ProcGrid::balanced(4, rank), &params).unwrap();
+        let rep = gcomm_exec::verify_schedule(&c, &ProcGrid::balanced(4, rank), &params).unwrap();
         assert!(rep.ok(), "first: {:?}", rep.errors.first());
     }
 }

@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 
+use gcomm::compile;
 use gcomm::core::AnalysisCtx;
 use gcomm::ir::Pos;
-use gcomm::compile;
 use gcomm::Strategy as Opt;
 
 /// One random stencil statement: `LHS(sect) = Σ reads(sect shifted)`.
@@ -83,7 +83,10 @@ impl RandProgram {
 }
 
 fn rand_program() -> impl Strategy<Value = RandProgram> {
-    let stmt = (0usize..4, prop::collection::vec((0usize..4, -1i64..=1, -1i64..=1), 0..3))
+    let stmt = (
+        0usize..4,
+        prop::collection::vec((0usize..4, -1i64..=1, -1i64..=1), 0..3),
+    )
         .prop_map(|(lhs, reads)| RandStmt {
             lhs,
             reads,

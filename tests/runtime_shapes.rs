@@ -7,22 +7,78 @@ use gcomm::core::{lower_to_sim, SimConfig};
 use gcomm::machine::{simulate, NetworkModel, ProcGrid, SimResult};
 use gcomm::{compile, Strategy};
 
-fn run(src: &str, p: u32, axes: usize, n: i64, strategy: Strategy, net: &NetworkModel) -> SimResult {
+fn run(
+    src: &str,
+    p: u32,
+    axes: usize,
+    n: i64,
+    strategy: Strategy,
+    net: &NetworkModel,
+) -> SimResult {
     let c = compile(src, strategy).unwrap();
     let cfg = SimConfig::uniform(&c, ProcGrid::balanced(p, axes), n).with("nsteps", 10);
     simulate(&lower_to_sim(&c, &cfg), net)
 }
 
-type Panel = (&'static str, &'static str, u32, usize, Vec<i64>, NetworkModel);
+type Panel = (
+    &'static str,
+    &'static str,
+    u32,
+    usize,
+    Vec<i64>,
+    NetworkModel,
+);
 
 fn panels() -> Vec<Panel> {
     vec![
-        ("sp2-shallow", gcomm::kernels::SHALLOW, 25, 2, vec![128, 256, 512], NetworkModel::sp2()),
-        ("sp2-gravity", gcomm::kernels::GRAVITY, 25, 2, vec![100, 200, 325], NetworkModel::sp2()),
-        ("now-shallow", gcomm::kernels::SHALLOW, 8, 2, vec![400, 450, 500], NetworkModel::now_myrinet()),
-        ("now-gravity", gcomm::kernels::GRAVITY, 8, 2, vec![100, 174, 274], NetworkModel::now_myrinet()),
-        ("sp2-hydflo", gcomm::kernels::HYDFLO_FLUX, 25, 3, vec![28, 48, 64], NetworkModel::sp2()),
-        ("now-trimesh", gcomm::kernels::TRIMESH_NORMDOT, 8, 2, vec![192, 256, 320], NetworkModel::now_myrinet()),
+        (
+            "sp2-shallow",
+            gcomm::kernels::SHALLOW,
+            25,
+            2,
+            vec![128, 256, 512],
+            NetworkModel::sp2(),
+        ),
+        (
+            "sp2-gravity",
+            gcomm::kernels::GRAVITY,
+            25,
+            2,
+            vec![100, 200, 325],
+            NetworkModel::sp2(),
+        ),
+        (
+            "now-shallow",
+            gcomm::kernels::SHALLOW,
+            8,
+            2,
+            vec![400, 450, 500],
+            NetworkModel::now_myrinet(),
+        ),
+        (
+            "now-gravity",
+            gcomm::kernels::GRAVITY,
+            8,
+            2,
+            vec![100, 174, 274],
+            NetworkModel::now_myrinet(),
+        ),
+        (
+            "sp2-hydflo",
+            gcomm::kernels::HYDFLO_FLUX,
+            25,
+            3,
+            vec![28, 48, 64],
+            NetworkModel::sp2(),
+        ),
+        (
+            "now-trimesh",
+            gcomm::kernels::TRIMESH_NORMDOT,
+            8,
+            2,
+            vec![192, 256, 320],
+            NetworkModel::now_myrinet(),
+        ),
     ]
 }
 
