@@ -4,9 +4,12 @@
 //! global code motion heuristic). This ablation compares that order against
 //! least-constrained-first and plain program order on every kernel.
 
+use gcomm_bench::statscli::StatsOpts;
 use gcomm_core::{compile_with_policy, CombinePolicy, GreedyOrder, Strategy};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let _stats = StatsOpts::extract(&mut args).install();
     println!(
         "{:<10} {:<9} {:>16} {:>17} {:>14}",
         "Benchmark", "Routine", "most-constrained", "least-constrained", "program-order"

@@ -11,6 +11,8 @@ use std::time::Instant;
 use gcomm_core::{commgen, strategy, AnalysisCtx, CombinePolicy};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let _stats = gcomm_bench::statscli::StatsOpts::extract(&mut args).install();
     println!(
         "{:<10} {:<9} {:>9} {:>9} {:>12} {:>12}",
         "Benchmark", "Routine", "msgs(on)", "msgs(off)", "time on(us)", "time off(us)"

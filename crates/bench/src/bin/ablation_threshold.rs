@@ -39,6 +39,8 @@ fn run(src: &str, m: usize, threshold: u64) -> (usize, f64) {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let _stats = gcomm_bench::statscli::StatsOpts::extract(&mut args).install();
     let k = 8;
     let m = 16;
     let src = kernel(k, m);

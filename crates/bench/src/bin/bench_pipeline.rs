@@ -1,0 +1,50 @@
+//! Pipeline observability baseline: compiles every kernel under every
+//! strategy with stats collection on and emits per-kernel pass wall times
+//! and counters as JSON (the `BENCH_pipeline.json` artifact).
+//!
+//! Usage: `bench_pipeline [--out <path>]` (stdout by default).
+
+use gcomm_core::{compile_stats, Strategy};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next(),
+            _ => {
+                eprintln!("usage: bench_pipeline [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let strategies = [
+        ("orig", Strategy::Original),
+        ("nored", Strategy::EarliestRE),
+        ("comb", Strategy::Global),
+    ];
+    let mut items = Vec::new();
+    for (bench, routine, src) in gcomm_kernels::all_kernels() {
+        for (sname, strategy) in strategies {
+            let c = compile_stats(src, strategy).expect("kernel compiles");
+            items.push(format!(
+                "{{\"bench\":\"{bench}\",\"routine\":\"{routine}\",\
+                 \"strategy\":\"{sname}\",\"static_messages\":{},\"stats\":{}}}",
+                c.static_messages(),
+                c.stats.to_json()
+            ));
+        }
+    }
+    let doc = format!(
+        "{{\"schema\":\"gcomm-bench-pipeline/v1\",\"kernels\":[{}]}}",
+        items.join(",")
+    );
+    match out_path {
+        Some(p) => std::fs::write(&p, doc).unwrap_or_else(|e| {
+            eprintln!("bench_pipeline: {p}: {e}");
+            std::process::exit(1);
+        }),
+        None => println!("{doc}"),
+    }
+}

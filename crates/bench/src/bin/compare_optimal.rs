@@ -2,44 +2,24 @@
 //!
 //! Optimal candidate selection is NP-hard (Claim 6.1); this binary measures
 //! how far the §4.7 greedy lands from the true optimum on procedures small
-//! enough to enumerate, scoring both with the machine simulator.
+//! enough to enumerate, scoring both with the machine simulator. The
+//! enumeration budget defaults to the golden-file setting; pass
+//! `--budget <n>` for a deeper search.
 
-use gcomm_core::optimal::comm_cost;
-use gcomm_core::{compile, optimal_placement, CombinePolicy, SimConfig, Strategy};
-use gcomm_machine::{NetworkModel, ProcGrid};
+use gcomm_bench::{reports, statscli::StatsOpts};
 
 fn main() {
-    let cases: Vec<(&str, &str, usize)> = vec![
-        ("fig3-f90", gcomm_kernels::FIG3_F90, 2),
-        ("fig3-scalarized", gcomm_kernels::FIG3_SCALARIZED, 2),
-        ("fig4-running", gcomm_kernels::FIG4_RUNNING, 2),
-        ("trimesh-gauss", gcomm_kernels::TRIMESH_GAUSS, 2),
-        ("hydflo-hydro", gcomm_kernels::HYDFLO_HYDRO, 3),
-    ];
-    println!(
-        "{:<16} {:>10} {:>10} {:>8} {:>9} {:>10}",
-        "kernel", "greedy us", "best us", "gap", "tried", "exhausted"
-    );
-    for (name, src, axes) in cases {
-        let c = compile(src, Strategy::Global).expect("compiles");
-        let cfg = SimConfig::uniform(&c, ProcGrid::balanced(8, axes), 48).with("nsteps", 4);
-        let net = NetworkModel::sp2();
-        let greedy = comm_cost(&c, &cfg, &net);
-        let Some(opt) = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, 250_000)
-        else {
-            println!("{name:<16} (no communication)");
-            continue;
-        };
-        let gap = (greedy - opt.comm_us) / opt.comm_us * 100.0;
-        println!(
-            "{:<16} {:>10.1} {:>10.1} {:>+7.2}% {:>9} {:>10}",
-            name,
-            greedy,
-            opt.comm_us,
-            gap,
-            opt.tried,
-            if opt.truncated { "no" } else { "yes" }
-        );
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let _stats = StatsOpts::extract(&mut args).install();
+    let mut budget = reports::DEFAULT_OPTIMAL_BUDGET;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--budget" {
+            budget = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("usage: compare_optimal [--budget <n>]");
+                std::process::exit(2);
+            });
+        }
     }
-    println!("\ngap = greedy communication time above the best assignment found");
+    print!("{}", reports::compare_optimal_text(budget));
 }

@@ -4,11 +4,14 @@
 //! Usage: `cargo run -p gcomm-bench --bin fig5_network_profile [--json]`
 
 use gcomm_bench::json;
+use gcomm_bench::statscli::StatsOpts;
 use gcomm_machine::profile::{default_sizes, profile};
 use gcomm_machine::NetworkModel;
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let _stats = StatsOpts::extract(&mut args).install();
+    let json = args.iter().any(|a| a == "--json");
     let sizes = default_sizes();
     for net in [NetworkModel::sp2(), NetworkModel::now_myrinet()] {
         let pts = profile(&net, &sizes);

@@ -1,43 +1,9 @@
 //! Regenerates the static message count table (Figure 10, top).
-use gcomm_core::{compile, CommKind, Strategy};
+use gcomm_bench::{reports, statscli::StatsOpts};
 
 fn main() {
-    println!(
-        "{:<10} {:<9} {:<5} {:>6} {:>7} {:>6}",
-        "Benchmark", "Routine", "Type", "orig", "nored", "comb"
-    );
-    for (bench, routine, src) in gcomm_kernels::all_kernels() {
-        let orig = compile(src, Strategy::Original).expect("compile orig");
-        let nored = compile(src, Strategy::EarliestRE).expect("compile nored");
-        let comb = compile(src, Strategy::Global).expect("compile comb");
-        for (ty, kind) in [("NNC", CommKind::Nnc), ("SUM", CommKind::Reduction)] {
-            let o = orig.schedule.count_kind(kind);
-            if o == 0 {
-                continue;
-            }
-            println!(
-                "{:<10} {:<9} {:<5} {:>6} {:>7} {:>6}",
-                bench,
-                routine,
-                ty,
-                o,
-                nored.schedule.count_kind(kind),
-                comb.schedule.count_kind(kind)
-            );
-        }
-        let og = orig.schedule.count_kind(CommKind::General);
-        if og > 0 {
-            println!(
-                "{bench:<10} {routine:<9} GEN   {og:>6} {:>7} {:>6}",
-                nored.schedule.count_kind(CommKind::General),
-                comb.schedule.count_kind(CommKind::General)
-            );
-        }
-        if std::env::args().any(|a| a == "-v") {
-            println!(
-                "--- {bench}:{routine} global placement ---\n{}",
-                comb.report()
-            );
-        }
-    }
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let _stats = StatsOpts::extract(&mut args).install();
+    let verbose = args.iter().any(|a| a == "-v");
+    print!("{}", reports::table_static_counts_text(verbose));
 }

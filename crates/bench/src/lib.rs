@@ -263,6 +263,191 @@ pub mod json {
     }
 }
 
+/// Report generators shared by the benchmark binaries and the golden-file
+/// tests: each renders the exact text a `results/*.txt` artifact holds, so
+/// the tier-1 suite can detect drift by regenerating and comparing.
+pub mod reports {
+    use gcomm_core::optimal::comm_cost;
+    use gcomm_core::{compile, optimal_placement, CombinePolicy, CommKind, SimConfig, Strategy};
+    use gcomm_machine::{NetworkModel, ProcGrid};
+    use std::fmt::Write as _;
+
+    /// Default enumeration budget for [`compare_optimal_text`]: small
+    /// enough to regenerate in a debug-build test run, large enough to
+    /// exhaust every kernel but the two biggest (those report truncated
+    /// searches, seeded with the greedy schedule so the gap stays ≥ 0).
+    pub const DEFAULT_OPTIMAL_BUDGET: u64 = 20_000;
+
+    /// The static message count table (Figure 10, top; `-v` appends the
+    /// global placement report per kernel).
+    pub fn table_static_counts_text(verbose: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:<9} {:<5} {:>6} {:>7} {:>6}",
+            "Benchmark", "Routine", "Type", "orig", "nored", "comb"
+        );
+        for (bench, routine, src) in gcomm_kernels::all_kernels() {
+            let orig = compile(src, Strategy::Original).expect("compile orig");
+            let nored = compile(src, Strategy::EarliestRE).expect("compile nored");
+            let comb = compile(src, Strategy::Global).expect("compile comb");
+            for (ty, kind) in [("NNC", CommKind::Nnc), ("SUM", CommKind::Reduction)] {
+                let o = orig.schedule.count_kind(kind);
+                if o == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:<9} {:<5} {:>6} {:>7} {:>6}",
+                    bench,
+                    routine,
+                    ty,
+                    o,
+                    nored.schedule.count_kind(kind),
+                    comb.schedule.count_kind(kind)
+                );
+            }
+            let og = orig.schedule.count_kind(CommKind::General);
+            if og > 0 {
+                let _ = writeln!(
+                    out,
+                    "{bench:<10} {routine:<9} GEN   {og:>6} {:>7} {:>6}",
+                    nored.schedule.count_kind(CommKind::General),
+                    comb.schedule.count_kind(CommKind::General)
+                );
+            }
+            if verbose {
+                let _ = writeln!(
+                    out,
+                    "--- {bench}:{routine} global placement ---\n{}",
+                    comb.report()
+                );
+            }
+        }
+        out
+    }
+
+    /// The greedy-vs-optimal comparison table (§6.1 extension) under an
+    /// enumeration budget.
+    pub fn compare_optimal_text(budget: u64) -> String {
+        let cases: Vec<(&str, &str, usize)> = vec![
+            ("fig3-f90", gcomm_kernels::FIG3_F90, 2),
+            ("fig3-scalarized", gcomm_kernels::FIG3_SCALARIZED, 2),
+            ("fig4-running", gcomm_kernels::FIG4_RUNNING, 2),
+            ("trimesh-gauss", gcomm_kernels::TRIMESH_GAUSS, 2),
+            ("hydflo-hydro", gcomm_kernels::HYDFLO_HYDRO, 3),
+        ];
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>10} {:>8} {:>9} {:>10}",
+            "kernel", "greedy us", "best us", "gap", "tried", "exhausted"
+        );
+        for (name, src, axes) in cases {
+            let c = compile(src, Strategy::Global).expect("compiles");
+            let cfg = SimConfig::uniform(&c, ProcGrid::balanced(8, axes), 48).with("nsteps", 4);
+            let net = NetworkModel::sp2();
+            let greedy = comm_cost(&c, &cfg, &net);
+            let Some(opt) = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, budget)
+            else {
+                let _ = writeln!(out, "{name:<16} (no communication)");
+                continue;
+            };
+            let gap = (greedy - opt.comm_us) / opt.comm_us * 100.0;
+            let _ = writeln!(
+                out,
+                "{:<16} {:>10.1} {:>10.1} {:>+7.2}% {:>9} {:>10}",
+                name,
+                greedy,
+                opt.comm_us,
+                gap,
+                opt.tried,
+                if opt.truncated { "no" } else { "yes" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\ngap = greedy communication time above the best assignment found"
+        );
+        out
+    }
+}
+
+/// Shared `--stats` / `--stats-json <path>` handling for the benchmark
+/// binaries: strips the flags from an argument list, installs a collection
+/// registry when requested, and emits the report when dropped.
+pub mod statscli {
+    /// Stats options parsed out of a binary's argument list.
+    #[derive(Debug, Default)]
+    pub struct StatsOpts {
+        /// Print the human-readable table to stderr on completion.
+        pub text: bool,
+        /// Write the JSON report to this path on completion.
+        pub json_path: Option<String>,
+    }
+
+    impl StatsOpts {
+        /// Extracts `--stats` and `--stats-json <path>` from `args`,
+        /// removing them so the binary's own parsing never sees them.
+        pub fn extract(args: &mut Vec<String>) -> StatsOpts {
+            let mut opts = StatsOpts::default();
+            let mut kept = Vec::with_capacity(args.len());
+            let mut it = args.drain(..);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--stats" => opts.text = true,
+                    "--stats-json" => opts.json_path = it.next(),
+                    _ => kept.push(a),
+                }
+            }
+            drop(it);
+            *args = kept;
+            opts
+        }
+
+        /// True when any stats output was requested.
+        pub fn enabled(&self) -> bool {
+            self.text || self.json_path.is_some()
+        }
+
+        /// Installs a fresh registry scoped to the returned guard; `None`
+        /// when stats are off. Emission happens when the guard drops.
+        pub fn install(self) -> Option<StatsScope> {
+            if !self.enabled() {
+                return None;
+            }
+            let reg = gcomm_obs::Registry::new();
+            let scope = gcomm_obs::install(reg.clone());
+            Some(StatsScope {
+                opts: self,
+                reg,
+                _scope: scope,
+            })
+        }
+    }
+
+    /// Keeps stats collection active; renders the report on drop.
+    pub struct StatsScope {
+        opts: StatsOpts,
+        reg: gcomm_obs::Registry,
+        _scope: gcomm_obs::ScopeGuard,
+    }
+
+    impl Drop for StatsScope {
+        fn drop(&mut self) {
+            let report = self.reg.snapshot();
+            if self.opts.text {
+                eprint!("{}", report.render_text());
+            }
+            if let Some(path) = &self.opts.json_path {
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("stats: {path}: {e}");
+                }
+            }
+        }
+    }
+}
+
 /// The problem sizes the paper plots per (platform, benchmark).
 pub fn paper_sizes(platform: Platform, bench: &str) -> Vec<i64> {
     match (platform, bench) {

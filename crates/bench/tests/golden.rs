@@ -1,0 +1,66 @@
+//! Golden-file tests: regenerate the `results/*.txt` report artifacts and
+//! fail on any drift from the checked-in copies. To accept an intentional
+//! change, rerun with blessing enabled:
+//!
+//! ```text
+//! GCOMM_BLESS=1 cargo test -p gcomm-bench --test golden
+//! ```
+
+use std::path::PathBuf;
+
+use gcomm_bench::reports;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(name)
+}
+
+fn check_golden(name: &str, regenerated: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GCOMM_BLESS").is_some() {
+        std::fs::write(&path, regenerated).expect("write blessed golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} (run with GCOMM_BLESS=1 to create)", name));
+    if golden != regenerated {
+        let diff: Vec<String> = golden
+            .lines()
+            .zip(regenerated.lines())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("  line {}:\n  - {a}\n  + {b}", i + 1))
+            .collect();
+        panic!(
+            "results/{name} drifted from the regenerated report \
+             (GCOMM_BLESS=1 to accept):\n{}{}",
+            diff.join("\n"),
+            if golden.lines().count() != regenerated.lines().count() {
+                format!(
+                    "\n  (line count {} -> {})",
+                    golden.lines().count(),
+                    regenerated.lines().count()
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+}
+
+#[test]
+fn table_static_counts_matches_golden() {
+    check_golden(
+        "table_static_counts.txt",
+        &reports::table_static_counts_text(false),
+    );
+}
+
+#[test]
+fn compare_optimal_matches_golden() {
+    check_golden(
+        "compare_optimal.txt",
+        &reports::compare_optimal_text(reports::DEFAULT_OPTIMAL_BUDGET),
+    );
+}

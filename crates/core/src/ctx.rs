@@ -23,8 +23,12 @@ pub struct AnalysisCtx<'a> {
 impl<'a> AnalysisCtx<'a> {
     /// Builds the context (dominators + SSA).
     pub fn new(prog: &'a IrProgram) -> Self {
+        let _s = gcomm_obs::span("core.analysis");
         let dt = DomTree::compute(&prog.cfg);
-        let ssa = SsaForm::build_with(prog, &dt);
+        let ssa = {
+            let _t = gcomm_obs::time("ssa.build");
+            SsaForm::build_with(prog, &dt)
+        };
         AnalysisCtx {
             prog,
             ssa,

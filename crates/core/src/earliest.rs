@@ -37,6 +37,7 @@ pub fn earliest_def_for_read(ctx: &AnalysisCtx<'_>, stmt: StmtId, idx: usize) ->
 
 /// The paper's `Test(d, u)` (Fig. 8b).
 pub fn test(ctx: &AnalysisCtx<'_>, d: DefId, u_stmt: StmtId, u_acc: &AccessRef) -> bool {
+    gcomm_obs::count("core.earliest.tests", 1);
     let info = ctx.ssa.def(d);
     match &info.kind {
         DefKind::Entry => true,

@@ -132,7 +132,9 @@ pub fn choose(
     table: &mut CandidateTable,
     policy: &CombinePolicy,
 ) -> Vec<PlacedGroup> {
+    let _s = gcomm_obs::span("core.greedy");
     let mut order: Vec<EntryId> = table.cands.keys().copied().collect();
+    gcomm_obs::count("core.greedy.rounds", order.len() as u64);
     match policy.order {
         GreedyOrder::MostConstrained => order.sort_by_key(|e| (table.cands[e].len(), *e)),
         GreedyOrder::LeastConstrained => {

@@ -74,7 +74,8 @@ pub use entry::{CommEntry, CommKind, EntryId};
 pub use greedy::{CombinePolicy, GreedyOrder};
 pub use optimal::{optimal_placement, OptimalResult};
 pub use pipeline::{
-    compile, compile_diagnostics, compile_program, compile_with_policy, Compiled, CoreError,
+    compile, compile_diagnostics, compile_program, compile_stats, compile_with_policy,
+    CompileStats, Compiled, CoreError, PassTimer,
 };
 pub use schedule::{PlacedGroup, Schedule};
 pub use strategy::Strategy;

@@ -93,10 +93,15 @@ pub fn optimal_placement(
             absorptions: absorptions.clone(),
             section_overrides: Vec::new(),
         },
+        stats: Default::default(),
     };
 
     let mut counters = vec![0usize; ids.len()];
-    let mut best: Option<(f64, Schedule)> = None;
+    // Seed the search with the input schedule so the result is never worse
+    // than what the caller already has, even when the budget truncates the
+    // enumeration (guarantees optimal ≤ greedy for differential tests).
+    let mut best: Option<(f64, Schedule)> =
+        Some((comm_cost(compiled, cfg, net), compiled.schedule.clone()));
     let mut tried: u64 = 0;
 
     loop {

@@ -10,15 +10,66 @@ use crate::greedy::CombinePolicy;
 use crate::schedule::Schedule;
 use crate::strategy::{self, Strategy};
 
+/// Per-compile observability snapshot: pass wall times, dataflow iteration
+/// counts, and placement decision counters (see `gcomm_obs` and DESIGN.md
+/// §9). Empty unless stats collection was active during the compile
+/// ([`compile_stats`], or a caller-installed `gcomm_obs` registry).
+pub type CompileStats = gcomm_obs::StatsReport;
+
+/// RAII wall-clock timer for one named compiler pass: opens a `gcomm_obs`
+/// span on construction and closes it on drop. A no-op (and free apart
+/// from one thread-local read) when no stats registry is installed.
+///
+/// This is the hook the pipeline itself uses around each stage; external
+/// drivers can use it to time their own phases into the same report.
+#[derive(Debug)]
+pub struct PassTimer {
+    _span: gcomm_obs::SpanGuard,
+}
+
+impl PassTimer {
+    /// Starts timing a pass.
+    pub fn start(name: &str) -> Self {
+        PassTimer {
+            _span: gcomm_obs::span(name),
+        }
+    }
+}
+
 /// An error from any stage of the compilation pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoreError {
-    /// Description of the failure.
+    /// Description of the failure (no location prefix; see [`Self::line`]).
     pub message: String,
+    /// 1-based source line the error points at, or 0 when it has no
+    /// specific location. Preserved from the frontend (`LangError`) and
+    /// lowering (`LowerError`) so drivers can quote the offending line.
+    pub line: u32,
+}
+
+impl CoreError {
+    /// An error with no specific source location.
+    pub fn general(message: impl Into<String>) -> Self {
+        CoreError {
+            message: message.into(),
+            line: 0,
+        }
+    }
+
+    /// An error at a specific 1-based source line.
+    pub fn at(line: u32, message: impl Into<String>) -> Self {
+        CoreError {
+            message: message.into(),
+            line,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
         write!(f, "{}", self.message)
     }
 }
@@ -28,26 +79,44 @@ impl std::error::Error for CoreError {}
 impl From<gcomm_lang::LangError> for CoreError {
     fn from(e: gcomm_lang::LangError) -> Self {
         CoreError {
-            message: e.to_string(),
+            line: e.line,
+            message: e.message,
         }
     }
 }
 
 impl From<gcomm_ir::LowerError> for CoreError {
     fn from(e: gcomm_ir::LowerError) -> Self {
-        CoreError {
-            message: e.to_string(),
-        }
+        // `LowerError::Display` prefixes the line itself; strip it here so
+        // the structured `line` field is the single source of location.
+        let line = e.line();
+        let full = e.to_string();
+        let message = match full.strip_prefix(&format!("line {line}: ")) {
+            Some(rest) => rest.to_string(),
+            None => full,
+        };
+        CoreError { message, line }
     }
 }
 
 /// A compiled procedure: the lowered program plus its schedule.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the program and schedule only — `stats` carries wall
+/// times and is never part of a compiled artifact's identity.
+#[derive(Debug, Clone)]
 pub struct Compiled {
     /// The lowered program.
     pub prog: IrProgram,
     /// The placed communication schedule.
     pub schedule: Schedule,
+    /// Observability snapshot of this compile (empty when stats were off).
+    pub stats: CompileStats,
+}
+
+impl PartialEq for Compiled {
+    fn eq(&self, other: &Self) -> bool {
+        self.prog == other.prog && self.schedule == other.schedule
+    }
 }
 
 impl Compiled {
@@ -82,10 +151,33 @@ pub fn compile_with_policy(
     strategy: Strategy,
     policy: &CombinePolicy,
 ) -> Result<Compiled, CoreError> {
+    let _compile = PassTimer::start("core.compile");
     let ast = gcomm_lang::parse_program(src)?;
     let prog = gcomm_ir::lower(&ast)?;
     let schedule = compile_program(&prog, strategy, policy);
-    Ok(Compiled { prog, schedule })
+    let stats = gcomm_obs::current()
+        .map(|r| r.snapshot())
+        .unwrap_or_default();
+    Ok(Compiled {
+        prog,
+        schedule,
+        stats,
+    })
+}
+
+/// Compiles with stats collection forced on: installs a fresh per-thread
+/// `gcomm_obs` registry for the duration of the compile, so the returned
+/// [`Compiled::stats`] is populated even when the caller has none
+/// installed. The schedule is bit-identical to [`compile`]'s — collection
+/// never influences placement decisions.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on parse, validation, or lowering failure.
+pub fn compile_stats(src: &str, strategy: Strategy) -> Result<Compiled, CoreError> {
+    let reg = gcomm_obs::Registry::new();
+    let _scope = gcomm_obs::install(reg);
+    compile_with_policy(src, strategy, &CombinePolicy::default())
 }
 
 /// Compiles like [`compile`], but accumulates frontend diagnostics instead
@@ -101,14 +193,49 @@ pub fn compile_diagnostics(src: &str, strategy: Strategy) -> Result<Compiled, Ve
         .map_err(|errs| errs.into_iter().map(CoreError::from).collect::<Vec<_>>())?;
     let prog = gcomm_ir::lower(&ast).map_err(|e| vec![CoreError::from(e)])?;
     let schedule = compile_program(&prog, strategy, &CombinePolicy::default());
-    Ok(Compiled { prog, schedule })
+    let stats = gcomm_obs::current()
+        .map(|r| r.snapshot())
+        .unwrap_or_default();
+    Ok(Compiled {
+        prog,
+        schedule,
+        stats,
+    })
 }
 
 /// Runs a strategy over an already-lowered program.
 pub fn compile_program(prog: &IrProgram, strategy: Strategy, policy: &CombinePolicy) -> Schedule {
-    let entries = commgen::number(commgen::generate(prog));
+    let entries = {
+        let _s = gcomm_obs::span("core.commgen");
+        commgen::number(commgen::generate(prog))
+    };
     let ctx = AnalysisCtx::new(prog);
-    strategy::run_with_policy(&ctx, entries, strategy, policy)
+    let schedule = strategy::run_with_policy(&ctx, entries, strategy, policy);
+    record_entry_fates(&schedule);
+    schedule
+}
+
+/// Records the placement fate of every candidate entry: each entry is
+/// exactly one of placed (leads a group), combined away (rides in a group
+/// behind its leader), or redundant (absorbed by another entry's data).
+/// The partition `candidates == placed + redundant + combined_away` is the
+/// schedule-shape invariant the property tests check.
+fn record_entry_fates(schedule: &Schedule) {
+    if !gcomm_obs::enabled() {
+        return;
+    }
+    let candidates = schedule.entries.len() as u64;
+    let placed = schedule.groups.len() as u64;
+    let redundant = schedule.absorptions.len() as u64;
+    let combined_away: u64 = schedule
+        .groups
+        .iter()
+        .map(|g| g.entries.len() as u64 - 1)
+        .sum();
+    gcomm_obs::count("core.entries.candidates", candidates);
+    gcomm_obs::count("core.entries.placed", placed);
+    gcomm_obs::count("core.entries.redundant", redundant);
+    gcomm_obs::count("core.entries.combined_away", combined_away);
 }
 
 #[cfg(test)]
@@ -180,7 +307,31 @@ end";
                    a(2:n = 0\na(1) = = 1\nend";
         let errs = compile_diagnostics(src, Strategy::Global).unwrap_err();
         assert!(errs.len() >= 2, "got {errs:?}");
-        assert!(errs.iter().all(|e| e.message.contains("line")));
+        assert!(errs.iter().all(|e| e.line > 0), "got {errs:?}");
+        assert!(errs
+            .iter()
+            .all(|e| e.to_string().starts_with(&format!("line {}: ", e.line))));
+    }
+
+    #[test]
+    fn errors_carry_source_line() {
+        // `q = 1` on line 2 references an undeclared array.
+        let err = compile("program x\nq = 1\nend", Strategy::Global).unwrap_err();
+        assert_eq!(err.line, 2, "{err}");
+        assert!(!err.message.starts_with("line"), "{err:?}");
+    }
+
+    #[test]
+    fn compile_stats_populates_report_without_changing_schedule() {
+        let plain = compile(FIG4, Strategy::Global).unwrap();
+        let stats = compile_stats(FIG4, Strategy::Global).unwrap();
+        assert_eq!(plain, stats, "stats collection must not perturb placement");
+        assert!(plain.stats.passes().is_empty());
+        assert!(!stats.stats.passes().is_empty());
+        assert_eq!(stats.stats.counter("core.entries.candidates"), 4);
+        assert_eq!(stats.stats.counter("core.entries.placed"), 1);
+        assert_eq!(stats.stats.counter("core.entries.redundant"), 2);
+        assert_eq!(stats.stats.counter("core.entries.combined_away"), 1);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub fn eliminate(
     entries: &[CommEntry],
     table: &mut CandidateTable,
 ) -> Vec<Absorption> {
+    let _s = gcomm_obs::span("core.redundancy");
     let mut absorptions: Vec<Absorption> = Vec::new();
     // Per surviving entry: the uses (and level caps) of everything it has
     // absorbed, directly or transitively.
@@ -46,6 +47,7 @@ pub fn eliminate(
     let mut banned: std::collections::HashSet<(EntryId, EntryId)> =
         std::collections::HashSet::new();
     loop {
+        gcomm_obs::count("core.redundancy.checks", 1);
         let Some((winner, loser, at)) = find_pair(ctx, entries, table, &banned) else {
             return absorptions;
         };

@@ -218,10 +218,15 @@ fn global(
     subset_elim: bool,
 ) -> Schedule {
     let mut table = CandidateTable::default();
-    for e in &entries {
-        let ep = earliest_pos(ctx, e);
-        let lp = latest(ctx, e);
-        table.cands.insert(e.id, candidates(ctx, e, ep, lp));
+    {
+        let _s = gcomm_obs::span("core.candidates");
+        for e in &entries {
+            let ep = earliest_pos(ctx, e);
+            let lp = latest(ctx, e);
+            let cands = candidates(ctx, e, ep, lp);
+            gcomm_obs::count("core.candidate_positions", cands.len() as u64);
+            table.cands.insert(e.id, cands);
+        }
     }
     if subset_elim {
         subset_eliminate(&mut table, &ctx.dt);

@@ -45,6 +45,7 @@ impl CandidateTable {
 /// `CommSet`s only the latest (most dominated; ties broken by position
 /// order) survives.
 pub fn subset_eliminate(table: &mut CandidateTable, dt: &DomTree) {
+    let _s = gcomm_obs::span("core.subset");
     let sets = table.comm_sets();
     let positions: Vec<Pos> = sets.keys().copied().collect();
     let mut cleared: BTreeSet<Pos> = BTreeSet::new();
@@ -82,6 +83,7 @@ pub fn subset_eliminate(table: &mut CandidateTable, dt: &DomTree) {
         }
     }
 
+    gcomm_obs::count("core.subset.eliminated", cleared.len() as u64);
     for ps in table.cands.values_mut() {
         ps.retain(|p| !cleared.contains(p));
     }

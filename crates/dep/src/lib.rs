@@ -44,6 +44,8 @@ impl<'a> DepTest<'a> {
         u_stmt: StmtId,
         u_acc: &AccessRef,
     ) -> DepResult {
+        let _t = gcomm_obs::time("dep.query");
+        gcomm_obs::count("dep.queries", 1);
         direction::analyze(self.prog, d_stmt, d_acc, u_stmt, u_acc)
     }
 

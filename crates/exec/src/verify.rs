@@ -117,7 +117,16 @@ pub fn verify_schedule(
         report: VerifyReport::default(),
     };
     let mut it = Interp::new(prog, params)?;
-    it.run(&mut mon)?;
+    {
+        let _t = gcomm_obs::time("exec.verify");
+        it.run(&mut mon)?;
+    }
+    gcomm_obs::count("exec.verify.runs", 1);
+    gcomm_obs::count(
+        "exec.verify.remote_elements",
+        mon.report.remote_elements_checked,
+    );
+    gcomm_obs::count("exec.verify.violations", mon.report.errors.len() as u64);
     Ok(mon.report)
 }
 

@@ -26,6 +26,7 @@ pub struct DomTree {
 impl DomTree {
     /// Computes dominators and dominance frontiers for `cfg`.
     pub fn compute(cfg: &Cfg) -> Self {
+        let _t = gcomm_obs::time("ir.dom");
         let n = cfg.len();
         let rpo = cfg.reverse_postorder();
         let mut rpo_index = vec![usize::MAX; n];
@@ -54,6 +55,7 @@ impl DomTree {
 
         let mut changed = true;
         while changed {
+            gcomm_obs::count("ir.dom.iterations", 1);
             changed = false;
             for &node in rpo.iter().skip(1) {
                 let preds = &cfg.node(node).preds;

@@ -97,7 +97,17 @@ impl std::error::Error for LowerError {}
 /// (declared array bounds, loop bounds) is not, or on internal naming
 /// inconsistencies (which validation should have caught).
 pub fn lower(ast: &Program) -> Result<IrProgram, LowerError> {
-    Lowerer::new(ast)?.run()
+    let _t = gcomm_obs::time("ir.lower");
+    let prog = Lowerer::new(ast)?.run()?;
+    gcomm_obs::count("ir.cfg.nodes", prog.cfg.len() as u64);
+    gcomm_obs::count(
+        "ir.cfg.edges",
+        (0..prog.cfg.len())
+            .map(|i| prog.cfg.node(crate::cfg::NodeId(i as u32)).succs.len() as u64)
+            .sum(),
+    );
+    gcomm_obs::count("ir.stmts", prog.stmts.len() as u64);
+    Ok(prog)
 }
 
 struct Lowerer<'a> {

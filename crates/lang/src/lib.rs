@@ -62,7 +62,13 @@ pub use transform::{fuse_loops, scalarize};
 /// Returns [`LangError`] describing the first lexical, syntactic, or semantic
 /// problem encountered, with a line number where available.
 pub fn parse_program(src: &str) -> Result<Program, LangError> {
-    let prog = Parser::new(src)?.parse_program()?;
+    let _t = gcomm_obs::time("lang.parse");
+    let mut parser = Parser::new(src)?;
+    gcomm_obs::count("lang.tokens", parser.token_count() as u64);
+    let prog = parser.parse_program().inspect_err(|_| {
+        gcomm_obs::count("lang.parse_errors", 1);
+    })?;
+    gcomm_obs::count("lang.stmts", prog.stmt_count() as u64);
     validate::validate(&prog)?;
     Ok(prog)
 }
@@ -75,11 +81,18 @@ pub fn parse_program(src: &str) -> Result<Program, LangError> {
 ///
 /// Returns all diagnostics found, each with a line number where available.
 pub fn parse_program_diagnostics(src: &str) -> Result<Program, Vec<LangError>> {
+    let _t = gcomm_obs::time("lang.parse");
     let mut parser = match Parser::new(src) {
         Ok(p) => p,
-        Err(e) => return Err(vec![e]),
+        Err(e) => {
+            gcomm_obs::count("lang.parse_errors", 1);
+            return Err(vec![e]);
+        }
     };
+    gcomm_obs::count("lang.tokens", parser.token_count() as u64);
     let (prog, mut errs) = parser.parse_program_recovering();
+    gcomm_obs::count("lang.stmts", prog.stmt_count() as u64);
+    gcomm_obs::count("lang.parse_errors", errs.len() as u64);
     if errs.is_empty() {
         if let Err(e) = validate::validate(&prog) {
             errs.push(e);

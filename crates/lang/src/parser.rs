@@ -27,6 +27,11 @@ impl Parser {
         })
     }
 
+    /// Number of tokens produced by the lexer (including the end marker).
+    pub fn token_count(&self) -> usize {
+        self.toks.len()
+    }
+
     fn peek(&self) -> &TokenKind {
         &self.toks[self.pos].kind
     }

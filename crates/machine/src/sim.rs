@@ -120,8 +120,12 @@ impl SimResult {
 
 /// Executes `prog` on `net` and accumulates times.
 pub fn simulate(prog: &CommProgram, net: &NetworkModel) -> SimResult {
+    let _t = gcomm_obs::time("machine.simulate");
     let mut r = SimResult::default();
     sim_items(&prog.items, net, 1, &mut r);
+    gcomm_obs::count("machine.sim.runs", 1);
+    gcomm_obs::count("machine.sim.messages", r.messages);
+    gcomm_obs::count("machine.sim.comm_us", r.comm_us as u64);
     r
 }
 
@@ -284,9 +288,22 @@ pub fn simulate_with_faults(prog: &CommProgram, net: &NetworkModel, plan: &Fault
     if plan.is_quiet() {
         return SimReport::clean(simulate(prog, net));
     }
+    let _t = gcomm_obs::time("machine.simulate");
     let mut rng = Rng64::new(plan.seed);
     let mut rep = SimReport::default();
     fault_items(&prog.items, net, plan, &mut rng, &mut rep);
+    gcomm_obs::count("machine.sim.runs", 1);
+    gcomm_obs::count("machine.sim.messages", rep.result.messages);
+    gcomm_obs::count("machine.sim.comm_us", rep.result.comm_us as u64);
+    gcomm_obs::count("machine.fault.retransmits", rep.faults.retransmits);
+    gcomm_obs::count("machine.fault.timeouts", rep.faults.timeouts);
+    gcomm_obs::count("machine.fault.fallbacks", rep.faults.fallbacks);
+    gcomm_obs::count("machine.fault.giveups", rep.faults.giveups);
+    gcomm_obs::count("machine.fault.degraded_phases", rep.faults.degraded_phases);
+    gcomm_obs::count(
+        "machine.fault.straggled_phases",
+        rep.faults.straggled_phases,
+    );
     rep
 }
 

@@ -1,0 +1,772 @@
+//! # gcomm-obs — compiler-wide observability
+//!
+//! A zero-dependency span/counter/event subsystem for the gcomm pipeline.
+//! The paper's entire evaluation (Tables 2–4, Figures 5/10) is driven by
+//! counters — static/dynamic message counts, redundancy hits, combining
+//! decisions — so every stage of the compiler threads its decisions
+//! through this crate, and every binary can emit a structured report.
+//!
+//! Three primitives:
+//!
+//! * **Counters** — named, monotonically increasing [`AtomicU64`]s held in
+//!   a thread-safe [`Registry`]. Bumping a counter never changes program
+//!   behaviour; a run with stats enabled is bit-identical in its outputs
+//!   to a run without (a property test in the workspace proves this for
+//!   compiled schedules).
+//! * **Spans** — RAII wall-time intervals on the monotonic clock
+//!   ([`Instant`]), recorded with parent/depth links so nesting is
+//!   reconstructible. Raw records are capped (see [`SPAN_CAP`]); an
+//!   always-on aggregation (calls + total wall time per name) backs the
+//!   per-pass timing table regardless of the cap.
+//! * **Accumulating timers** — [`time`] guards for hot inner loops
+//!   (dependence queries, section algebra) that feed only the per-name
+//!   aggregation, never the raw span list.
+//!
+//! Collection is *opt-in per thread*: nothing is recorded unless a
+//! registry is [`install`]ed on the current thread, so library users and
+//! tests that never ask for stats pay one thread-local read per
+//! instrumentation point. The installed registry itself is fully
+//! thread-safe and may be shared across worker threads (each worker
+//! installs a clone of the same registry).
+//!
+//! ```
+//! let reg = gcomm_obs::Registry::new();
+//! {
+//!     let _scope = gcomm_obs::install(reg.clone());
+//!     let _pass = gcomm_obs::span("demo.pass");
+//!     gcomm_obs::count("demo.widgets", 3);
+//! }
+//! let report = reg.snapshot();
+//! assert_eq!(report.counter("demo.widgets"), 3);
+//! assert_eq!(report.passes()[0].name, "demo.pass");
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Maximum raw span records kept per registry; closes beyond the cap are
+/// still aggregated into the per-pass table and counted under the
+/// `obs.spans.dropped` counter.
+pub const SPAN_CAP: usize = 4096;
+
+/// Counter names every full-pipeline report is expected to carry, one
+/// taxonomy entry per stage (DESIGN.md §9). Report emitters zero-fill
+/// these so downstream consumers can rely on the keys existing.
+pub const CANONICAL_COUNTERS: &[&str] = &[
+    // lang: frontend volume.
+    "lang.tokens",
+    "lang.stmts",
+    "lang.parse_errors",
+    // ir: lowering and control-flow analyses.
+    "ir.cfg.nodes",
+    "ir.cfg.edges",
+    "ir.dom.iterations",
+    // dep: dependence queries issued by the placement passes.
+    "dep.queries",
+    "dep.query.calls",
+    "dep.query.wall_ns",
+    // sections: ASD construction and the section algebra.
+    "sections.asd_built",
+    "sections.subsume_checks",
+    // core: per-entry placement fates (the partition invariant
+    // `candidates == placed + redundant + combined_away`) plus the
+    // dataflow/iteration counts of the individual passes.
+    "core.entries.candidates",
+    "core.entries.placed",
+    "core.entries.redundant",
+    "core.entries.combined_away",
+    "core.candidate_positions",
+    "core.earliest.tests",
+    "core.subset.eliminated",
+    "core.redundancy.checks",
+    "core.greedy.rounds",
+    // machine: dynamic simulation volume and the fault/retry path.
+    "machine.sim.runs",
+    "machine.sim.messages",
+    "machine.sim.comm_us",
+    "machine.fault.retransmits",
+    "machine.fault.timeouts",
+    "machine.fault.fallbacks",
+    "machine.fault.giveups",
+];
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct PassAgg {
+    calls: u64,
+    total_ns: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    spans: Mutex<Vec<SpanRecord>>,
+    passes: Mutex<BTreeMap<String, PassAgg>>,
+    events: Mutex<Vec<Event>>,
+    next_span_id: AtomicU64,
+    dropped_spans: AtomicU64,
+}
+
+/// A thread-safe collection point for counters, spans, and events.
+///
+/// Cheaply clonable (clones share the same storage); safe to share across
+/// threads.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry; its epoch (span time zero) is now.
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(Vec::new()),
+                passes: Mutex::new(BTreeMap::new()),
+                events: Mutex::new(Vec::new()),
+                next_span_id: AtomicU64::new(0),
+                dropped_spans: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The named counter's atomic cell, creating it at zero on first use.
+    pub fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.inner.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_string(), Arc::clone(&cell));
+        cell
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter_cell(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Appends an event.
+    pub fn push_event(&self, name: &str, detail: &str) {
+        let at_ns = self.inner.epoch.elapsed().as_nanos() as u64;
+        self.inner.events.lock().unwrap().push(Event {
+            name: name.to_string(),
+            detail: detail.to_string(),
+            at_ns,
+        });
+    }
+
+    fn record_span(&self, rec: SpanRecord) {
+        {
+            let mut agg = self.inner.passes.lock().unwrap();
+            let slot = agg.entry(rec.name.clone()).or_default();
+            slot.calls += 1;
+            slot.total_ns += rec.dur_ns;
+        }
+        let mut spans = self.inner.spans.lock().unwrap();
+        if spans.len() < SPAN_CAP {
+            spans.push(rec);
+        } else {
+            self.inner.dropped_spans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn record_timing(&self, name: &str, dur_ns: u64) {
+        let mut agg = self.inner.passes.lock().unwrap();
+        let slot = agg.entry(name.to_string()).or_default();
+        slot.calls += 1;
+        slot.total_ns += dur_ns;
+    }
+
+    /// Clears all recorded data (counters, spans, pass table, events).
+    pub fn reset(&self) {
+        for c in self.inner.counters.lock().unwrap().values() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.inner.spans.lock().unwrap().clear();
+        self.inner.passes.lock().unwrap().clear();
+        self.inner.events.lock().unwrap().clear();
+        self.inner.dropped_spans.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of everything recorded so far.
+    pub fn snapshot(&self) -> StatsReport {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let mut spans: Vec<SpanRecord> = self.inner.spans.lock().unwrap().clone();
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        let passes = self
+            .inner
+            .passes
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| PassStat {
+                name: k.clone(),
+                calls: v.calls,
+                total_ns: v.total_ns,
+            })
+            .collect();
+        StatsReport {
+            counters,
+            spans,
+            pass_table: passes,
+            events: self.inner.events.lock().unwrap().clone(),
+            dropped_spans: self.inner.dropped_spans.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local installation
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Registry>> = const { RefCell::new(Vec::new()) };
+    /// Open spans of this thread: `(span id, depth)`.
+    static OPEN: RefCell<Vec<(u64, u32)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs `reg` as the current thread's collection target until the
+/// returned guard drops (installations nest; the previous target is
+/// restored).
+#[must_use = "collection stops when the guard drops"]
+pub fn install(reg: Registry) -> ScopeGuard {
+    CURRENT.with(|c| c.borrow_mut().push(reg));
+    ScopeGuard { _priv: () }
+}
+
+/// Restores the previously installed registry (if any) on drop.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    _priv: (),
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// The registry currently installed on this thread, if any.
+pub fn current() -> Option<Registry> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+/// True when a registry is installed on this thread (collection is live).
+pub fn enabled() -> bool {
+    CURRENT.with(|c| !c.borrow().is_empty())
+}
+
+/// Adds `delta` to a counter on the current registry; no-op when none is
+/// installed.
+pub fn count(name: &str, delta: u64) {
+    if let Some(reg) = current() {
+        reg.add(name, delta);
+    }
+}
+
+/// Records an event on the current registry; no-op when none is installed.
+pub fn event(name: &str, detail: &str) {
+    if let Some(reg) = current() {
+        reg.push_event(name, detail);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans and timers
+// ---------------------------------------------------------------------------
+
+/// One closed span: a wall-time interval with its nesting links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the registry (allocation order).
+    pub id: u64,
+    /// Id of the enclosing span open on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Nesting depth (0 = top level).
+    pub depth: u32,
+    /// Span name (dotted stage-qualified, e.g. `core.greedy`).
+    pub name: String,
+    /// Start, nanoseconds since the registry epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A named point event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Event name.
+    pub name: String,
+    /// Free-form detail.
+    pub detail: String,
+    /// Nanoseconds since the registry epoch.
+    pub at_ns: u64,
+}
+
+/// Times a named span until dropped. No-op when no registry is installed.
+#[must_use = "the span closes when the guard drops"]
+pub fn span(name: &str) -> SpanGuard {
+    let Some(reg) = current() else {
+        return SpanGuard { open: None };
+    };
+    let id = reg.inner.next_span_id.fetch_add(1, Ordering::Relaxed);
+    let (parent, depth) = OPEN.with(|o| {
+        let mut o = o.borrow_mut();
+        let parent = o.last().map(|&(pid, _)| pid);
+        let depth = o.len() as u32;
+        o.push((id, depth));
+        (parent, depth)
+    });
+    SpanGuard {
+        open: Some(OpenSpan {
+            reg,
+            id,
+            parent,
+            depth,
+            name: name.to_string(),
+            started: Instant::now(),
+        }),
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    reg: Registry,
+    id: u64,
+    parent: Option<u64>,
+    depth: u32,
+    name: String,
+    started: Instant,
+}
+
+/// RAII guard returned by [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else { return };
+        let dur_ns = open.started.elapsed().as_nanos() as u64;
+        let start_ns = open.started.duration_since(open.reg.inner.epoch).as_nanos() as u64;
+        OPEN.with(|o| {
+            let mut o = o.borrow_mut();
+            if let Some(pos) = o.iter().rposition(|&(id, _)| id == open.id) {
+                o.truncate(pos);
+            }
+        });
+        open.reg.record_span(SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            depth: open.depth,
+            name: open.name,
+            start_ns,
+            dur_ns,
+        });
+    }
+}
+
+/// Starts an accumulating timer: on drop, adds one call and the elapsed
+/// nanoseconds to the per-pass aggregation under `name`, and bumps the
+/// `{name}.calls` / `{name}.wall_ns` counters. Never allocates a raw span
+/// record — safe for hot inner loops. No-op when no registry is installed.
+#[must_use = "the timer stops when the guard drops"]
+pub fn time(name: &'static str) -> TimeGuard {
+    let Some(reg) = current() else {
+        return TimeGuard { open: None };
+    };
+    TimeGuard {
+        open: Some((reg, name, Instant::now())),
+    }
+}
+
+/// RAII guard returned by [`time`].
+#[derive(Debug)]
+pub struct TimeGuard {
+    open: Option<(Registry, &'static str, Instant)>,
+}
+
+impl Drop for TimeGuard {
+    fn drop(&mut self) {
+        let Some((reg, name, started)) = self.open.take() else {
+            return;
+        };
+        let dur_ns = started.elapsed().as_nanos() as u64;
+        reg.record_timing(name, dur_ns);
+        reg.add(&format!("{name}.calls"), 1);
+        reg.add(&format!("{name}.wall_ns"), dur_ns);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// Aggregated wall time of one named pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name.
+    pub name: String,
+    /// Number of completed spans/timers with this name.
+    pub calls: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// A point-in-time statistics snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Counter values, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Raw span records (bounded by [`SPAN_CAP`]), sorted by start time.
+    pub spans: Vec<SpanRecord>,
+    /// Aggregated per-pass wall times (spans + accumulating timers),
+    /// sorted by name.
+    pub pass_table: Vec<PassStat>,
+    /// Point events in record order.
+    pub events: Vec<Event>,
+    /// Span closes that exceeded [`SPAN_CAP`] and kept no raw record.
+    pub dropped_spans: u64,
+}
+
+impl StatsReport {
+    /// The value of a counter (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The aggregated pass table.
+    pub fn passes(&self) -> &[PassStat] {
+        &self.pass_table
+    }
+
+    /// Stage prefixes present (the part of each name before the first
+    /// `.`), across passes and counters.
+    pub fn stages(&self) -> Vec<String> {
+        let mut set: Vec<String> = Vec::new();
+        let mut add = |name: &str| {
+            let stage = name.split('.').next().unwrap_or(name).to_string();
+            if !set.contains(&stage) {
+                set.push(stage);
+            }
+        };
+        for p in &self.pass_table {
+            add(&p.name);
+        }
+        for k in self.counters.keys() {
+            add(k);
+        }
+        set.sort();
+        set
+    }
+
+    /// The report as a JSON object (hand-rolled; the build environment has
+    /// no serialization crates). Canonical taxonomy counters
+    /// ([`CANONICAL_COUNTERS`]) are zero-filled so every report carries
+    /// the full key set.
+    pub fn to_json(&self) -> String {
+        let mut counters: BTreeMap<&str, u64> =
+            CANONICAL_COUNTERS.iter().map(|&name| (name, 0)).collect();
+        for (k, v) in &self.counters {
+            counters.insert(k.as_str(), *v);
+        }
+        let mut out = String::from("{\"schema\":\"gcomm-obs/v1\",\"passes\":[");
+        for (i, p) in self.pass_table.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"calls\":{},\"wall_ns\":{}}}",
+                json_str(&p.name),
+                p.calls,
+                p.total_ns
+            );
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (k, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(k), v);
+        }
+        out.push_str("},\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"parent\":{},\"depth\":{},\"name\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+                s.id,
+                s.parent.map_or("null".to_string(), |p| p.to_string()),
+                s.depth,
+                json_str(&s.name),
+                s.start_ns,
+                s.dur_ns
+            );
+        }
+        out.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"detail\":{},\"at_ns\":{}}}",
+                json_str(&e.name),
+                json_str(&e.detail),
+                e.at_ns
+            );
+        }
+        let _ = write!(out, "],\"dropped_spans\":{}}}", self.dropped_spans);
+        out
+    }
+
+    /// A human-readable report: pass timing table, then counters.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<28} {:>8} {:>12}", "pass", "calls", "wall");
+        for p in &self.pass_table {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>12}",
+                p.name,
+                p.calls,
+                fmt_ns(p.total_ns)
+            );
+        }
+        let _ = writeln!(out, "{:<42} {:>10}", "counter", "value");
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k:<42} {v:>10}");
+        }
+        if self.dropped_spans > 0 {
+            let _ = writeln!(out, "({} span records dropped)", self.dropped_spans);
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1} us", ns as f64 / 1e3)
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_thread_records_nothing() {
+        assert!(!enabled());
+        count("x", 1);
+        let _s = span("y");
+        // Nothing to assert against — the calls must simply be no-ops.
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let reg = Registry::new();
+        {
+            let _g = install(reg.clone());
+            count("a.one", 2);
+            count("a.one", 3);
+            count("b.two", 1);
+        }
+        let rep = reg.snapshot();
+        assert_eq!(rep.counter("a.one"), 5);
+        assert_eq!(rep.counter("b.two"), 1);
+        assert_eq!(rep.counter("missing"), 0);
+    }
+
+    #[test]
+    fn spans_nest_with_parent_links() {
+        let reg = Registry::new();
+        {
+            let _g = install(reg.clone());
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+            {
+                let _inner2 = span("inner2");
+            }
+        }
+        let rep = reg.snapshot();
+        assert_eq!(rep.spans.len(), 3);
+        let outer = rep.spans.iter().find(|s| s.name == "outer").unwrap();
+        for name in ["inner", "inner2"] {
+            let s = rep.spans.iter().find(|s| s.name == name).unwrap();
+            assert_eq!(s.parent, Some(outer.id));
+            assert_eq!(s.depth, 1);
+            assert!(s.start_ns >= outer.start_ns);
+            assert!(s.start_ns + s.dur_ns <= outer.start_ns + outer.dur_ns);
+        }
+        assert_eq!(outer.depth, 0);
+        assert_eq!(outer.parent, None);
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let a = Registry::new();
+        let b = Registry::new();
+        {
+            let _ga = install(a.clone());
+            count("k", 1);
+            {
+                let _gb = install(b.clone());
+                count("k", 10);
+            }
+            count("k", 1);
+        }
+        assert!(!enabled());
+        assert_eq!(a.snapshot().counter("k"), 2);
+        assert_eq!(b.snapshot().counter("k"), 10);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = Registry::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = reg.clone();
+                std::thread::spawn(move || {
+                    let _g = install(r);
+                    for _ in 0..1000 {
+                        count("t.n", 1);
+                    }
+                    let _s = span("t.work");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rep = reg.snapshot();
+        assert_eq!(rep.counter("t.n"), 4000);
+        let pass = rep.passes().iter().find(|p| p.name == "t.work").unwrap();
+        assert_eq!(pass.calls, 4);
+    }
+
+    #[test]
+    fn timers_feed_the_pass_table_not_the_span_list() {
+        let reg = Registry::new();
+        {
+            let _g = install(reg.clone());
+            for _ in 0..10 {
+                let _t = time("hot.loop");
+            }
+        }
+        let rep = reg.snapshot();
+        assert!(rep.spans.is_empty());
+        let p = rep.passes().iter().find(|p| p.name == "hot.loop").unwrap();
+        assert_eq!(p.calls, 10);
+        assert_eq!(rep.counter("hot.loop.calls"), 10);
+    }
+
+    #[test]
+    fn json_is_parseable_shape_and_zero_fills_taxonomy() {
+        let reg = Registry::new();
+        {
+            let _g = install(reg.clone());
+            count("lang.tokens", 7);
+            let _s = span("lang.parse");
+        }
+        let rep = reg.snapshot();
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with("{\"schema\":\"gcomm-obs/v1\""));
+        assert!(json.contains("\"lang.tokens\":7"));
+        // Zero-filled canonical keys.
+        assert!(json.contains("\"machine.fault.retransmits\":0"));
+        assert!(json.contains("\"core.entries.candidates\":0"));
+        assert!(rep.stages().contains(&"lang".to_string()));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn span_cap_drops_but_still_aggregates() {
+        let reg = Registry::new();
+        {
+            let _g = install(reg.clone());
+            for _ in 0..(SPAN_CAP + 5) {
+                let _s = span("many");
+            }
+        }
+        let rep = reg.snapshot();
+        assert_eq!(rep.spans.len(), SPAN_CAP);
+        assert_eq!(rep.dropped_spans, 5);
+        let p = rep.passes().iter().find(|p| p.name == "many").unwrap();
+        assert_eq!(p.calls, (SPAN_CAP + 5) as u64);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let reg = Registry::new();
+        {
+            let _g = install(reg.clone());
+            count("x", 3);
+            let _s = span("s");
+        }
+        reg.reset();
+        let rep = reg.snapshot();
+        assert_eq!(rep.counter("x"), 0);
+        assert!(rep.spans.is_empty());
+        assert!(rep.passes().is_empty());
+    }
+}

@@ -24,6 +24,7 @@ pub struct Asd {
 impl Asd {
     /// Creates a descriptor.
     pub fn new(array: ArrayId, section: Section, mapping: Mapping) -> Self {
+        gcomm_obs::count("sections.asd_built", 1);
         Asd {
             array,
             section,
@@ -36,6 +37,8 @@ impl Asd {
     /// same array, `self.section ⊆ other.section`, and `self`'s mapping a
     /// subset of `other`'s.
     pub fn subsumed_by(&self, other: &Asd, ctx: &SymCtx) -> bool {
+        let _t = gcomm_obs::time("sections.subsume");
+        gcomm_obs::count("sections.subsume_checks", 1);
         self.array == other.array
             && self.mapping.subset_of(&other.mapping)
             && self.section.subset_of(&other.section, ctx)

@@ -144,7 +144,9 @@ impl SsaForm {
 
     /// Builds SSA form using a precomputed dominator tree.
     pub fn build_with(prog: &IrProgram, dt: &DomTree) -> SsaForm {
-        Builder::new(prog, dt).run()
+        let form = Builder::new(prog, dt).run();
+        gcomm_obs::count("ssa.defs", form.defs.len() as u64);
+        form
     }
 
     /// Definition info by id.

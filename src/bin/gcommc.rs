@@ -13,6 +13,8 @@
 //!   --faults <spec>              inject faults into --sim runs, e.g.
 //!                                seed=42,loss=0.01,degrade=0.2:0.5,straggle=0.05:3
 //!   --entries                    list communication entries before placement
+//!   --stats                      print pass timings + counters to stderr
+//!   --stats-json <path>          write the full stats report as JSON
 //! ```
 //!
 //! Example:
@@ -42,13 +44,22 @@ struct Opts {
     sim: Option<i64>,
     faults: FaultPlan,
     entries: bool,
+    stats: bool,
+    stats_json: Option<String>,
     input: Option<String>,
+}
+
+impl Opts {
+    fn stats_enabled(&self) -> bool {
+        self.stats || self.stats_json.is_some()
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: gcommc [--strategy orig|nored|partial|comb] [--counts] [--dot-cfg] [--dot-dom] \
-         [--verify] [--sim <n>] [--faults <spec>] [--entries] <file | ->"
+         [--verify] [--sim <n>] [--faults <spec>] [--entries] [--stats] [--stats-json <path>] \
+         <file | ->"
     );
     std::process::exit(2);
 }
@@ -63,6 +74,8 @@ fn parse_args() -> Opts {
         sim: None,
         faults: FaultPlan::quiet(),
         entries: false,
+        stats: false,
+        stats_json: None,
         input: None,
     };
     let mut args = std::env::args().skip(1);
@@ -78,6 +91,10 @@ fn parse_args() -> Opts {
                 }
             }
             "--counts" => o.counts = true,
+            "--stats" => o.stats = true,
+            "--stats-json" => {
+                o.stats_json = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--dot-cfg" => o.dot_cfg = true,
             "--dot-dom" => o.dot_dom = true,
             "--verify" => o.verify = true,
@@ -130,12 +147,26 @@ fn main() -> ExitCode {
         }
     };
 
+    // Stats collection covers the whole run (compile + sim + verify); the
+    // registry is thread-local and opt-in, so without --stats the compile
+    // path pays only a thread-local read per instrumentation point.
+    let reg = gcomm_obs::Registry::new();
+    let _scope = opts
+        .stats_enabled()
+        .then(|| gcomm_obs::install(reg.clone()));
+
     let compiled = match compile_diagnostics(&src, opts.strategy) {
         Ok(c) => c,
         Err(errs) => {
             let n = errs.len();
             for e in errs {
                 eprintln!("gcommc: {e}");
+                // Quote the offending source line under the diagnostic.
+                if e.line > 0 {
+                    if let Some(text) = src.lines().nth(e.line as usize - 1) {
+                        eprintln!("  {:>4} | {}", e.line, text.trim_end());
+                    }
+                }
             }
             eprintln!("gcommc: {n} error(s), no output");
             return ExitCode::FAILURE;
@@ -243,6 +274,38 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("gcommc: verification failed to run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if opts.stats_enabled() {
+        // Populate the machine stage even without --sim: one quiet
+        // small-size run on the default network (doesn't touch stdout).
+        if opts.sim.is_none() {
+            let rank = compiled
+                .prog
+                .arrays
+                .iter()
+                .map(|a| a.distributed_dims().len())
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            let cfg =
+                SimConfig::uniform(&compiled, ProcGrid::balanced(4, rank), 64).with("nsteps", 2);
+            let _ = simulate_with_faults(
+                &lower_to_sim(&compiled, &cfg),
+                &NetworkModel::sp2(),
+                &opts.faults,
+            );
+        }
+        let report = reg.snapshot();
+        if opts.stats {
+            eprint!("{}", report.render_text());
+        }
+        if let Some(path) = &opts.stats_json {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("gcommc: {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }

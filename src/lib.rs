@@ -18,6 +18,8 @@
 //! | [`machine`] | processor grids, network models, cost model, simulator |
 //! | [`core`] | the placement algorithm and comparison strategies |
 //! | [`kernels`] | the paper's benchmark programs |
+//! | [`exec`] | reference interpreter + dynamic schedule verification |
+//! | [`obs`] | observability: spans, counters, stats reports (DESIGN.md §9) |
 //!
 //! # Quickstart
 //!
@@ -31,14 +33,16 @@
 
 pub use gcomm_core as core;
 pub use gcomm_dep as dep;
+pub use gcomm_exec as exec;
 pub use gcomm_ir as ir;
 pub use gcomm_kernels as kernels;
 pub use gcomm_lang as lang;
 pub use gcomm_machine as machine;
+pub use gcomm_obs as obs;
 pub use gcomm_sections as sections;
 pub use gcomm_ssa as ssa;
 
-pub use gcomm_core::{compile, compile_diagnostics, CommKind, Strategy};
+pub use gcomm_core::{compile, compile_diagnostics, compile_stats, CommKind, Strategy};
 pub use gcomm_lang::{parse_program, parse_program_diagnostics};
 
 /// Convenience: compiles a kernel under all three strategies and returns

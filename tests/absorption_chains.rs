@@ -78,6 +78,7 @@ fn chain_safe_without_subset_elimination() {
     let c = gcomm::core::Compiled {
         prog,
         schedule: sched,
+        stats: Default::default(),
     };
     assert!(verify(&c).ok(), "{:?}", verify(&c).errors.first());
 }

@@ -1,0 +1,79 @@
+//! Property tests for the observability layer's core guarantees:
+//!
+//! * the entry-fate partition `candidates == placed + redundant +
+//!   combined_away` holds for every kernel × strategy,
+//! * a stats-enabled compile is bit-identical in program and schedule to a
+//!   stats-disabled compile (collection never influences placement).
+
+use proptest::prelude::*;
+
+use gcomm::{compile, compile_stats, Strategy as Opt};
+
+fn any_kernel() -> impl Strategy<Value = (&'static str, &'static str)> {
+    prop::sample::select(
+        gcomm::kernels::all_kernels()
+            .into_iter()
+            .map(|(b, _r, src)| (b, src))
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn any_strategy() -> impl Strategy<Value = Opt> {
+    prop::sample::select(vec![
+        Opt::Original,
+        Opt::EarliestRE,
+        Opt::EarliestPartialRE,
+        Opt::Global,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every candidate entry ends in exactly one fate: leading a placed
+    /// group, riding combined inside a group, or absorbed as redundant.
+    #[test]
+    fn entry_fates_partition_candidates(
+        kernel in any_kernel(),
+        strategy in any_strategy(),
+    ) {
+        let (name, src) = kernel;
+        let c = compile_stats(src, strategy)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let s = &c.stats;
+        let candidates = s.counter("core.entries.candidates");
+        let placed = s.counter("core.entries.placed");
+        let redundant = s.counter("core.entries.redundant");
+        let combined = s.counter("core.entries.combined_away");
+        prop_assert_eq!(
+            candidates, placed + redundant + combined,
+            "{}/{:?}: {} candidates != {} placed + {} redundant + {} combined",
+            name, strategy, candidates, placed, redundant, combined
+        );
+        // And the counters agree with the schedule shape itself.
+        prop_assert_eq!(candidates as usize, c.schedule.entries.len());
+        prop_assert_eq!(placed as usize, c.schedule.groups.len());
+        prop_assert_eq!(redundant as usize, c.schedule.absorptions.len());
+    }
+
+    /// Stats collection must be observationally free: the compiled program
+    /// and schedule are identical with and without it.
+    #[test]
+    fn stats_run_is_bit_identical(
+        kernel in any_kernel(),
+        strategy in any_strategy(),
+    ) {
+        let (name, src) = kernel;
+        let plain = compile(src, strategy)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let stats = compile_stats(src, strategy).unwrap();
+        prop_assert!(plain.stats.passes().is_empty(), "{}: plain compile collected stats", name);
+        prop_assert!(!stats.stats.passes().is_empty(), "{}: stats compile collected nothing", name);
+        // `Compiled` equality covers program + schedule and ignores stats.
+        prop_assert_eq!(&plain, &stats, "{}/{:?}: schedules differ", name, strategy);
+        prop_assert_eq!(
+            plain.report(), stats.report(),
+            "{}/{:?}: placement reports differ", name, strategy
+        );
+    }
+}
