@@ -348,8 +348,10 @@ pub mod reports {
             let cfg = SimConfig::uniform(&c, ProcGrid::balanced(8, axes), 48).with("nsteps", 4);
             let net = NetworkModel::sp2();
             let greedy = comm_cost(&c, &cfg, &net);
-            let Some(opt) = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, budget)
-            else {
+            // Fresh step budget per kernel: each enumeration gets the full
+            // allowance, matching the historical per-call cap.
+            let b = gcomm_guard::Budget::steps(budget);
+            let Some(opt) = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, &b) else {
                 let _ = writeln!(out, "{name:<16} (no communication)");
                 continue;
             };

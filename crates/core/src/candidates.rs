@@ -14,6 +14,12 @@ use crate::entry::CommEntry;
 
 /// Marks all candidate positions for an entry, given its `Latest` and
 /// `Earliest` positions. Reductions get the single `Latest` position (§6.2).
+///
+/// Degradation: once the analysis budget is exhausted the window collapses
+/// to the single `Latest` position — the `Strategy::Original` placement,
+/// which always dominates the use and is therefore legal; the entry merely
+/// loses its hoisting/elimination opportunities
+/// (`core.degraded.candidates` counts these).
 pub fn candidates(
     ctx: &AnalysisCtx<'_>,
     e: &CommEntry,
@@ -25,10 +31,27 @@ pub fn candidates(
         out.insert(latest);
         return out;
     }
+    if ctx.budget.exhausted() {
+        gcomm_obs::count("core.degraded.candidates", 1);
+        out.insert(latest);
+        return out;
+    }
+    window(ctx, earliest, latest, &mut out);
+    // Candidate windows are the unit of super-linear cost downstream
+    // (subset elimination and combining are pairwise over positions), so
+    // their size is what the budget meters.
+    ctx.budget.charge(out.len() as u64);
+    ctx.budget
+        .note_mem(out.len() as u64 * std::mem::size_of::<Pos>() as u64);
+    out
+}
+
+/// The unbudgeted dominator-tree walk of §4.4.
+fn window(ctx: &AnalysisCtx<'_>, earliest: Pos, latest: Pos, out: &mut BTreeSet<Pos>) {
     if !earliest.dominates(&latest, &ctx.dt) {
         // Defensive: fall back to the single safe point.
         out.insert(latest);
-        return out;
+        return;
     }
     if earliest.node == latest.node {
         for slot in earliest.slot..=latest.slot {
@@ -37,7 +60,7 @@ pub fn candidates(
                 slot,
             });
         }
-        return out;
+        return;
     }
     // Mark the tail of Latest's block up to Latest(u).
     for slot in 0..=latest.slot {
@@ -54,7 +77,7 @@ pub fn candidates(
             for slot in earliest.slot..=bottom.slot {
                 out.insert(Pos { node: n, slot });
             }
-            return out;
+            return;
         }
         let bottom = Pos::bottom(ctx.prog, n);
         for slot in 0..=bottom.slot {
@@ -65,7 +88,6 @@ pub fn candidates(
     // Earliest's block was not an ancestor (cannot happen when earliest
     // dominates latest); keep what we have plus the safe point.
     out.insert(latest);
-    out
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Shared analysis context: program, SSA, dominators, dependence tester.
 
-use gcomm_dep::{widen::widen_access, DepTest};
+use gcomm_dep::{widen::widen_access_within, DepTest};
+use gcomm_guard::Budget;
 use gcomm_ir::{AccessRef, DomTree, IrProgram, StmtId, StmtKind};
 use gcomm_sections::{Asd, Section, SymCtx};
 use gcomm_ssa::{DefId, DefKind, SsaForm};
@@ -18,11 +19,21 @@ pub struct AnalysisCtx<'a> {
     pub dt: DomTree,
     /// Symbolic comparison context.
     pub sym: SymCtx,
+    /// Resource budget for the expensive phases. Unlimited by default;
+    /// when it exhausts, every phase degrades conservatively (DESIGN.md
+    /// §10) instead of erroring.
+    pub budget: Budget,
 }
 
 impl<'a> AnalysisCtx<'a> {
-    /// Builds the context (dominators + SSA).
+    /// Builds the context (dominators + SSA) with an unlimited budget.
     pub fn new(prog: &'a IrProgram) -> Self {
+        Self::with_budget(prog, Budget::unlimited())
+    }
+
+    /// Builds the context with an explicit resource budget that all
+    /// subsequent analyses charge against.
+    pub fn with_budget(prog: &'a IrProgram, budget: Budget) -> Self {
         let _s = gcomm_obs::span("core.analysis");
         let dt = DomTree::compute(&prog.cfg);
         let ssa = {
@@ -34,6 +45,7 @@ impl<'a> AnalysisCtx<'a> {
             ssa,
             dt,
             sym: SymCtx::default(),
+            budget,
         }
     }
 
@@ -92,7 +104,7 @@ impl<'a> AnalysisCtx<'a> {
         let mut acc: Option<Section> = None;
         for &r in &e.reads {
             let a = self.read_access(e.stmt, r);
-            let s = widen_access(self.prog, a, &chain, level);
+            let s = widen_access_within(self.prog, a, &chain, level, &self.budget);
             acc = Some(match acc {
                 None => s,
                 Some(prev) => prev.union_bbox(&s, &self.sym).unwrap_or(prev),

@@ -20,6 +20,9 @@ use crate::entry::CommEntry;
 /// whose `Test` is true (the ENTRY pseudo-definition always is).
 pub fn earliest_def_for_read(ctx: &AnalysisCtx<'_>, stmt: StmtId, idx: usize) -> DefId {
     let u_acc = ctx.read_access(stmt, idx).clone();
+    // invariant: SSA construction gives every read a reaching definition
+    // (the ENTRY pseudo-def backstops uses with no prior write), so a miss
+    // here is a builder bug, not a property of any source program.
     let mut d = ctx
         .ssa
         .use_def(stmt, idx)

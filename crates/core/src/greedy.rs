@@ -146,6 +146,22 @@ pub fn choose(
     for &eid in &order {
         let e = &entries[eid.0 as usize];
         let cands: Vec<Pos> = table.cands[&eid].iter().copied().collect();
+        // Pre-charge the whole compatibility scan for this entry (one unit
+        // per candidate × entry pair). If it doesn't fit, degrade: pin to
+        // the latest remaining candidate — still inside the (possibly
+        // refined) window, hence legal — and skip the combining search.
+        let scan_cost = (cands.len() as u64).saturating_mul(table.cands.len() as u64);
+        if !ctx.budget.charge(scan_cost) {
+            gcomm_obs::count("core.degraded.greedy", 1);
+            if let Some(&p) = cands.last() {
+                // invariant: eid came from iterating this map's keys and
+                // nothing removes entries inside the loop.
+                let set = table.cands.get_mut(&eid).expect("entry alive");
+                set.clear();
+                set.insert(p);
+            }
+            continue;
+        }
         let mut best: Option<(usize, Pos)> = None;
         for &p in &cands {
             let level = p.level(ctx.prog);
@@ -170,6 +186,8 @@ pub fn choose(
             });
         }
         if let Some((_, p)) = best {
+            // invariant: eid came from iterating this map's keys and
+            // nothing removes entries inside the loop.
             let set = table.cands.get_mut(&eid).expect("entry alive");
             set.clear();
             set.insert(p);
@@ -189,10 +207,18 @@ pub fn choose(
         let mut parts: Vec<Vec<EntryId>> = Vec::new();
         for id in ids {
             let e = &entries[id.0 as usize];
-            let slot = parts.iter_mut().find(|g| {
-                g.iter()
-                    .all(|&m| compatible(ctx, e, &entries[m.0 as usize], level, policy))
-            });
+            // Degraded partitioning: with no budget left, entries become
+            // singleton groups (no combining scan). A group of one is
+            // always legal — combining only ever merges messages.
+            let slot = if ctx.budget.exhausted() {
+                gcomm_obs::count("core.degraded.greedy", 1);
+                None
+            } else {
+                parts.iter_mut().find(|g| {
+                    g.iter()
+                        .all(|&m| compatible(ctx, e, &entries[m.0 as usize], level, policy))
+                })
+            };
             match slot {
                 Some(g) => g.push(id),
                 None => parts.push(vec![id]),
@@ -242,7 +268,7 @@ mod tests {
                     .cands
                     .insert(e.id, candidates::candidates(&ctx, e, ep, lp));
             }
-            subset::subset_eliminate(&mut table, &ctx.dt);
+            subset::subset_eliminate(&mut table, &ctx.dt, &ctx.budget);
             redundancy::eliminate(&ctx, &entries, &mut table);
             choose(&ctx, &entries, &mut table, &CombinePolicy::default())
         };

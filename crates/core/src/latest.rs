@@ -51,6 +51,8 @@ pub fn latest(ctx: &AnalysisCtx<'_>, e: &CommEntry) -> Pos {
         Pos::before(ctx.prog, u)
     } else {
         // Preheader of the loop at level cl + 1 containing u.
+        // invariant: cl < nl = NL(u) here, so u sits inside a loop at every
+        // level 1..=nl; only a broken loop-nest table could make this fail.
         let l = ctx
             .prog
             .enclosing_loop_at_level(u, cl + 1)

@@ -54,6 +54,7 @@
 //! ```
 
 pub mod candidates;
+pub mod check;
 pub mod codegen;
 pub mod commgen;
 pub mod ctx;
@@ -68,14 +69,16 @@ pub mod schedule;
 pub mod strategy;
 pub mod subset;
 
+pub use check::{check_schedule, LegalityReport};
 pub use codegen::{lower_to_sim, SimConfig};
 pub use ctx::AnalysisCtx;
 pub use entry::{CommEntry, CommKind, EntryId};
 pub use greedy::{CombinePolicy, GreedyOrder};
 pub use optimal::{optimal_placement, OptimalResult};
 pub use pipeline::{
-    compile, compile_diagnostics, compile_program, compile_stats, compile_with_policy,
-    CompileStats, Compiled, CoreError, PassTimer,
+    compile, compile_budgeted, compile_budgeted_with_policy, compile_diagnostics,
+    compile_diagnostics_budgeted, compile_program, compile_program_budgeted, compile_stats,
+    compile_with_policy, CompileStats, Compiled, CoreError, PassTimer,
 };
 pub use schedule::{PlacedGroup, Schedule};
 pub use strategy::Strategy;

@@ -49,12 +49,18 @@ pub fn comm_cost(compiled: &Compiled, cfg: &SimConfig, net: &NetworkModel) -> f6
 /// windows, redundancy elimination), then enumerates every choice of one
 /// candidate per surviving entry, groups compatibly, and scores with the
 /// simulator. Returns `None` when the program has no communication.
+///
+/// The `budget` bounds only the enumeration (one step per assignment
+/// scored); the front half runs unbudgeted so the search space itself is
+/// identical to the global strategy's. An exhausted budget truncates the
+/// scan — the seeded input schedule guarantees the result is never worse
+/// than what the caller already had.
 pub fn optimal_placement(
     compiled: &Compiled,
     policy: &CombinePolicy,
     cfg: &SimConfig,
     net: &NetworkModel,
-    budget: u64,
+    budget: &gcomm_guard::Budget,
 ) -> Option<OptimalResult> {
     let prog = &compiled.prog;
     let entries = crate::commgen::number(crate::commgen::generate(prog));
@@ -81,7 +87,7 @@ pub fn optimal_placement(
         .map(|c| c.len() as u64)
         .try_fold(1u64, |a, b| a.checked_mul(b))
         .unwrap_or(u64::MAX);
-    let truncated = space > budget;
+    let truncated = space > budget.step_cap().unwrap_or(u64::MAX);
 
     // Reusable scoring harness: swap the schedule into a scratch Compiled.
     let mut scratch = Compiled {
@@ -118,7 +124,7 @@ pub fn optimal_placement(
         if best.as_ref().is_none_or(|(b, _)| cost < *b) {
             best = Some((cost, scratch.schedule.clone()));
         }
-        if tried >= budget {
+        if !budget.charge(1) {
             break;
         }
         // Advance the odometer.
@@ -205,7 +211,8 @@ mod tests {
     fn greedy_matches_optimal_on_figure4() {
         let (c, cfg, net) = setup(gcomm_kernels_src::FIG4);
         let greedy_cost = comm_cost(&c, &cfg, &net);
-        let opt = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, 100_000).unwrap();
+        let budget = gcomm_guard::Budget::steps(100_000);
+        let opt = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, &budget).unwrap();
         assert!(!opt.truncated);
         assert!(
             greedy_cost <= opt.comm_us * 1.0001,
@@ -230,7 +237,8 @@ enddo
 end",
         );
         let greedy_cost = comm_cost(&c, &cfg, &net);
-        let opt = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, 100_000).unwrap();
+        let budget = gcomm_guard::Budget::steps(100_000);
+        let opt = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, &budget).unwrap();
         assert!(greedy_cost <= opt.comm_us * 1.0001);
     }
 
@@ -240,7 +248,8 @@ end",
         let cfg = SimConfig::uniform(&c, ProcGrid::balanced(4, 2), 32).with("nsteps", 2);
         let net = NetworkModel::sp2();
         let greedy_cost = comm_cost(&c, &cfg, &net);
-        let opt = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, 30_000).unwrap();
+        let budget = gcomm_guard::Budget::steps(30_000);
+        let opt = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, &budget).unwrap();
         // The greedy must be within 10% of the best assignment found.
         assert!(
             greedy_cost <= opt.comm_us * 1.10,

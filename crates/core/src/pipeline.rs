@@ -151,10 +151,43 @@ pub fn compile_with_policy(
     strategy: Strategy,
     policy: &CombinePolicy,
 ) -> Result<Compiled, CoreError> {
+    compile_budgeted_with_policy(src, strategy, policy, gcomm_guard::Budget::unlimited())
+}
+
+/// Compiles under a resource [`Budget`](gcomm_guard::Budget) with the
+/// default combining policy. On exhaustion the placement phases degrade
+/// conservatively (DESIGN.md §10) — the compile still succeeds and the
+/// schedule stays legal; `degraded.*` counters in [`Compiled::stats`]
+/// record what was skipped. An unlimited budget is bit-identical to
+/// [`compile`].
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on parse, validation, or lowering failure —
+/// never on budget exhaustion.
+pub fn compile_budgeted(
+    src: &str,
+    strategy: Strategy,
+    budget: gcomm_guard::Budget,
+) -> Result<Compiled, CoreError> {
+    compile_budgeted_with_policy(src, strategy, &CombinePolicy::default(), budget)
+}
+
+/// [`compile_budgeted`] with an explicit combining policy.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on parse, validation, or lowering failure.
+pub fn compile_budgeted_with_policy(
+    src: &str,
+    strategy: Strategy,
+    policy: &CombinePolicy,
+    budget: gcomm_guard::Budget,
+) -> Result<Compiled, CoreError> {
     let _compile = PassTimer::start("core.compile");
     let ast = gcomm_lang::parse_program(src)?;
     let prog = gcomm_ir::lower(&ast)?;
-    let schedule = compile_program(&prog, strategy, policy);
+    let schedule = compile_program_budgeted(&prog, strategy, policy, budget);
     let stats = gcomm_obs::current()
         .map(|r| r.snapshot())
         .unwrap_or_default();
@@ -189,10 +222,25 @@ pub fn compile_stats(src: &str, strategy: Strategy) -> Result<Compiled, CoreErro
 ///
 /// Returns every diagnostic collected (never an empty vector).
 pub fn compile_diagnostics(src: &str, strategy: Strategy) -> Result<Compiled, Vec<CoreError>> {
+    compile_diagnostics_budgeted(src, strategy, gcomm_guard::Budget::unlimited())
+}
+
+/// [`compile_diagnostics`] under a resource budget (see
+/// [`compile_budgeted`] for the degradation contract).
+///
+/// # Errors
+///
+/// Returns every diagnostic collected (never an empty vector); budget
+/// exhaustion is not an error.
+pub fn compile_diagnostics_budgeted(
+    src: &str,
+    strategy: Strategy,
+    budget: gcomm_guard::Budget,
+) -> Result<Compiled, Vec<CoreError>> {
     let ast = gcomm_lang::parse_program_diagnostics(src)
         .map_err(|errs| errs.into_iter().map(CoreError::from).collect::<Vec<_>>())?;
     let prog = gcomm_ir::lower(&ast).map_err(|e| vec![CoreError::from(e)])?;
-    let schedule = compile_program(&prog, strategy, &CombinePolicy::default());
+    let schedule = compile_program_budgeted(&prog, strategy, &CombinePolicy::default(), budget);
     let stats = gcomm_obs::current()
         .map(|r| r.snapshot())
         .unwrap_or_default();
@@ -205,11 +253,23 @@ pub fn compile_diagnostics(src: &str, strategy: Strategy) -> Result<Compiled, Ve
 
 /// Runs a strategy over an already-lowered program.
 pub fn compile_program(prog: &IrProgram, strategy: Strategy, policy: &CombinePolicy) -> Schedule {
+    compile_program_budgeted(prog, strategy, policy, gcomm_guard::Budget::unlimited())
+}
+
+/// Runs a strategy over an already-lowered program under a resource
+/// budget. Communication *generation* is never budgeted (dropping an entry
+/// would be unsound); only the placement analyses degrade.
+pub fn compile_program_budgeted(
+    prog: &IrProgram,
+    strategy: Strategy,
+    policy: &CombinePolicy,
+    budget: gcomm_guard::Budget,
+) -> Schedule {
     let entries = {
         let _s = gcomm_obs::span("core.commgen");
         commgen::number(commgen::generate(prog))
     };
-    let ctx = AnalysisCtx::new(prog);
+    let ctx = AnalysisCtx::with_budget(prog, budget);
     let schedule = strategy::run_with_policy(&ctx, entries, strategy, policy);
     record_entry_fates(&schedule);
     schedule

@@ -31,6 +31,13 @@ pub struct Absorption {
 /// Coverage obligations are *inherited through chains*: when `A` absorbs
 /// `B` and later `C` absorbs `A`, `C` must still dominate `B`'s use (not
 /// just `A`'s) — otherwise `B`'s data would silently go unserved.
+///
+/// Degradation: every candidate pair charges the budget (and the ASD
+/// subsumption tests themselves degrade to "not subsumed"); on exhaustion
+/// the fixpoint stops and returns the absorptions found so far
+/// (`core.degraded.redundancy` counts one per early stop). Stopping early
+/// only *keeps* communication that could have been eliminated — every
+/// recorded absorption was individually proven, so the result stays legal.
 pub fn eliminate(
     ctx: &AnalysisCtx<'_>,
     entries: &[CommEntry],
@@ -47,8 +54,16 @@ pub fn eliminate(
     let mut banned: std::collections::HashSet<(EntryId, EntryId)> =
         std::collections::HashSet::new();
     loop {
+        if ctx.budget.exhausted() {
+            gcomm_obs::count("core.degraded.redundancy", 1);
+            return absorptions;
+        }
         gcomm_obs::count("core.redundancy.checks", 1);
         let Some((winner, loser, at)) = find_pair(ctx, entries, table, &banned) else {
+            if ctx.budget.exhausted() {
+                // The budget ran out mid-scan, not at a true fixpoint.
+                gcomm_obs::count("core.degraded.redundancy", 1);
+            }
             return absorptions;
         };
         let loser_stmt = entries[loser.0 as usize].stmt;
@@ -103,14 +118,21 @@ fn find_pair(
         let ids: Vec<EntryId> = set.iter().copied().collect();
         for (i, &c1) in ids.iter().enumerate() {
             for &c2 in &ids[i + 1..] {
+                if !ctx.budget.charge(1) {
+                    // Exhausted mid-scan: report fixpoint. The caller
+                    // observes the exhaustion and stops with what it has.
+                    return None;
+                }
                 let e1 = &entries[c1.0 as usize];
                 let e2 = &entries[c2.0 as usize];
                 let a1 = ctx.asd_at(e1, level);
                 let a2 = ctx.asd_at(e2, level);
-                if !banned.contains(&(c1, c2)) && a2.subsumed_by(&a1, &ctx.sym) {
+                if !banned.contains(&(c1, c2)) && a2.subsumed_by_within(&a1, &ctx.sym, &ctx.budget)
+                {
                     return Some((c1, c2, pos));
                 }
-                if !banned.contains(&(c2, c1)) && a1.subsumed_by(&a2, &ctx.sym) {
+                if !banned.contains(&(c2, c1)) && a1.subsumed_by_within(&a2, &ctx.sym, &ctx.budget)
+                {
                     return Some((c2, c1, pos));
                 }
             }

@@ -92,12 +92,19 @@ fn original(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
 
 fn earliest_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
     // Place everything at its earliest point (reductions stay at their
-    // statement).
+    // statement). When the budget exhausts mid-stream the remaining
+    // entries fall back to their `Latest` position — the `Original`
+    // placement, legal but without hoisting.
+    let lat: Vec<Pos> = entries.iter().map(|e| latest(ctx, e)).collect();
     let pos: Vec<Pos> = entries
         .iter()
-        .map(|e| {
+        .enumerate()
+        .map(|(i, e)| {
             if e.is_reduction() {
-                latest(ctx, e)
+                lat[i]
+            } else if ctx.budget.exhausted() {
+                gcomm_obs::count("core.degraded.candidates", 1);
+                lat[i]
             } else {
                 earliest_pos(ctx, e)
             }
@@ -105,24 +112,50 @@ fn earliest_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
         .collect();
 
     // Pairwise redundancy elimination: an entry is covered by an earlier,
-    // dominating entry whose vectorized data subsumes it.
+    // dominating entry whose vectorized data subsumes it. Each pair charges
+    // the budget; on exhaustion the scan stops and the remaining entries
+    // simply keep their own communication (conservative but legal).
     let mut order: Vec<usize> = (0..entries.len()).collect();
     order.sort_by_key(|&i| (ctx.dt.depth(pos[i].node), pos[i].slot, entries[i].id));
     let mut alive = vec![true; entries.len()];
+    // An entry that has absorbed others must keep its own communication:
+    // absorbing it too would leave its dependents' data unserved (the
+    // paper's global algorithm inherits such obligations through chains;
+    // here we simply refuse the chain). Found by the fuzzing harness.
+    let mut absorber = vec![false; entries.len()];
     let mut absorptions = Vec::new();
-    for (oi, &i2) in order.iter().enumerate() {
+    'outer: for (oi, &i2) in order.iter().enumerate() {
         for &i1 in &order[..oi] {
+            if !ctx.budget.charge(1) {
+                gcomm_obs::count("core.degraded.redundancy", 1);
+                break 'outer;
+            }
             if !alive[i1] || !alive[i2] {
                 continue;
             }
-            if !pos[i1].dominates(&pos[i2], &ctx.dt) {
+            // The cover's data must still be valid at the covered use.
+            // Two sound placements (found by the fuzzing harness: a
+            // self-updating array read twice in one loop body used to be
+            // absorbed across its own killing write):
+            //  * inside the covered entry's legal window [earliest ..
+            //    latest] — no definition there kills the covered section;
+            //  * above that window, provided the covered entry's earliest
+            //    point dominates the cover's own use — then no definition
+            //    kills ASD(i1) ⊇ ASD(i2) down to that use, and none kills
+            //    ASD(i2) from its earliest on, so validity chains through.
+            let in_window =
+                pos[i2].dominates(&pos[i1], &ctx.dt) && pos[i1].dominates(&lat[i2], &ctx.dt);
+            let chains = pos[i1].dominates(&pos[i2], &ctx.dt)
+                && pos[i2].dominates(&Pos::before(ctx.prog, entries[i1].stmt), &ctx.dt);
+            if !in_window && !chains {
                 continue;
             }
             let lvl = pos[i1].level(ctx.prog);
             let a1 = ctx.asd_at(&entries[i1], lvl);
             let a2 = ctx.asd_at(&entries[i2], lvl);
-            if a2.subsumed_by(&a1, &ctx.sym) {
+            if !absorber[i2] && a2.subsumed_by_within(&a1, &ctx.sym, &ctx.budget) {
                 alive[i2] = false;
+                absorber[i1] = true;
                 absorptions.push(Absorption {
                     absorbed: entries[i2].id,
                     by: entries[i1].id,
@@ -132,8 +165,12 @@ fn earliest_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
             // At the *same* point the pair may subsume in either direction
             // (the classic per-statement pairwise test); across distinct
             // points only a dominating communication can cover a later one.
-            if pos[i1] == pos[i2] && a1.subsumed_by(&a2, &ctx.sym) {
+            if pos[i1] == pos[i2]
+                && !absorber[i1]
+                && a1.subsumed_by_within(&a2, &ctx.sym, &ctx.budget)
+            {
                 alive[i1] = false;
+                absorber[i2] = true;
                 absorptions.push(Absorption {
                     absorbed: entries[i1].id,
                     by: entries[i2].id,
@@ -171,18 +208,32 @@ fn earliest_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
 fn earliest_partial_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
     let base = earliest_re(ctx, entries);
     let absorbed: Vec<_> = base.absorptions.iter().map(|a| a.absorbed).collect();
-    let mut overrides = Vec::new();
+    let absorbers: Vec<_> = base.absorptions.iter().map(|a| a.by).collect();
+    let mut overrides: Vec<(crate::entry::EntryId, gcomm_sections::Section)> = Vec::new();
 
     // For every surviving pair at comparable placements, try to shave the
-    // later entry's section by the earlier one's.
+    // later entry's section by the earlier one's. Each pair charges the
+    // budget; on exhaustion the remaining entries just ship their full
+    // sections (no override), which is always legal.
     let groups = &base.groups;
-    for gi in groups {
+    'outer: for gi in groups {
         for gj in groups {
+            if !ctx.budget.charge(1) {
+                gcomm_obs::count("core.degraded.redundancy", 1);
+                break 'outer;
+            }
             let (ei, ej) = (gi.entries[0], gj.entries[0]);
+            // A cover serves others with its FULL section, so it must not
+            // itself have been shaved (`ei` overridden), and an entry that
+            // absorbed others is obligated to its full section and cannot
+            // be shaved (`ej` an absorber). Without these two exclusions a
+            // pair at one position can shave each other mutually and the
+            // intersection goes unshipped. (Found by the fuzzing harness.)
             if ei == ej
                 || absorbed.contains(&ei)
                 || absorbed.contains(&ej)
-                || overrides.iter().any(|(id, _)| *id == ej)
+                || absorbers.contains(&ej)
+                || overrides.iter().any(|(id, _)| *id == ej || *id == ei)
             {
                 continue;
             }
@@ -190,7 +241,12 @@ fn earliest_partial_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedu
             if a.array != b.array || !a.mapping.subset_of(&b.mapping) {
                 continue;
             }
+            // Same staleness rule as the full absorption above: the served
+            // intersection ⊆ ASD(cover) stays valid down to the cover's
+            // own use, and ⊆ ASD(shaved) from the shaved entry's earliest
+            // on — so the shaved use must sit below both.
             if !gi.pos.dominates(&gj.pos, &ctx.dt)
+                || !gj.pos.dominates(&Pos::before(ctx.prog, a.stmt), &ctx.dt)
                 || gi.pos.level(ctx.prog) != gj.pos.level(ctx.prog)
             {
                 continue;
@@ -221,15 +277,22 @@ fn global(
     {
         let _s = gcomm_obs::span("core.candidates");
         for e in &entries {
-            let ep = earliest_pos(ctx, e);
             let lp = latest(ctx, e);
+            // Once the budget is gone, skip the earliest-placement SSA walk
+            // entirely: candidates() degrades to {latest} regardless, and
+            // latest() alone is both cheap and always legal.
+            let ep = if ctx.budget.exhausted() {
+                lp
+            } else {
+                earliest_pos(ctx, e)
+            };
             let cands = candidates(ctx, e, ep, lp);
             gcomm_obs::count("core.candidate_positions", cands.len() as u64);
             table.cands.insert(e.id, cands);
         }
     }
     if subset_elim {
-        subset_eliminate(&mut table, &ctx.dt);
+        subset_eliminate(&mut table, &ctx.dt, &ctx.budget);
     }
     let absorptions = redundancy::eliminate(ctx, &entries, &mut table);
     let groups = choose(ctx, &entries, &mut table, policy);

@@ -9,6 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use gcomm_guard::Budget;
 use gcomm_ir::{DomTree, Pos};
 
 use crate::entry::EntryId;
@@ -44,19 +45,31 @@ impl CandidateTable {
 /// strict subset of another's are cleared; among positions with equal
 /// `CommSet`s only the latest (most dominated; ties broken by position
 /// order) survives.
-pub fn subset_eliminate(table: &mut CandidateTable, dt: &DomTree) {
+///
+/// Degradation: every pairwise comparison charges the budget; when it
+/// exhausts, the remaining positions simply stay uncleared
+/// (`core.degraded.subset` counts one per early stop). Keeping extra
+/// candidate positions is always legal — each cleared position was
+/// individually justified, and none of the later phases require the table
+/// to be minimal.
+pub fn subset_eliminate(table: &mut CandidateTable, dt: &DomTree, budget: &Budget) {
     let _s = gcomm_obs::span("core.subset");
     let sets = table.comm_sets();
+    budget.note_mem(sets.values().map(|s| s.len() as u64).sum::<u64>() * 8);
     let positions: Vec<Pos> = sets.keys().copied().collect();
     let mut cleared: BTreeSet<Pos> = BTreeSet::new();
 
-    for &p in &positions {
+    'outer: for &p in &positions {
         let sp = &sets[&p];
         if sp.is_empty() {
             cleared.insert(p);
             continue;
         }
         for &q in &positions {
+            if !budget.charge(1) {
+                gcomm_obs::count("core.degraded.subset", 1);
+                break 'outer;
+            }
             if p == q || cleared.contains(&p) {
                 continue;
             }
@@ -128,7 +141,7 @@ mod tests {
             .insert(EntryId(0), [pos(1, 0), pos(2, 0)].into_iter().collect());
         t.cands
             .insert(EntryId(1), [pos(2, 0)].into_iter().collect());
-        subset_eliminate(&mut t, &dt);
+        subset_eliminate(&mut t, &dt, &Budget::unlimited());
         assert_eq!(t.cands[&EntryId(0)].len(), 1);
         assert!(t.cands[&EntryId(0)].contains(&pos(2, 0)));
     }
@@ -143,7 +156,7 @@ mod tests {
             t.cands
                 .insert(EntryId(e), [pos(1, 0), pos(2, 0)].into_iter().collect());
         }
-        subset_eliminate(&mut t, &dt);
+        subset_eliminate(&mut t, &dt, &Budget::unlimited());
         for e in 0..2 {
             assert_eq!(
                 t.cands[&EntryId(e)].iter().copied().collect::<Vec<_>>(),
@@ -160,7 +173,7 @@ mod tests {
             .insert(EntryId(0), [pos(1, 0)].into_iter().collect());
         t.cands
             .insert(EntryId(1), [pos(2, 0)].into_iter().collect());
-        subset_eliminate(&mut t, &dt);
+        subset_eliminate(&mut t, &dt, &Budget::unlimited());
         assert!(t.cands[&EntryId(0)].contains(&pos(1, 0)));
         assert!(t.cands[&EntryId(1)].contains(&pos(2, 0)));
     }
@@ -177,7 +190,7 @@ mod tests {
             .insert(EntryId(1), [pos(2, 0), pos(3, 0)].into_iter().collect());
         t.cands
             .insert(EntryId(2), [pos(3, 0)].into_iter().collect());
-        subset_eliminate(&mut t, &dt);
+        subset_eliminate(&mut t, &dt, &Budget::unlimited());
         for ps in t.cands.values() {
             assert!(!ps.is_empty());
         }

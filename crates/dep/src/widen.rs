@@ -34,6 +34,28 @@ pub fn widen_fully(prog: &IrProgram, acc: &AccessRef, chain: &[LoopId]) -> Secti
     widen_access(prog, acc, chain, 0)
 }
 
+/// Budgeted [`widen_access`]: charges steps proportional to the work
+/// (one per subscript per eliminated loop) and notes the transient memory
+/// of the produced section, so widening-heavy programs exhaust a compile
+/// budget like any other super-linear analysis. The *result* is never
+/// degraded — widening is already a bounded superset approximation, and a
+/// wrong section (unlike a skipped optimization) could be illegal — so
+/// exhaustion here only makes the *passes* above degrade sooner.
+pub fn widen_access_within(
+    prog: &IrProgram,
+    acc: &AccessRef,
+    chain: &[LoopId],
+    keep_level: u32,
+    budget: &gcomm_guard::Budget,
+) -> Section {
+    let eliminated = chain.len().saturating_sub(keep_level as usize).max(1);
+    budget.charge((acc.subs.len() * eliminated) as u64);
+    let s = widen_access(prog, acc, chain, keep_level);
+    // Rough transient footprint: each dimension holds two affine bounds.
+    budget.note_mem(s.rank() as u64 * 64);
+    s
+}
+
 fn widen_sub(prog: &IrProgram, sub: &SubscriptIr, keep: &[LoopId]) -> DimSect {
     match sub {
         SubscriptIr::NonAffine => DimSect::Any,

@@ -51,7 +51,19 @@ pub enum LowerError {
         /// Source line of the reference (0 if unknown).
         line: u32,
     },
+    /// Statement nesting beyond [`MAX_NESTING`] (defense against stack
+    /// overflow on programmatically built ASTs; parsed sources are already
+    /// bounded by the parser's own limit).
+    NestingTooDeep {
+        /// Source line where the limit was crossed (0 if unknown).
+        line: u32,
+    },
 }
+
+/// Maximum statement-nesting depth the lowerer accepts. Matches the
+/// parser's limit, so any parsed program lowers; AST-builder users hitting
+/// it get a diagnostic instead of a call-stack overflow.
+pub const MAX_NESTING: usize = 256;
 
 impl LowerError {
     /// The 1-based source line the error points at, or 0 when it has no
@@ -59,7 +71,9 @@ impl LowerError {
     pub fn line(&self) -> u32 {
         match self {
             LowerError::NonAffineBound { .. } | LowerError::NonAffineLoopBound { .. } => 0,
-            LowerError::UnknownArray { line, .. } | LowerError::RankMismatch { line, .. } => *line,
+            LowerError::UnknownArray { line, .. }
+            | LowerError::RankMismatch { line, .. }
+            | LowerError::NestingTooDeep { line } => *line,
         }
     }
 }
@@ -83,6 +97,10 @@ impl fmt::Display for LowerError {
                 f,
                 "array `{array}` has rank {rank} but is subscripted with {subs} subscript(s)"
             ),
+            LowerError::NestingTooDeep { .. } => write!(
+                f,
+                "statement nesting exceeds the supported depth of {MAX_NESTING}"
+            ),
         }
     }
 }
@@ -98,6 +116,13 @@ impl std::error::Error for LowerError {}
 /// inconsistencies (which validation should have caught).
 pub fn lower(ast: &Program) -> Result<IrProgram, LowerError> {
     let _t = gcomm_obs::time("ir.lower");
+    // Reject over-deep ASTs before anything recursive touches them: the
+    // lowerer clones the body and walks it with recursive descent, and the
+    // derived `Clone`/`Drop` impls themselves recurse per nesting level.
+    // This scan is iterative, so it is safe at any depth.
+    if let Some(line) = deeper_than(&ast.body, MAX_NESTING) {
+        return Err(LowerError::NestingTooDeep { line });
+    }
     let prog = Lowerer::new(ast)?.run()?;
     gcomm_obs::count("ir.cfg.nodes", prog.cfg.len() as u64);
     gcomm_obs::count(
@@ -108,6 +133,33 @@ pub fn lower(ast: &Program) -> Result<IrProgram, LowerError> {
     );
     gcomm_obs::count("ir.stmts", prog.stmts.len() as u64);
     Ok(prog)
+}
+
+/// Iteratively (explicit worklist, no recursion) checks whether statement
+/// nesting exceeds `limit`. Returns the source line of the first
+/// over-deep statement found (0 when it carries no line), or `None` when
+/// the AST is within bounds.
+fn deeper_than(body: &[Stmt], limit: usize) -> Option<u32> {
+    let mut work: Vec<(&[Stmt], usize)> = vec![(body, 1)];
+    while let Some((stmts, depth)) = work.pop() {
+        for s in stmts {
+            if depth > limit {
+                return Some(match s {
+                    Stmt::Assign(a) => a.line,
+                    _ => 0,
+                });
+            }
+            match s {
+                Stmt::Assign(_) => {}
+                Stmt::Do(d) => work.push((&d.body, depth + 1)),
+                Stmt::If(i) => {
+                    work.push((&i.then_body, depth + 1));
+                    work.push((&i.else_body, depth + 1));
+                }
+            }
+        }
+    }
+    None
 }
 
 struct Lowerer<'a> {
@@ -121,6 +173,7 @@ struct Lowerer<'a> {
     cfg: Cfg,
     cur: NodeId,
     branch_conds: std::collections::HashMap<NodeId, Expr>,
+    depth: usize,
 }
 
 impl<'a> Lowerer<'a> {
@@ -143,6 +196,7 @@ impl<'a> Lowerer<'a> {
             cfg: Cfg::new(),
             cur: NodeId(0),
             branch_conds: std::collections::HashMap::new(),
+            depth: 0,
         };
 
         for decl in &ast.arrays {
@@ -205,6 +259,25 @@ impl<'a> Lowerer<'a> {
     }
 
     fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), LowerError> {
+        if self.depth >= MAX_NESTING {
+            // Best-effort source location: the first assignment in the
+            // too-deep block (loops and ifs carry no line of their own).
+            let line = stmts
+                .iter()
+                .find_map(|s| match s {
+                    Stmt::Assign(a) => Some(a.line),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            return Err(LowerError::NestingTooDeep { line });
+        }
+        self.depth += 1;
+        let r = self.lower_stmts_tail(stmts);
+        self.depth -= 1;
+        r
+    }
+
+    fn lower_stmts_tail(&mut self, stmts: &[Stmt]) -> Result<(), LowerError> {
         for s in stmts {
             match s {
                 Stmt::Assign(a) => self.lower_assign(a)?,
@@ -452,12 +525,21 @@ impl<'a> Lowerer<'a> {
     }
 
     /// Lowers an expression to an affine form over parameters and in-scope
-    /// loop variables. Returns `None` for non-affine expressions.
+    /// loop variables. Returns `None` for non-affine expressions — and for
+    /// expressions nested past [`MAX_NESTING`], which degrade to the same
+    /// conservative non-affine treatment rather than overflowing the stack.
     fn affine(&self, e: &Expr) -> Option<Affine> {
+        self.affine_at(e, 0)
+    }
+
+    fn affine_at(&self, e: &Expr, depth: usize) -> Option<Affine> {
+        if depth >= MAX_NESTING {
+            return None;
+        }
         match e {
             Expr::Int(v) => Some(Affine::constant(*v)),
             Expr::Num(_) => None,
-            Expr::Neg(a) => Some(self.affine(a)?.scale(-1)),
+            Expr::Neg(a) => Some(self.affine_at(a, depth + 1)?.scale(-1)),
             Expr::Ref(r) if r.subs.is_empty() => {
                 if let Some(&p) = self.params.get(&r.array) {
                     Some(Affine::var(Var::Param(p)))
@@ -471,8 +553,8 @@ impl<'a> Lowerer<'a> {
             }
             Expr::Ref(_) | Expr::Sum(_) => None,
             Expr::Bin(op, a, b) => {
-                let fa = self.affine(a);
-                let fb = self.affine(b);
+                let fa = self.affine_at(a, depth + 1);
+                let fb = self.affine_at(b, depth + 1);
                 match op {
                     gcomm_lang::BinOp::Add => Some(fa?.add(&fb?)),
                     gcomm_lang::BinOp::Sub => Some(fa?.sub(&fb?)),
@@ -523,6 +605,51 @@ mod tests {
     fn ir(src: &str) -> IrProgram {
         let ast = gcomm_lang::parse_program(src).unwrap();
         lower(&ast).unwrap()
+    }
+
+    #[test]
+    fn deep_programmatic_ast_is_an_error_not_a_stack_overflow() {
+        // The parser bounds source-derived nesting, but an AST built
+        // programmatically can be arbitrarily deep; the lowerer must
+        // refuse it with a diagnostic instead of recursing off the stack.
+        use gcomm_lang::{ArrayDecl, ArrayRef, Assign, DoLoop, Program};
+        let mut body = vec![Stmt::Assign(Assign {
+            lhs: ArrayRef {
+                array: "s".into(),
+                subs: vec![],
+            },
+            rhs: Expr::Int(1),
+            line: 7,
+        })];
+        for i in 0..10_000 {
+            body = vec![Stmt::Do(DoLoop {
+                var: format!("i{i}"),
+                lo: Expr::Int(1),
+                hi: Expr::Int(4),
+                step: 1,
+                body,
+            })];
+        }
+        let ast = Program {
+            name: "t".into(),
+            params: vec![],
+            arrays: vec![ArrayDecl {
+                name: "s".into(),
+                dims: vec![],
+                dist: vec![],
+                align: vec![],
+            }],
+            body,
+        };
+        let e = lower(&ast).unwrap_err();
+        assert!(matches!(e, LowerError::NestingTooDeep { .. }), "{e}");
+        assert!(e.to_string().contains("nesting exceeds"), "{e}");
+        // Tear the deep AST down iteratively: the derived recursive drop
+        // glue would overflow the test thread's stack on its own.
+        let mut body = ast.body;
+        while let Some(Stmt::Do(d)) = body.pop() {
+            body = d.body;
+        }
     }
 
     #[test]

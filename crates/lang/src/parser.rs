@@ -9,9 +9,16 @@ use crate::token::{Token, TokenKind};
 ///
 /// Most users should call [`crate::parse_program`] instead, which also runs
 /// semantic validation.
+/// Maximum grammar nesting depth (parenthesized/unary expression nesting
+/// and `do`/`if` block nesting combined). Recursive descent burns one call
+/// stack frame per level, so unbounded input would overflow the stack;
+/// past this limit the parser reports a spanned diagnostic instead.
+pub const MAX_NESTING: usize = 256;
+
 pub struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -24,6 +31,7 @@ impl Parser {
         Ok(Parser {
             toks: lex(src)?,
             pos: 0,
+            depth: 0,
         })
     }
 
@@ -86,6 +94,23 @@ impl Parser {
 
     fn skip_newlines(&mut self) {
         while self.eat(&TokenKind::Newline) {}
+    }
+
+    /// Enters one grammar nesting level; errors out (with the offending
+    /// line) instead of risking a call-stack overflow past [`MAX_NESTING`].
+    /// On success the caller owes one `self.depth -= 1` after the guarded
+    /// production returns (error or not) — the recovering parser keeps
+    /// parsing after errors, so a leaked level would poison subsequent
+    /// statements. On failure the depth is left untouched.
+    fn enter(&mut self, what: &str) -> Result<(), LangError> {
+        if self.depth >= MAX_NESTING {
+            return Err(LangError::at(
+                self.line(),
+                format!("{what} nesting exceeds the supported depth of {MAX_NESTING}"),
+            ));
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn end_of_stmt(&mut self) -> Result<(), LangError> {
@@ -411,6 +436,13 @@ impl Parser {
     /// Parses statements until a block terminator (`end`, `enddo`, `endif`,
     /// `else`, or end of input) is seen (the terminator is not consumed).
     fn stmts(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.enter("block")?;
+        let r = self.stmts_tail();
+        self.depth -= 1;
+        r
+    }
+
+    fn stmts_tail(&mut self) -> Result<Vec<Stmt>, LangError> {
         let mut out = Vec::new();
         loop {
             self.skip_newlines();
@@ -569,6 +601,13 @@ impl Parser {
 
     /// Full expression (comparisons allowed; the validator restricts where).
     fn expr(&mut self) -> Result<Expr, LangError> {
+        self.enter("expression")?;
+        let r = self.expr_tail();
+        self.depth -= 1;
+        r
+    }
+
+    fn expr_tail(&mut self) -> Result<Expr, LangError> {
         let lhs = self.add_expr()?;
         let op = match self.peek() {
             TokenKind::Lt => BinOp::Lt,
@@ -615,8 +654,13 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        // A chain of unary minuses recurses without passing through
+        // `expr`, so it needs its own depth guard.
         if self.eat(&TokenKind::Minus) {
-            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
+            self.enter("expression")?;
+            let r = self.unary_expr().map(|e| Expr::Neg(Box::new(e)));
+            self.depth -= 1;
+            return r;
         }
         self.atom()
     }
@@ -663,6 +707,55 @@ mod tests {
         let p = parse_program("program t\nend").unwrap();
         assert_eq!(p.name, "t");
         assert!(p.body.is_empty());
+    }
+
+    #[test]
+    fn deep_parenthesized_expression_is_a_diagnostic_not_a_stack_overflow() {
+        // 10_000 nesting levels would overflow the parser's call stack
+        // without the depth guard.
+        let src = format!(
+            "program t\nparam n\nreal s\ns = {}1{}\nend",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        );
+        let err = parse_program(&src).unwrap_err();
+        assert_eq!(err.line, 4, "{err:?}");
+        assert!(err.message.contains("nesting exceeds"), "{err:?}");
+    }
+
+    #[test]
+    fn deep_unary_chain_is_a_diagnostic_not_a_stack_overflow() {
+        let src = format!(
+            "program t\nparam n\nreal s\ns = {}1\nend",
+            "-".repeat(10_000)
+        );
+        let err = parse_program(&src).unwrap_err();
+        assert!(err.message.contains("nesting exceeds"), "{err:?}");
+    }
+
+    #[test]
+    fn deep_block_nesting_is_a_diagnostic_not_a_stack_overflow() {
+        let mut src = String::from("program t\nparam n\nreal s\n");
+        for i in 0..10_000 {
+            src.push_str(&format!("do i{i} = 1, n\n"));
+        }
+        src.push_str("s = 1\n");
+        for _ in 0..10_000 {
+            src.push_str("enddo\n");
+        }
+        src.push_str("end\n");
+        let err = parse_program(&src).unwrap_err();
+        assert!(err.message.contains("nesting exceeds"), "{err:?}");
+    }
+
+    #[test]
+    fn nesting_within_the_limit_still_parses() {
+        let src = format!(
+            "program t\nparam n\nreal s\ns = {}1{}\nend",
+            "(".repeat(100),
+            ")".repeat(100)
+        );
+        parse_program(&src).unwrap();
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     // sections: ASD construction and the section algebra.
     "sections.asd_built",
     "sections.subsume_checks",
+    "sections.degraded.subsume",
     // core: per-entry placement fates (the partition invariant
     // `candidates == placed + redundant + combined_away`) plus the
     // dataflow/iteration counts of the individual passes.
@@ -84,6 +85,12 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     "core.subset.eliminated",
     "core.redundancy.checks",
     "core.greedy.rounds",
+    // core: graceful-degradation markers — nonzero when the resource
+    // budget forced a pass to stop early (DESIGN.md §10).
+    "core.degraded.candidates",
+    "core.degraded.subset",
+    "core.degraded.redundancy",
+    "core.degraded.greedy",
     // machine: dynamic simulation volume and the fault/retry path.
     "machine.sim.runs",
     "machine.sim.messages",

@@ -18,6 +18,8 @@
 //! cases), and there is **no shrinking** — a failing case reports the
 //! generated input verbatim. `proptest-regressions` files are ignored.
 
+pub mod hpf;
+
 pub mod test_runner {
     use std::fmt;
 

@@ -48,6 +48,37 @@ impl Asd {
     pub fn same_comm(&self, other: &Asd) -> bool {
         self == other
     }
+
+    /// Budgeted [`subsumed_by`](Self::subsumed_by): charges steps
+    /// proportional to the section rank, and answers `false` (not
+    /// subsumed) once the budget is exhausted. A `false` only ever *skips*
+    /// a redundancy-elimination opportunity — the communication is kept —
+    /// so degraded answers are always legal; callers must never use this
+    /// to *validate* a previously recorded absorption.
+    pub fn subsumed_by_within(
+        &self,
+        other: &Asd,
+        ctx: &SymCtx,
+        budget: &gcomm_guard::Budget,
+    ) -> bool {
+        if budget.exhausted() {
+            gcomm_obs::count("sections.degraded.subsume", 1);
+            return false;
+        }
+        let r = {
+            let _t = gcomm_obs::time("sections.subsume");
+            gcomm_obs::count("sections.subsume_checks", 1);
+            self.array == other.array
+                && self.mapping.subset_of(&other.mapping)
+                && self.section.subset_of_within(&other.section, ctx, budget)
+        };
+        // The budget may run out mid-check; a `false` reached that way may
+        // be conservative rather than proven, so report it as degraded.
+        if !r && budget.exhausted() {
+            gcomm_obs::count("sections.degraded.subsume", 1);
+        }
+        r
+    }
 }
 
 #[cfg(test)]

@@ -258,6 +258,22 @@ impl Section {
                 .all(|(a, b)| a.subset_of(b, ctx))
     }
 
+    /// Budgeted [`subset_of`](Self::subset_of): charges one step per
+    /// dimension and answers `false` (not provably a subset — the
+    /// conservative direction for redundancy elimination) once the budget
+    /// is exhausted.
+    pub fn subset_of_within(
+        &self,
+        other: &Section,
+        ctx: &SymCtx,
+        budget: &gcomm_guard::Budget,
+    ) -> bool {
+        if !budget.charge(1 + self.rank() as u64) {
+            return false;
+        }
+        self.subset_of(other, ctx)
+    }
+
     /// True unless provably disjoint. Sections of different rank never
     /// overlap (different arrays are compared elsewhere by identity).
     pub fn overlaps(&self, other: &Section, ctx: &SymCtx) -> bool {

@@ -15,6 +15,10 @@
 //!   --entries                    list communication entries before placement
 //!   --stats                      print pass timings + counters to stderr
 //!   --stats-json <path>          write the full stats report as JSON
+//!   --budget <spec>              bound the placement analyses, e.g.
+//!                                steps=50000,ms=200,mem=4m; on exhaustion the
+//!                                compile degrades gracefully (see the
+//!                                degraded.* counters under --stats)
 //! ```
 //!
 //! Example:
@@ -31,9 +35,9 @@ use std::collections::HashMap;
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use gcomm::core::{commgen, lower_to_sim, SimConfig};
+use gcomm::core::{commgen, compile_diagnostics_budgeted, lower_to_sim, SimConfig};
 use gcomm::machine::{simulate_with_faults, FaultPlan, NetworkModel, ProcGrid};
-use gcomm::{compile_diagnostics, Strategy};
+use gcomm::{Budget, BudgetSpec, Strategy};
 
 struct Opts {
     strategy: Strategy,
@@ -43,6 +47,7 @@ struct Opts {
     verify: bool,
     sim: Option<i64>,
     faults: FaultPlan,
+    budget: BudgetSpec,
     entries: bool,
     stats: bool,
     stats_json: Option<String>,
@@ -58,9 +63,16 @@ impl Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: gcommc [--strategy orig|nored|partial|comb] [--counts] [--dot-cfg] [--dot-dom] \
-         [--verify] [--sim <n>] [--faults <spec>] [--entries] [--stats] [--stats-json <path>] \
-         <file | ->"
+         [--verify] [--sim <n>] [--faults <spec>] [--budget <spec>] [--entries] [--stats] \
+         [--stats-json <path>] <file | ->"
     );
+    std::process::exit(2);
+}
+
+/// Rejects a malformed command line with one clear message on stderr
+/// (exit status 2, like the usage error).
+fn bad_args(msg: impl std::fmt::Display) -> ! {
+    eprintln!("gcommc: {msg}");
     std::process::exit(2);
 }
 
@@ -73,6 +85,7 @@ fn parse_args() -> Opts {
         verify: false,
         sim: None,
         faults: FaultPlan::quiet(),
+        budget: BudgetSpec::default(),
         entries: false,
         stats: false,
         stats_json: None,
@@ -87,42 +100,64 @@ fn parse_args() -> Opts {
                     Some("nored") => Strategy::EarliestRE,
                     Some("partial") => Strategy::EarliestPartialRE,
                     Some("comb") => Strategy::Global,
-                    _ => usage(),
+                    Some(other) => bad_args(format_args!(
+                        "--strategy expects orig|nored|partial|comb, got '{other}'"
+                    )),
+                    None => bad_args("--strategy expects a value: orig|nored|partial|comb"),
                 }
             }
             "--counts" => o.counts = true,
             "--stats" => o.stats = true,
-            "--stats-json" => {
-                o.stats_json = Some(args.next().unwrap_or_else(|| usage()));
-            }
+            "--stats-json" => match args.next() {
+                Some(p) if !p.starts_with("--") => o.stats_json = Some(p),
+                Some(p) => bad_args(format_args!(
+                    "--stats-json expects a file path, got option '{p}'"
+                )),
+                None => bad_args("--stats-json expects a file path"),
+            },
             "--dot-cfg" => o.dot_cfg = true,
             "--dot-dom" => o.dot_dom = true,
             "--verify" => o.verify = true,
             "--entries" => o.entries = true,
-            "--sim" => {
-                o.sim = Some(
-                    args.next()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                )
-            }
+            "--sim" => match args.next() {
+                Some(s) => match s.parse() {
+                    Ok(n) => o.sim = Some(n),
+                    Err(_) => bad_args(format_args!(
+                        "--sim expects an integer problem size, got '{s}'"
+                    )),
+                },
+                None => bad_args("--sim expects an integer problem size"),
+            },
             "--faults" => {
-                let Some(spec) = args.next() else { usage() };
+                let Some(spec) = args.next() else {
+                    bad_args("--faults expects a spec, e.g. seed=42,loss=0.01")
+                };
                 o.faults = match FaultPlan::parse(&spec) {
                     Ok(p) => p,
-                    Err(e) => {
-                        eprintln!("gcommc: {e}");
-                        std::process::exit(2);
-                    }
+                    Err(e) => bad_args(e),
+                };
+            }
+            "--budget" => {
+                let Some(spec) = args.next() else {
+                    bad_args("--budget expects a spec, e.g. steps=50000,ms=200,mem=4m")
+                };
+                o.budget = match BudgetSpec::parse(&spec) {
+                    Ok(b) => b,
+                    Err(e) => bad_args(e),
                 };
             }
             "--help" | "-h" => usage(),
+            _ if a.starts_with("--") => bad_args(format_args!(
+                "unrecognized option '{a}' (run --help for the option list)"
+            )),
             _ if o.input.is_none() => o.input = Some(a),
-            _ => usage(),
+            _ => bad_args(format_args!(
+                "unexpected extra argument '{a}' (input file already given)"
+            )),
         }
     }
     if o.input.is_none() {
-        usage();
+        bad_args("missing input file (pass a path, or '-' for stdin)");
     }
     o
 }
@@ -155,7 +190,9 @@ fn main() -> ExitCode {
         .stats_enabled()
         .then(|| gcomm_obs::install(reg.clone()));
 
-    let compiled = match compile_diagnostics(&src, opts.strategy) {
+    // The budget clock starts here, covering the whole compile.
+    let budget = Budget::from_spec(&opts.budget);
+    let compiled = match compile_diagnostics_budgeted(&src, opts.strategy, budget.clone()) {
         Ok(c) => c,
         Err(errs) => {
             let n = errs.len();
@@ -172,6 +209,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if budget.exhausted() {
+        eprintln!(
+            "gcommc: analysis budget exhausted ({} steps used); \
+             schedule degraded conservatively (see degraded.* under --stats)",
+            budget.steps_used()
+        );
+    }
 
     if opts.dot_cfg {
         print!("{}", gcomm::ir::dot::cfg_dot(&compiled.prog));

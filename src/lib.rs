@@ -20,6 +20,7 @@
 //! | [`kernels`] | the paper's benchmark programs |
 //! | [`exec`] | reference interpreter + dynamic schedule verification |
 //! | [`obs`] | observability: spans, counters, stats reports (DESIGN.md §9) |
+//! | [`guard`] | resource budgets + graceful degradation (DESIGN.md §10) |
 //!
 //! # Quickstart
 //!
@@ -34,6 +35,7 @@
 pub use gcomm_core as core;
 pub use gcomm_dep as dep;
 pub use gcomm_exec as exec;
+pub use gcomm_guard as guard;
 pub use gcomm_ir as ir;
 pub use gcomm_kernels as kernels;
 pub use gcomm_lang as lang;
@@ -42,7 +44,10 @@ pub use gcomm_obs as obs;
 pub use gcomm_sections as sections;
 pub use gcomm_ssa as ssa;
 
-pub use gcomm_core::{compile, compile_diagnostics, compile_stats, CommKind, Strategy};
+pub use gcomm_core::{
+    compile, compile_budgeted, compile_diagnostics, compile_stats, CommKind, Strategy,
+};
+pub use gcomm_guard::{Budget, BudgetSpec};
 pub use gcomm_lang::{parse_program, parse_program_diagnostics};
 
 /// Convenience: compiles a kernel under all three strategies and returns

@@ -1,0 +1,84 @@
+//! `gcommc` argument handling: every malformed invocation must exit with
+//! status 2 and a single clear `gcommc:`-prefixed line on stderr — never a
+//! panic, never silence.
+
+use std::process::{Command, Output};
+
+fn gcommc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gcommc"))
+        .args(args)
+        .output()
+        .expect("failed to spawn gcommc")
+}
+
+fn assert_usage_error(args: &[&str], expect_in_stderr: &str) {
+    let out = gcommc(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?}: expected exit 2, got {:?}\nstderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains("gcommc:"),
+        "{args:?}: stderr missing the gcommc: prefix: {stderr}"
+    );
+    assert!(
+        stderr.contains(expect_in_stderr),
+        "{args:?}: stderr missing {expect_in_stderr:?}: {stderr}"
+    );
+}
+
+#[test]
+fn malformed_arguments_exit_two_with_a_message() {
+    assert_usage_error(&["--strategy", "bogus", "x.hpf"], "strategy");
+    assert_usage_error(&["--strategy"], "--strategy expects a value");
+    assert_usage_error(&["--stats-json"], "--stats-json expects a file path");
+    assert_usage_error(&["--sim", "not-a-number", "x.hpf"], "--sim");
+    assert_usage_error(&["--sim"], "--sim expects an integer");
+    assert_usage_error(&["--faults"], "--faults expects a spec");
+    assert_usage_error(&["--faults", "loss=banana", "x.hpf"], "fault spec");
+    assert_usage_error(&["--budget"], "--budget expects a spec");
+    assert_usage_error(&["--budget", "steps=abc", "x.hpf"], "budget");
+    assert_usage_error(&["--budget", "frobs=3", "x.hpf"], "budget");
+    assert_usage_error(&["--no-such-flag", "x.hpf"], "--no-such-flag");
+    assert_usage_error(&["a.hpf", "b.hpf"], "unexpected");
+    assert_usage_error(&[], "missing input file");
+}
+
+#[test]
+fn missing_input_file_is_a_clean_error() {
+    let out = gcommc(&["/no/such/file.hpf"]);
+    assert_ne!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("gcommc:"), "stderr: {stderr}");
+}
+
+#[test]
+fn valid_budget_spec_compiles_from_stdin() {
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gcommc"))
+        .args(["--strategy", "comb", "--budget", "steps=50000", "-"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("failed to spawn gcommc");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"\nprogram t\nparam n\nreal a(n,n), b(n,n) distribute (block,block)\n\
+              b(2:n, 1:n) = a(1:n-1, 1:n)\nend\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

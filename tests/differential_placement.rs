@@ -70,7 +70,8 @@ fn check(name: &str, src: &str, n: i64) {
     let cfg = SimConfig::uniform(&c, ProcGrid::balanced(4, grid_rank(&c)), 32).with("nsteps", 4);
     let net = NetworkModel::sp2();
     let greedy_cost = comm_cost(&c, &cfg, &net);
-    let Some(opt) = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, BUDGET) else {
+    let budget = gcomm::guard::Budget::steps(BUDGET);
+    let Some(opt) = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, &budget) else {
         // No communication: nothing to compare, but the (empty) schedule
         // must still verify.
         verify(name, "greedy", &c, n);

@@ -1,15 +1,13 @@
 //! Legality invariants: every schedule any strategy produces must be safe.
 //!
-//! * every placed group dominates all the uses it serves,
-//! * every group's placement lies inside each member's `Earliest..Latest`
-//!   window (global strategy),
-//! * group members are pairwise mapping-compatible,
-//! * absorbed entries are covered: the absorber's final placement dominates
-//!   the absorbed use and its data (at the placement's nesting level)
-//!   subsumes the absorbed entry's.
+//! The invariants themselves (group dominance, candidate-window
+//! containment, mapping compatibility, absorption coverage, and the
+//! placed-or-absorbed-exactly-once partition) live in
+//! `gcomm::core::check::check_schedule` so the fuzzing harness and the
+//! budget-degradation tests share them; this test drives the checker over
+//! every paper kernel under every strategy.
 
-use gcomm::core::{candidates, earliest, latest, AnalysisCtx};
-use gcomm::ir::Pos;
+use gcomm::core::check_schedule;
 use gcomm::{compile, Strategy};
 
 fn sources() -> Vec<&'static str> {
@@ -24,135 +22,28 @@ fn sources() -> Vec<&'static str> {
 }
 
 #[test]
-fn groups_dominate_their_uses() {
+fn every_strategy_produces_legal_schedules() {
     for src in sources() {
-        for strategy in [Strategy::Original, Strategy::EarliestRE, Strategy::Global] {
+        for strategy in [
+            Strategy::Original,
+            Strategy::EarliestRE,
+            Strategy::EarliestPartialRE,
+            Strategy::Global,
+        ] {
             let c = compile(src, strategy).unwrap();
-            let ctx = AnalysisCtx::new(&c.prog);
-            for g in &c.schedule.groups {
-                for &eid in &g.entries {
-                    let e = c.schedule.entry(eid);
-                    let before_use = Pos::before(&c.prog, e.stmt);
-                    assert!(
-                        g.pos.dominates(&before_use, &ctx.dt),
-                        "{strategy:?}: group at {:?} must dominate use of {}",
-                        g.pos,
-                        e.label
-                    );
-                }
-            }
+            let rep = check_schedule(&c);
+            assert!(rep.ok(), "{strategy:?}: {rep}");
         }
     }
 }
 
 #[test]
-fn global_placements_lie_in_candidate_windows() {
-    for src in sources() {
-        let c = compile(src, Strategy::Global).unwrap();
-        let ctx = AnalysisCtx::new(&c.prog);
-        let absorbed: Vec<_> = c.schedule.absorptions.iter().map(|a| a.absorbed).collect();
-        for g in &c.schedule.groups {
-            for &eid in &g.entries {
-                if absorbed.contains(&eid) {
-                    continue;
-                }
-                let e = c.schedule.entry(eid);
-                let ep = earliest::earliest_pos(&ctx, e);
-                let lp = latest::latest(&ctx, e);
-                let cands = candidates::candidates(&ctx, e, ep, lp);
-                assert!(
-                    cands.contains(&g.pos),
-                    "{}: placement {:?} outside candidate window [{:?} .. {:?}]",
-                    e.label,
-                    g.pos,
-                    ep,
-                    lp
-                );
-            }
-        }
-    }
-}
-
-#[test]
-fn group_members_are_mapping_compatible() {
-    for src in sources() {
-        let c = compile(src, Strategy::Global).unwrap();
-        for g in &c.schedule.groups {
-            for &a in &g.entries {
-                for &b in &g.entries {
-                    let (ea, eb) = (c.schedule.entry(a), c.schedule.entry(b));
-                    assert!(
-                        ea.mapping.compatible(&eb.mapping),
-                        "{} and {} share a group but are incompatible",
-                        ea.label,
-                        eb.label
-                    );
-                }
-            }
-        }
-    }
-}
-
-#[test]
-fn absorbed_entries_are_covered() {
-    for src in sources() {
-        for strategy in [Strategy::EarliestRE, Strategy::Global] {
-            let c = compile(src, strategy).unwrap();
-            let ctx = AnalysisCtx::new(&c.prog);
-            for a in &c.schedule.absorptions {
-                // Find the group carrying the absorber.
-                let group = c
-                    .schedule
-                    .groups
-                    .iter()
-                    .find(|g| g.entries.contains(&a.by))
-                    .unwrap_or_else(|| panic!("absorber {:?} must be placed", a.by));
-                let absorbed = c.schedule.entry(a.absorbed);
-                let before_use = Pos::before(&c.prog, absorbed.stmt);
-                assert!(
-                    group.pos.dominates(&before_use, &ctx.dt),
-                    "{strategy:?}: absorber of {} placed after the absorbed use",
-                    absorbed.label
-                );
-                let lvl = group.pos.level(&c.prog);
-                let cover = ctx.asd_at(c.schedule.entry(a.by), lvl);
-                let need = ctx.asd_at(absorbed, lvl);
-                assert!(
-                    need.subsumed_by(&cover, &ctx.sym),
-                    "{strategy:?}: data of {} not covered by {}",
-                    absorbed.label,
-                    c.schedule.entry(a.by).label
-                );
-            }
-        }
-    }
-}
-
-#[test]
-fn every_entry_is_placed_or_absorbed_exactly_once() {
-    for src in sources() {
-        for strategy in [Strategy::Original, Strategy::EarliestRE, Strategy::Global] {
-            let c = compile(src, strategy).unwrap();
-            for e in &c.schedule.entries {
-                let placed = c
-                    .schedule
-                    .groups
-                    .iter()
-                    .filter(|g| g.entries.contains(&e.id))
-                    .count();
-                let absorbed = c
-                    .schedule
-                    .absorptions
-                    .iter()
-                    .filter(|a| a.absorbed == e.id)
-                    .count();
-                assert_eq!(
-                    placed + absorbed,
-                    1,
-                    "{strategy:?}: entry {} placed {placed}x absorbed {absorbed}x",
-                    e.label
-                );
-            }
-        }
-    }
+fn checker_is_not_vacuous() {
+    // Sanity-check the factored checker still has teeth: dropping a group
+    // violates the placed-exactly-once partition.
+    let c = compile(gcomm::kernels::FIG4_RUNNING, Strategy::Global).unwrap();
+    let mut broken = c.clone();
+    broken.schedule.groups.clear();
+    assert!(check_schedule(&c).ok());
+    assert!(!check_schedule(&broken).ok());
 }
