@@ -4,17 +4,22 @@
 //! global code motion heuristic). This ablation compares that order against
 //! least-constrained-first and plain program order on every kernel.
 
-use gcomm_bench::statscli::StatsOpts;
+use gcomm_bench::{reports, statscli::StatsOpts};
 use gcomm_core::{compile_with_policy, CombinePolicy, GreedyOrder, Strategy};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = gcomm_par::take_jobs_flag(&mut args).unwrap_or_else(|e| {
+        eprintln!("ablation_greedy: {e}");
+        std::process::exit(2);
+    });
     let _stats = StatsOpts::extract(&mut args).install();
     println!(
         "{:<10} {:<9} {:>16} {:>17} {:>14}",
         "Benchmark", "Routine", "most-constrained", "least-constrained", "program-order"
     );
-    for (bench, routine, src) in gcomm_kernels::all_kernels() {
+    let kernels = gcomm_kernels::all_kernels();
+    let table = reports::par_report(jobs, &kernels, |&(bench, routine, src)| {
         let count = |order: GreedyOrder| {
             let policy = CombinePolicy {
                 order,
@@ -24,13 +29,14 @@ fn main() {
                 .expect("kernel compiles")
                 .static_messages()
         };
-        println!(
-            "{:<10} {:<9} {:>16} {:>17} {:>14}",
+        format!(
+            "{:<10} {:<9} {:>16} {:>17} {:>14}\n",
             bench,
             routine,
             count(GreedyOrder::MostConstrained),
             count(GreedyOrder::LeastConstrained),
             count(GreedyOrder::ProgramOrder)
-        );
-    }
+        )
+    });
+    print!("{table}");
 }

@@ -12,12 +12,17 @@ use gcomm_core::{commgen, strategy, AnalysisCtx, CombinePolicy};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = gcomm_par::take_jobs_flag(&mut args).unwrap_or_else(|e| {
+        eprintln!("ablation_subset: {e}");
+        std::process::exit(2);
+    });
     let _stats = gcomm_bench::statscli::StatsOpts::extract(&mut args).install();
     println!(
         "{:<10} {:<9} {:>9} {:>9} {:>12} {:>12}",
         "Benchmark", "Routine", "msgs(on)", "msgs(off)", "time on(us)", "time off(us)"
     );
-    for (bench, routine, src) in gcomm_kernels::all_kernels() {
+    let kernels = gcomm_kernels::all_kernels();
+    let table = gcomm_bench::reports::par_report(jobs, &kernels, |&(bench, routine, src)| {
         let ast = gcomm_lang::parse_program(src).expect("parses");
         let prog = gcomm_ir::lower(&ast).expect("lowers");
         let policy = CombinePolicy::default();
@@ -31,14 +36,15 @@ fn main() {
         };
         let (on_msgs, on_us) = run(true);
         let (off_msgs, off_us) = run(false);
-        println!(
-            "{:<10} {:<9} {:>9} {:>9} {:>12} {:>12}",
-            bench, routine, on_msgs, off_msgs, on_us, off_us
-        );
         assert_eq!(
             on_msgs, off_msgs,
             "{bench}:{routine}: subset elimination must not change quality"
         );
-    }
+        format!(
+            "{:<10} {:<9} {:>9} {:>9} {:>12} {:>12}\n",
+            bench, routine, on_msgs, off_msgs, on_us, off_us
+        )
+    });
+    print!("{table}");
     println!("\nresult quality identical with and without subset elimination (Claim 4.7)");
 }

@@ -40,6 +40,10 @@ fn run(src: &str, m: usize, threshold: u64) -> (usize, f64) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = gcomm_par::take_jobs_flag(&mut args).unwrap_or_else(|e| {
+        eprintln!("ablation_threshold: {e}");
+        std::process::exit(2);
+    });
     let _stats = gcomm_bench::statscli::StatsOpts::extract(&mut args).install();
     let k = 8;
     let m = 16;
@@ -50,14 +54,16 @@ fn main() {
         "threshold(B)", "messages", "comm us/step", "vs 20KB"
     );
     let (_, base) = run(&src, m, 20 * 1024);
-    for threshold in [512u64, 2 * 1024, 8 * 1024, 20 * 1024, 64 * 1024, 1 << 20] {
+    let thresholds = [512u64, 2 * 1024, 8 * 1024, 20 * 1024, 64 * 1024, 1 << 20];
+    let table = gcomm_bench::reports::par_report(jobs, &thresholds, |&threshold| {
         let (msgs, comm) = run(&src, m, threshold);
-        println!(
-            "{:>12} {:>8} {:>12.1} {:>+11.1}%",
+        format!(
+            "{:>12} {:>8} {:>12.1} {:>+11.1}%\n",
             threshold,
             msgs,
             comm,
             100.0 * (comm - base) / base
-        );
-    }
+        )
+    });
+    print!("{table}");
 }

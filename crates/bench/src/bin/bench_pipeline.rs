@@ -1,19 +1,30 @@
 //! Pipeline observability baseline: compiles every kernel under every
 //! strategy with stats collection on and emits per-kernel pass wall times
-//! and counters as JSON (the `BENCH_pipeline.json` artifact).
+//! and counters as JSON (the `BENCH_pipeline.json` artifact). Each
+//! kernel × strategy cell also records its end-to-end compile wall time
+//! (`wall_ns_total`), and the document totals the whole matrix — the
+//! before/after evidence for the `--jobs` speedup.
 //!
-//! Usage: `bench_pipeline [--out <path>]` (stdout by default).
+//! Usage: `bench_pipeline [--out <path>] [--jobs <n>]` (stdout by default;
+//! jobs defaults to the available cores, or `GCOMM_JOBS`).
+
+use std::time::Instant;
 
 use gcomm_core::{compile_stats, Strategy};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = gcomm_par::take_jobs_flag(&mut args).unwrap_or_else(|e| {
+        eprintln!("bench_pipeline: {e}");
+        std::process::exit(2);
+    });
     let mut out_path: Option<String> = None;
-    while let Some(a) = args.next() {
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
-            "--out" => out_path = args.next(),
+            "--out" => out_path = it.next(),
             _ => {
-                eprintln!("usage: bench_pipeline [--out <path>]");
+                eprintln!("usage: bench_pipeline [--out <path>] [--jobs <n>]");
                 std::process::exit(2);
             }
         }
@@ -24,20 +35,31 @@ fn main() {
         ("nored", Strategy::EarliestRE),
         ("comb", Strategy::Global),
     ];
-    let mut items = Vec::new();
+    let mut work = Vec::new();
     for (bench, routine, src) in gcomm_kernels::all_kernels() {
         for (sname, strategy) in strategies {
-            let c = compile_stats(src, strategy).expect("kernel compiles");
-            items.push(format!(
-                "{{\"bench\":\"{bench}\",\"routine\":\"{routine}\",\
-                 \"strategy\":\"{sname}\",\"static_messages\":{},\"stats\":{}}}",
-                c.static_messages(),
-                c.stats.to_json()
-            ));
+            work.push((bench, routine, src, sname, strategy));
         }
     }
+    let t0 = Instant::now();
+    let items = gcomm_par::map(jobs, &work, |_, &(bench, routine, src, sname, strategy)| {
+        // `compile_stats` installs a fresh registry per compile, so every
+        // cell's stats are isolated and identical for any worker count.
+        let cell0 = Instant::now();
+        let c = compile_stats(src, strategy).expect("kernel compiles");
+        format!(
+            "{{\"bench\":\"{bench}\",\"routine\":\"{routine}\",\
+             \"strategy\":\"{sname}\",\"static_messages\":{},\
+             \"wall_ns_total\":{},\"stats\":{}}}",
+            c.static_messages(),
+            cell0.elapsed().as_nanos(),
+            c.stats.to_json()
+        )
+    });
     let doc = format!(
-        "{{\"schema\":\"gcomm-bench-pipeline/v1\",\"kernels\":[{}]}}",
+        "{{\"schema\":\"gcomm-bench-pipeline/v1\",\"jobs\":{jobs},\
+         \"wall_ns_total\":{},\"kernels\":[{}]}}",
+        t0.elapsed().as_nanos(),
         items.join(",")
     );
     match out_path {

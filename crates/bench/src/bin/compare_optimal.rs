@@ -10,16 +10,20 @@ use gcomm_bench::{reports, statscli::StatsOpts};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = gcomm_par::take_jobs_flag(&mut args).unwrap_or_else(|e| {
+        eprintln!("compare_optimal: {e}");
+        std::process::exit(2);
+    });
     let _stats = StatsOpts::extract(&mut args).install();
     let mut budget = reports::DEFAULT_OPTIMAL_BUDGET;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--budget" {
             budget = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                eprintln!("usage: compare_optimal [--budget <n>]");
+                eprintln!("usage: compare_optimal [--budget <n>] [--jobs <n>]");
                 std::process::exit(2);
             });
         }
     }
-    print!("{}", reports::compare_optimal_text(budget));
+    print!("{}", reports::compare_optimal_text(budget, jobs));
 }

@@ -3,7 +3,11 @@ use gcomm_bench::{reports, statscli::StatsOpts};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = gcomm_par::take_jobs_flag(&mut args).unwrap_or_else(|e| {
+        eprintln!("table_static_counts: {e}");
+        std::process::exit(2);
+    });
     let _stats = StatsOpts::extract(&mut args).install();
     let verbose = args.iter().any(|a| a == "-v");
-    print!("{}", reports::table_static_counts_text(verbose));
+    print!("{}", reports::table_static_counts_text(verbose, jobs));
 }

@@ -268,9 +268,45 @@ pub mod json {
 /// the tier-1 suite can detect drift by regenerating and comparing.
 pub mod reports {
     use gcomm_core::optimal::comm_cost;
-    use gcomm_core::{compile, optimal_placement, CombinePolicy, CommKind, SimConfig, Strategy};
+    use gcomm_core::{
+        compile, optimal_placement_jobs, CombinePolicy, CommKind, SimConfig, Strategy,
+    };
     use gcomm_machine::{NetworkModel, ProcGrid};
     use std::fmt::Write as _;
+
+    /// Runs `build` for every item on `jobs` workers, each under a fresh
+    /// stats registry, then merges the per-item snapshots into the
+    /// caller's registry *in item order* and concatenates the returned
+    /// text chunks. The merged counters (and the report text) are
+    /// bit-identical for any worker count — the determinism contract of
+    /// DESIGN.md §11.
+    pub fn par_report<T: Sync>(
+        jobs: usize,
+        items: &[T],
+        build: impl Fn(&T) -> String + Sync,
+    ) -> String {
+        // The per-item registries exist only to route worker-side counters
+        // back to the caller's registry deterministically; when the caller
+        // collects nothing, skip them so every counter/span call inside
+        // `build` keeps its no-registry fast path (a no-op).
+        let Some(sink) = gcomm_obs::current() else {
+            return gcomm_par::map(jobs, items, |_, item| build(item)).concat();
+        };
+        let chunks = gcomm_par::map(jobs, items, |_, item| {
+            let reg = gcomm_obs::Registry::new();
+            let chunk = {
+                let _scope = gcomm_obs::install(reg.clone());
+                build(item)
+            };
+            (chunk, reg.snapshot())
+        });
+        let mut out = String::new();
+        for (chunk, snap) in chunks {
+            sink.absorb(&snap);
+            out.push_str(&chunk);
+        }
+        out
+    }
 
     /// Default enumeration budget for [`compare_optimal_text`]: small
     /// enough to regenerate in a debug-build test run, large enough to
@@ -279,15 +315,19 @@ pub mod reports {
     pub const DEFAULT_OPTIMAL_BUDGET: u64 = 20_000;
 
     /// The static message count table (Figure 10, top; `-v` appends the
-    /// global placement report per kernel).
-    pub fn table_static_counts_text(verbose: bool) -> String {
+    /// global placement report per kernel). Kernels compile on `jobs`
+    /// workers; the table rows (and any merged stats) come out in kernel
+    /// order regardless of the worker count.
+    pub fn table_static_counts_text(verbose: bool, jobs: usize) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
             "{:<10} {:<9} {:<5} {:>6} {:>7} {:>6}",
             "Benchmark", "Routine", "Type", "orig", "nored", "comb"
         );
-        for (bench, routine, src) in gcomm_kernels::all_kernels() {
+        let kernels = gcomm_kernels::all_kernels();
+        out.push_str(&par_report(jobs, &kernels, |&(bench, routine, src)| {
+            let mut out = String::new();
             let orig = compile(src, Strategy::Original).expect("compile orig");
             let nored = compile(src, Strategy::EarliestRE).expect("compile nored");
             let comb = compile(src, Strategy::Global).expect("compile comb");
@@ -323,13 +363,15 @@ pub mod reports {
                     comb.report()
                 );
             }
-        }
+            out
+        }));
         out
     }
 
     /// The greedy-vs-optimal comparison table (§6.1 extension) under an
-    /// enumeration budget.
-    pub fn compare_optimal_text(budget: u64) -> String {
+    /// enumeration budget. The exhaustive search inside each case fans out
+    /// over `jobs` workers; the table is bit-identical for any `jobs`.
+    pub fn compare_optimal_text(budget: u64, jobs: usize) -> String {
         let cases: Vec<(&str, &str, usize)> = vec![
             ("fig3-f90", gcomm_kernels::FIG3_F90, 2),
             ("fig3-scalarized", gcomm_kernels::FIG3_SCALARIZED, 2),
@@ -351,7 +393,9 @@ pub mod reports {
             // Fresh step budget per kernel: each enumeration gets the full
             // allowance, matching the historical per-call cap.
             let b = gcomm_guard::Budget::steps(budget);
-            let Some(opt) = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, &b) else {
+            let Some(opt) =
+                optimal_placement_jobs(&c, &CombinePolicy::default(), &cfg, &net, &b, jobs)
+            else {
                 let _ = writeln!(out, "{name:<16} (no communication)");
                 continue;
             };

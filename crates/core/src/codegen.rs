@@ -53,8 +53,20 @@ impl SimConfig {
 
 /// Lowers a compiled procedure to a concrete communication program.
 pub fn lower_to_sim(compiled: &Compiled, cfg: &SimConfig) -> CommProgram {
+    lower_to_sim_with(compiled, cfg, &AnalysisCtx::new(&compiled.prog))
+}
+
+/// Like [`lower_to_sim`], but reuses a caller-provided analysis context
+/// for the *same program*. Repeated lowerings — the exhaustive search
+/// scores thousands of schedules of one procedure — then share the
+/// context's section cache instead of rebuilding SSA, dominators, and
+/// every widened section per call.
+pub fn lower_to_sim_with(
+    compiled: &Compiled,
+    cfg: &SimConfig,
+    ctx: &AnalysisCtx<'_>,
+) -> CommProgram {
     let prog = &compiled.prog;
-    let ctx = AnalysisCtx::new(prog);
     let p_total = cfg.grid.nproc().max(1);
 
     // Loop-variable midpoints for size evaluation (parents come first in
@@ -78,7 +90,7 @@ pub fn lower_to_sim(compiled: &Compiled, cfg: &SimConfig) -> CommProgram {
         mid.insert(l, (lo + hi) / 2);
     }
 
-    let items = build_items(compiled, cfg, &ctx, &mid, &trips, None, p_total);
+    let items = build_items(compiled, cfg, ctx, &mid, &trips, None, p_total);
     CommProgram {
         name: prog.name.clone(),
         items,
@@ -216,11 +228,14 @@ fn group_msg(
     let mut bytes = 0.0f64;
     for &eid in &g.entries {
         let e = compiled.schedule.entry(eid);
-        let sect = compiled
-            .schedule
-            .section_override(eid)
-            .cloned()
-            .unwrap_or_else(|| ctx.section_at(e, level));
+        let shared;
+        let sect = match compiled.schedule.section_override(eid) {
+            Some(s) => s,
+            None => {
+                shared = ctx.asd_shared(e, level).0;
+                &shared.section
+            }
+        };
         let total = sect.count(&bind).unwrap_or(1).max(1) as f64;
         match (&g.mapping, g.kind) {
             (_, CommKind::Reduction) => {
@@ -265,7 +280,8 @@ fn group_msg(
             // section: a row section of a (BLOCK, BLOCK) array lives on one
             // grid row, so the combine runs over that axis subset.
             let e = compiled.schedule.entry(g.entries[0]);
-            let sect = ctx.section_at(e, level);
+            let asd = ctx.asd_shared(e, level).0;
+            let sect = &asd.section;
             let arr = prog.array(e.array);
             let mut owners: u64 = 1;
             for (axis, &dim) in arr.distributed_dims().iter().enumerate() {

@@ -74,8 +74,10 @@ pub fn compatible(
         (CommKind::Reduction, CommKind::Reduction) => {
             a.array == b.array
                 || ctx
-                    .section_at(a, level)
-                    .same_shape(&ctx.section_at(b, level))
+                    .asd_shared(a, level)
+                    .0
+                    .section
+                    .same_shape(&ctx.asd_shared(b, level).0.section)
         }
         (CommKind::Reduction, _) | (_, CommKind::Reduction) => false,
         // NNC ghost exchanges: mapping equality is checked in physical
@@ -88,14 +90,13 @@ pub fn compatible(
             // General data motion: different arrays need identical sections
             // under the shared descriptor; same-array entries need a
             // bounded-blowup union.
+            let sa = ctx.asd_shared(a, level).0;
+            let sb = ctx.asd_shared(b, level).0;
             if a.array == b.array {
-                let sa = ctx.section_at(a, level);
-                let sb = ctx.section_at(b, level);
-                sa.union_bbox(&sb, &ctx.sym).is_some() && size_ok(ctx, a, b, level, policy)
-            } else {
-                ctx.section_at(a, level)
-                    .same_shape(&ctx.section_at(b, level))
+                sa.section.union_bbox(&sb.section, &ctx.sym).is_some()
                     && size_ok(ctx, a, b, level, policy)
+            } else {
+                sa.section.same_shape(&sb.section) && size_ok(ctx, a, b, level, policy)
             }
         }
     }
@@ -111,8 +112,8 @@ fn size_ok(
     level: u32,
     policy: &CombinePolicy,
 ) -> bool {
-    let ca = ctx.section_at(a, level).count(&|_| None);
-    let cb = ctx.section_at(b, level).count(&|_| None);
+    let ca = ctx.asd_shared(a, level).0.section.count(&|_| None);
+    let cb = ctx.asd_shared(b, level).0.section.count(&|_| None);
     match (ca, cb) {
         (Some(x), Some(y)) => (x + y) * policy.elem_bytes <= policy.max_combined_bytes,
         _ => true,

@@ -70,11 +70,11 @@ pub mod strategy;
 pub mod subset;
 
 pub use check::{check_schedule, LegalityReport};
-pub use codegen::{lower_to_sim, SimConfig};
+pub use codegen::{lower_to_sim, lower_to_sim_with, SimConfig};
 pub use ctx::AnalysisCtx;
 pub use entry::{CommEntry, CommKind, EntryId};
 pub use greedy::{CombinePolicy, GreedyOrder};
-pub use optimal::{optimal_placement, OptimalResult};
+pub use optimal::{optimal_placement, optimal_placement_jobs, OptimalResult};
 pub use pipeline::{
     compile, compile_budgeted, compile_budgeted_with_policy, compile_diagnostics,
     compile_diagnostics_budgeted, compile_program, compile_program_budgeted, compile_stats,

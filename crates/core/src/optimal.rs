@@ -8,11 +8,13 @@
 //! simulator (startup + bandwidth + packing — a concrete instance of the
 //! §6.1 model), so the greedy's quality can be measured.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use gcomm_ir::Pos;
 use gcomm_machine::{simulate, NetworkModel};
 
 use crate::candidates::candidates;
-use crate::codegen::{lower_to_sim, SimConfig};
+use crate::codegen::{lower_to_sim, lower_to_sim_with, SimConfig};
 use crate::ctx::AnalysisCtx;
 use crate::earliest::earliest_pos;
 use crate::entry::EntryId;
@@ -43,7 +45,24 @@ pub fn comm_cost(compiled: &Compiled, cfg: &SimConfig, net: &NetworkModel) -> f6
     simulate(&lower_to_sim(compiled, cfg), net).comm_us
 }
 
-/// Exhaustively searches candidate assignments for the cheapest schedule.
+/// Exhaustively searches candidate assignments for the cheapest schedule
+/// (serial reference path — [`optimal_placement_jobs`] with one worker).
+///
+/// # Errors / `None`
+///
+/// Returns `None` when the program has no communication.
+pub fn optimal_placement(
+    compiled: &Compiled,
+    policy: &CombinePolicy,
+    cfg: &SimConfig,
+    net: &NetworkModel,
+    budget: &gcomm_guard::Budget,
+) -> Option<OptimalResult> {
+    optimal_placement_jobs(compiled, policy, cfg, net, budget, 1)
+}
+
+/// Exhaustively searches candidate assignments for the cheapest schedule,
+/// fanning the enumeration across `jobs` workers.
 ///
 /// Runs the same front half as the global strategy (entries, candidate
 /// windows, redundancy elimination), then enumerates every choice of one
@@ -51,16 +70,25 @@ pub fn comm_cost(compiled: &Compiled, cfg: &SimConfig, net: &NetworkModel) -> f6
 /// simulator. Returns `None` when the program has no communication.
 ///
 /// The `budget` bounds only the enumeration (one step per assignment
-/// scored); the front half runs unbudgeted so the search space itself is
-/// identical to the global strategy's. An exhausted budget truncates the
-/// scan — the seeded input schedule guarantees the result is never worse
-/// than what the caller already had.
-pub fn optimal_placement(
+/// scored; workers charge the shared atomic counter as they score); the
+/// front half runs unbudgeted so the search space itself is identical to
+/// the global strategy's. An exhausted budget truncates the scan — the
+/// seeded input schedule guarantees the result is never worse than what
+/// the caller already had.
+///
+/// **Determinism contract (DESIGN.md §11):** every worker count scores the
+/// same fixed index range `[0, tried)` of the assignment odometer, workers
+/// share an atomic best-cost bound used only for *pruning* (a cost
+/// strictly above the bound can never win), and the final merge picks the
+/// minimum by `(cost, assignment index)` with the seed schedule winning
+/// cost ties — bit-identical results for any `jobs`.
+pub fn optimal_placement_jobs(
     compiled: &Compiled,
     policy: &CombinePolicy,
     cfg: &SimConfig,
     net: &NetworkModel,
     budget: &gcomm_guard::Budget,
+    jobs: usize,
 ) -> Option<OptimalResult> {
     let prog = &compiled.prog;
     let entries = crate::commgen::number(crate::commgen::generate(prog));
@@ -87,70 +115,123 @@ pub fn optimal_placement(
         .map(|c| c.len() as u64)
         .try_fold(1u64, |a, b| a.checked_mul(b))
         .unwrap_or(u64::MAX);
-    let truncated = space > budget.step_cap().unwrap_or(u64::MAX);
+    // The enumeration window is fixed up front from the budget's remaining
+    // steps (at least one assignment, mirroring the historical
+    // score-then-charge order), so every worker count scores exactly the
+    // same assignments no matter how charges interleave.
+    let remaining = budget
+        .step_cap()
+        .map_or(u64::MAX, |cap| cap.saturating_sub(budget.steps_used()));
+    let limit = space.min(remaining.max(1));
+    let truncated = space > limit;
 
-    // Reusable scoring harness: swap the schedule into a scratch Compiled.
-    let mut scratch = Compiled {
-        prog: compiled.prog.clone(),
-        schedule: Schedule {
-            strategy: Strategy::Global,
-            entries: entries.clone(),
-            groups: Vec::new(),
-            absorptions: absorptions.clone(),
-            section_overrides: Vec::new(),
-        },
-        stats: Default::default(),
-    };
-
-    let mut counters = vec![0usize; ids.len()];
     // Seed the search with the input schedule so the result is never worse
     // than what the caller already has, even when the budget truncates the
     // enumeration (guarantees optimal ≤ greedy for differential tests).
-    let mut best: Option<(f64, Schedule)> =
-        Some((comm_cost(compiled, cfg, net), compiled.schedule.clone()));
-    let mut tried: u64 = 0;
+    // Every scoring call shares `ctx`, so SSA/dominators build once and
+    // each `(entry, level)` section widens once for the whole search.
+    let seed_cost = simulate(&lower_to_sim_with(compiled, cfg, &ctx), net).comm_us;
+    // Shared branch-and-bound bound: the cheapest cost seen so far, as
+    // f64 bits (nonnegative IEEE floats order identically to their bit
+    // patterns). Monotonically decreasing via `fetch_min`.
+    let best_bits = AtomicU64::new(seed_cost.to_bits());
+    let reg = gcomm_obs::current();
 
-    loop {
-        // Build the schedule for the current assignment.
-        let assignment: Vec<Pos> = counters
-            .iter()
-            .zip(&choice_sets)
-            .map(|(&c, set)| set[c])
-            .collect();
-        let groups = group_assignment(&ctx, &entries, &ids, &assignment, policy);
-        scratch.schedule.groups = groups;
-        let cost = comm_cost(&scratch, cfg, net);
-        tried += 1;
-        if best.as_ref().is_none_or(|(b, _)| cost < *b) {
-            best = Some((cost, scratch.schedule.clone()));
-        }
-        if !budget.charge(1) {
-            break;
-        }
-        // Advance the odometer.
-        let mut i = 0;
-        loop {
-            if i == counters.len() {
-                break;
+    let ranges = gcomm_par::split_range(limit, jobs);
+    let worker_best = gcomm_par::map(jobs, &ranges, |_, &(lo, hi)| {
+        // Workers inherit the coordinator's stats registry (counter sums
+        // are scheduling-independent) and score a contiguous index slice.
+        let _obs = reg.clone().map(gcomm_obs::install);
+        let mut counters = decode_odometer(lo, &choice_sets);
+        let mut scratch = Compiled {
+            prog: compiled.prog.clone(),
+            schedule: Schedule {
+                strategy: Strategy::Global,
+                entries: entries.clone(),
+                groups: Vec::new(),
+                absorptions: absorptions.clone(),
+                section_overrides: Vec::new(),
+            },
+            stats: Default::default(),
+        };
+        let mut local: Option<(f64, u64, Schedule)> = None;
+        for idx in lo..hi {
+            let assignment: Vec<Pos> = counters
+                .iter()
+                .zip(&choice_sets)
+                .map(|(&c, set)| set[c])
+                .collect();
+            scratch.schedule.groups = group_assignment(&ctx, &entries, &ids, &assignment, policy);
+            let cost = simulate(&lower_to_sim_with(&scratch, cfg, &ctx), net).comm_us;
+            budget.charge(1);
+            // Prune on the shared bound: a cost strictly above it can
+            // never be the global minimum. Equal costs must still be
+            // recorded — a lower index elsewhere may win the tie.
+            let bound = f64::from_bits(best_bits.load(Ordering::Relaxed));
+            if cost <= bound {
+                let improves = match &local {
+                    None => true,
+                    Some((lc, li, _)) => cost < *lc || (cost == *lc && idx < *li),
+                };
+                if improves {
+                    local = Some((cost, idx, scratch.schedule.clone()));
+                }
+                best_bits.fetch_min(cost.to_bits(), Ordering::Relaxed);
             }
-            counters[i] += 1;
-            if counters[i] < choice_sets[i].len() {
-                break;
+            // Advance the odometer.
+            let mut i = 0;
+            while i < counters.len() {
+                counters[i] += 1;
+                if counters[i] < choice_sets[i].len() {
+                    break;
+                }
+                counters[i] = 0;
+                i += 1;
             }
-            counters[i] = 0;
-            i += 1;
         }
-        if i == counters.len() {
-            break;
-        }
+        local
+    });
+
+    // Deterministic merge: lexicographic minimum over (cost, index); the
+    // seed wins ties against any enumerated assignment (strict `<`), just
+    // like the serial scan that replaced `best` only on improvement.
+    let mut best: Option<(f64, u64, Schedule)> = None;
+    for cand in worker_best.into_iter().flatten() {
+        best = Some(match best {
+            None => cand,
+            Some(b) => {
+                if cand.0 < b.0 || (cand.0 == b.0 && cand.1 < b.1) {
+                    cand
+                } else {
+                    b
+                }
+            }
+        });
     }
-
-    best.map(|(comm_us, schedule)| OptimalResult {
+    let (comm_us, schedule) = match best {
+        Some((cost, _, sched)) if cost < seed_cost => (cost, sched),
+        _ => (seed_cost, compiled.schedule.clone()),
+    };
+    Some(OptimalResult {
         schedule,
         comm_us,
-        tried,
+        tried: limit,
         truncated,
     })
+}
+
+/// Decodes a linear assignment index into odometer counters (index 0 of
+/// `choice_sets` advances fastest, matching the enumeration order).
+fn decode_odometer(mut idx: u64, choice_sets: &[Vec<Pos>]) -> Vec<usize> {
+    choice_sets
+        .iter()
+        .map(|set| {
+            let len = set.len() as u64;
+            let c = (idx % len) as usize;
+            idx /= len;
+            c
+        })
+        .collect()
 }
 
 /// Partitions an assignment into compatibility groups (same first-fit rule

@@ -125,14 +125,13 @@ fn find_pair(
                 }
                 let e1 = &entries[c1.0 as usize];
                 let e2 = &entries[c2.0 as usize];
-                let a1 = ctx.asd_at(e1, level);
-                let a2 = ctx.asd_at(e2, level);
-                if !banned.contains(&(c1, c2)) && a2.subsumed_by_within(&a1, &ctx.sym, &ctx.budget)
-                {
+                // Memoized: a revisited (section, section) pair answers
+                // from the per-compile memo, so re-scans after each
+                // absorption cost O(1) per already-judged pair.
+                if !banned.contains(&(c1, c2)) && ctx.subsumed_within(e2, e1, level) {
                     return Some((c1, c2, pos));
                 }
-                if !banned.contains(&(c2, c1)) && a1.subsumed_by_within(&a2, &ctx.sym, &ctx.budget)
-                {
+                if !banned.contains(&(c2, c1)) && ctx.subsumed_within(e1, e2, level) {
                     return Some((c2, c1, pos));
                 }
             }

@@ -151,9 +151,7 @@ fn earliest_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
                 continue;
             }
             let lvl = pos[i1].level(ctx.prog);
-            let a1 = ctx.asd_at(&entries[i1], lvl);
-            let a2 = ctx.asd_at(&entries[i2], lvl);
-            if !absorber[i2] && a2.subsumed_by_within(&a1, &ctx.sym, &ctx.budget) {
+            if !absorber[i2] && ctx.subsumed_within(&entries[i2], &entries[i1], lvl) {
                 alive[i2] = false;
                 absorber[i1] = true;
                 absorptions.push(Absorption {
@@ -167,7 +165,7 @@ fn earliest_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
             // points only a dominating communication can cover a later one.
             if pos[i1] == pos[i2]
                 && !absorber[i1]
-                && a1.subsumed_by_within(&a2, &ctx.sym, &ctx.budget)
+                && ctx.subsumed_within(&entries[i1], &entries[i2], lvl)
             {
                 alive[i1] = false;
                 absorber[i2] = true;
@@ -252,9 +250,9 @@ fn earliest_partial_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedu
                 continue;
             }
             let lvl = gj.pos.level(ctx.prog);
-            let full = ctx.section_at(b, lvl);
-            let cover = ctx.section_at(a, lvl);
-            if let Some(residual) = full.subtract(&cover, &ctx.sym) {
+            let full = ctx.asd_shared(b, lvl).0;
+            let cover = ctx.asd_shared(a, lvl).0;
+            if let Some(residual) = full.section.subtract(&cover.section, &ctx.sym) {
                 overrides.push((ej, residual));
             }
         }

@@ -3,6 +3,13 @@
 //! Newlines are significant (they terminate statements), `!` starts a comment
 //! running to end of line, and `&` at end of line continues the statement on
 //! the next line, as in free-form Fortran.
+//!
+//! The scanner walks byte indices over the source and tokens borrow their
+//! text from it: an identifier that is already lowercase (the common case)
+//! is a zero-copy slice, so lexing allocates nothing beyond the token
+//! vector itself.
+
+use std::borrow::Cow;
 
 use crate::error::LangError;
 use crate::token::{keyword, Token, TokenKind};
@@ -14,26 +21,32 @@ use crate::token::{keyword, Token, TokenKind};
 /// # Errors
 ///
 /// Returns [`LangError`] on an unrecognized character or malformed number.
-pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+pub fn lex(src: &str) -> Result<Vec<Token<'_>>, LangError> {
     Lexer::new(src).run()
 }
 
-struct Lexer<'a> {
-    chars: std::iter::Peekable<std::str::Chars<'a>>,
+struct Lexer<'s> {
+    src: &'s str,
+    pos: usize,
     line: u32,
-    out: Vec<Token>,
+    out: Vec<Token<'s>>,
 }
 
-impl<'a> Lexer<'a> {
-    fn new(src: &'a str) -> Self {
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
         Lexer {
-            chars: src.chars().peekable(),
+            src,
+            pos: 0,
             line: 1,
             out: Vec::new(),
         }
     }
 
-    fn push(&mut self, kind: TokenKind) {
+    fn peek(&self) -> Option<u8> {
+        self.src.as_bytes().get(self.pos).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind<'s>) {
         self.out.push(Token {
             kind,
             line: self.line,
@@ -54,88 +67,54 @@ impl<'a> Lexer<'a> {
         self.push(TokenKind::Newline);
     }
 
-    fn run(mut self) -> Result<Vec<Token>, LangError> {
-        while let Some(&c) = self.chars.peek() {
+    fn run(mut self) -> Result<Vec<Token<'s>>, LangError> {
+        while let Some(c) = self.peek() {
             match c {
-                ' ' | '\t' | '\r' => {
-                    self.chars.next();
-                }
-                '\n' => {
-                    self.chars.next();
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
                     self.push_newline();
                     self.line += 1;
                 }
-                '!' => {
+                b'!' => {
                     // Comment to end of line.
-                    while let Some(&c2) = self.chars.peek() {
-                        if c2 == '\n' {
-                            break;
-                        }
-                        self.chars.next();
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.pos += 1;
                     }
                 }
-                '&' => {
+                b'&' => {
                     // Line continuation: swallow '&', the rest of the line,
                     // and the newline itself.
-                    self.chars.next();
-                    while let Some(&c2) = self.chars.peek() {
-                        self.chars.next();
-                        if c2 == '\n' {
+                    self.pos += 1;
+                    while let Some(c2) = self.peek() {
+                        self.pos += 1;
+                        if c2 == b'\n' {
                             self.line += 1;
                             break;
                         }
                     }
                 }
-                ';' => {
-                    self.chars.next();
+                b';' => {
+                    self.pos += 1;
                     self.push_newline();
                 }
-                '(' => self.single(TokenKind::LParen),
-                ')' => self.single(TokenKind::RParen),
-                ',' => self.single(TokenKind::Comma),
-                ':' => self.single(TokenKind::Colon),
-                '+' => self.single(TokenKind::Plus),
-                '-' => self.single(TokenKind::Minus),
-                '*' => self.single(TokenKind::Star),
-                '/' => {
-                    self.chars.next();
-                    if self.chars.peek() == Some(&'=') {
-                        self.chars.next();
-                        self.push(TokenKind::Ne);
-                    } else {
-                        self.push(TokenKind::Slash);
-                    }
-                }
-                '=' => {
-                    self.chars.next();
-                    if self.chars.peek() == Some(&'=') {
-                        self.chars.next();
-                        self.push(TokenKind::EqEq);
-                    } else {
-                        self.push(TokenKind::Assign);
-                    }
-                }
-                '<' => {
-                    self.chars.next();
-                    if self.chars.peek() == Some(&'=') {
-                        self.chars.next();
-                        self.push(TokenKind::Le);
-                    } else {
-                        self.push(TokenKind::Lt);
-                    }
-                }
-                '>' => {
-                    self.chars.next();
-                    if self.chars.peek() == Some(&'=') {
-                        self.chars.next();
-                        self.push(TokenKind::Ge);
-                    } else {
-                        self.push(TokenKind::Gt);
-                    }
-                }
-                c if c.is_ascii_digit() || c == '.' => self.number()?,
-                c if c.is_ascii_alphabetic() || c == '_' => self.ident(),
-                other => {
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b',' => self.single(TokenKind::Comma),
+                b':' => self.single(TokenKind::Colon),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.two(b'=', TokenKind::Ne, TokenKind::Slash),
+                b'=' => self.two(b'=', TokenKind::EqEq, TokenKind::Assign),
+                b'<' => self.two(b'=', TokenKind::Le, TokenKind::Lt),
+                b'>' => self.two(b'=', TokenKind::Ge, TokenKind::Gt),
+                c if c.is_ascii_digit() || c == b'.' => self.number()?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.ident(),
+                _ => {
+                    // Only ASCII is ever consumed above, so `pos` sits on a
+                    // char boundary and the offending char decodes cleanly.
+                    let other = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
                     return Err(LangError::at(
                         self.line,
                         format!("unrecognized character `{other}`"),
@@ -148,46 +127,55 @@ impl<'a> Lexer<'a> {
         Ok(self.out)
     }
 
-    fn single(&mut self, kind: TokenKind) {
-        self.chars.next();
+    fn single(&mut self, kind: TokenKind<'s>) {
+        self.pos += 1;
         self.push(kind);
     }
 
+    /// Consumes one char, then `follow` if present: `long` on the pair,
+    /// `short` otherwise.
+    fn two(&mut self, follow: u8, long: TokenKind<'s>, short: TokenKind<'s>) {
+        self.pos += 1;
+        if self.peek() == Some(follow) {
+            self.pos += 1;
+            self.push(long);
+        } else {
+            self.push(short);
+        }
+    }
+
     fn number(&mut self) -> Result<(), LangError> {
-        let mut text = String::new();
+        let start = self.pos;
+        let bytes = self.src.as_bytes();
         let mut is_float = false;
-        while let Some(&c) = self.chars.peek() {
-            if c.is_ascii_digit() {
-                text.push(c);
-                self.chars.next();
-            } else if c == '.' && !is_float {
-                // Lookahead: `1.5` is a float; but `2:` after `1.` is not
-                // possible in this grammar, so a bare dot always means float.
-                is_float = true;
-                text.push(c);
-                self.chars.next();
-            } else if (c == 'e' || c == 'E') && !text.is_empty() {
-                // Exponent part.
-                let mut clone = self.chars.clone();
-                clone.next();
-                match clone.peek() {
-                    Some(&d) if d.is_ascii_digit() || d == '+' || d == '-' => {
-                        is_float = true;
-                        text.push('e');
-                        self.chars.next();
-                        if let Some(&sign) = self.chars.peek() {
-                            if sign == '+' || sign == '-' {
-                                text.push(sign);
-                                self.chars.next();
+        loop {
+            match bytes.get(self.pos) {
+                Some(c) if c.is_ascii_digit() => self.pos += 1,
+                Some(b'.') if !is_float => {
+                    // Lookahead: `1.5` is a float; but `2:` after `1.` is not
+                    // possible in this grammar, so a bare dot always means
+                    // float.
+                    is_float = true;
+                    self.pos += 1;
+                }
+                Some(b'e' | b'E') if self.pos > start => {
+                    // Exponent part; `e` not followed by digits (or a signed
+                    // digit) is an identifier boundary instead.
+                    match bytes.get(self.pos + 1) {
+                        Some(d) if d.is_ascii_digit() || matches!(d, b'+' | b'-') => {
+                            is_float = true;
+                            self.pos += 1;
+                            if matches!(bytes.get(self.pos), Some(b'+' | b'-')) {
+                                self.pos += 1;
                             }
                         }
+                        _ => break,
                     }
-                    _ => break,
                 }
-            } else {
-                break;
+                _ => break,
             }
         }
+        let text = &self.src[start..self.pos];
         if text == "." {
             return Err(LangError::at(self.line, "malformed number `.`"));
         }
@@ -206,15 +194,18 @@ impl<'a> Lexer<'a> {
     }
 
     fn ident(&mut self) {
-        let mut text = String::new();
-        while let Some(&c) = self.chars.peek() {
-            if c.is_ascii_alphanumeric() || c == '_' {
-                text.push(c.to_ascii_lowercase());
-                self.chars.next();
-            } else {
-                break;
-            }
+        let start = self.pos;
+        let bytes = self.src.as_bytes();
+        while matches!(bytes.get(self.pos), Some(c) if c.is_ascii_alphanumeric() || *c == b'_') {
+            self.pos += 1;
         }
+        let raw = &self.src[start..self.pos];
+        // Zero-copy when the source is already lowercase (the common case).
+        let text: Cow<'s, str> = if raw.bytes().any(|c| c.is_ascii_uppercase()) {
+            Cow::Owned(raw.to_ascii_lowercase())
+        } else {
+            Cow::Borrowed(raw)
+        };
         match keyword(&text) {
             Some(k) => self.push(k),
             None => self.push(TokenKind::Ident(text)),
@@ -226,7 +217,7 @@ impl<'a> Lexer<'a> {
 mod tests {
     use super::*;
 
-    fn kinds(src: &str) -> Vec<TokenKind> {
+    fn kinds(src: &str) -> Vec<TokenKind<'_>> {
         lex(src).unwrap().into_iter().map(|t| t.kind).collect()
     }
 

@@ -15,19 +15,19 @@ use crate::token::{Token, TokenKind};
 /// past this limit the parser reports a spanned diagnostic instead.
 pub const MAX_NESTING: usize = 256;
 
-pub struct Parser {
-    toks: Vec<Token>,
+pub struct Parser<'s> {
+    toks: Vec<Token<'s>>,
     pos: usize,
     depth: usize,
 }
 
-impl Parser {
-    /// Lexes `src` and prepares a parser.
+impl<'s> Parser<'s> {
+    /// Lexes `src` and prepares a parser borrowing token text from it.
     ///
     /// # Errors
     ///
     /// Returns [`LangError`] if lexing fails.
-    pub fn new(src: &str) -> Result<Self, LangError> {
+    pub fn new(src: &'s str) -> Result<Self, LangError> {
         Ok(Parser {
             toks: lex(src)?,
             pos: 0,
@@ -40,11 +40,11 @@ impl Parser {
         self.toks.len()
     }
 
-    fn peek(&self) -> &TokenKind {
+    fn peek(&self) -> &TokenKind<'s> {
         &self.toks[self.pos].kind
     }
 
-    fn peek2(&self) -> &TokenKind {
+    fn peek2(&self) -> &TokenKind<'s> {
         let i = (self.pos + 1).min(self.toks.len() - 1);
         &self.toks[i].kind
     }
@@ -53,7 +53,7 @@ impl Parser {
         self.toks[self.pos].line
     }
 
-    fn bump(&mut self) -> TokenKind {
+    fn bump(&mut self) -> TokenKind<'s> {
         let k = self.toks[self.pos].kind.clone();
         if self.pos + 1 < self.toks.len() {
             self.pos += 1;
@@ -61,7 +61,7 @@ impl Parser {
         k
     }
 
-    fn eat(&mut self, k: &TokenKind) -> bool {
+    fn eat(&mut self, k: &TokenKind<'_>) -> bool {
         if self.peek() == k {
             self.bump();
             true
@@ -70,7 +70,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, k: TokenKind) -> Result<(), LangError> {
+    fn expect(&mut self, k: TokenKind<'_>) -> Result<(), LangError> {
         if self.peek() == &k {
             self.bump();
             Ok(())
@@ -84,7 +84,7 @@ impl Parser {
 
     fn expect_ident(&mut self) -> Result<String, LangError> {
         match self.bump() {
-            TokenKind::Ident(s) => Ok(s),
+            TokenKind::Ident(s) => Ok(s.into_owned()),
             other => Err(LangError::at(
                 self.line(),
                 format!("expected identifier, found {other}"),
@@ -513,8 +513,8 @@ impl Parser {
     fn expect_end_of(
         &mut self,
         what: &str,
-        fused: TokenKind,
-        split_second: TokenKind,
+        fused: TokenKind<'_>,
+        split_second: TokenKind<'_>,
     ) -> Result<(), LangError> {
         if self.eat(&fused) {
             return Ok(());

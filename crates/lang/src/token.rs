@@ -1,12 +1,14 @@
 //! Token kinds produced by the lexer.
 
+use std::borrow::Cow;
 use std::fmt;
 
-/// A lexical token with its 1-based source line.
+/// A lexical token with its 1-based source line, borrowing identifier
+/// text from the source string where possible.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Token {
+pub struct Token<'s> {
     /// Token kind and payload.
-    pub kind: TokenKind,
+    pub kind: TokenKind<'s>,
     /// 1-based source line the token starts on.
     pub line: u32,
 }
@@ -16,10 +18,12 @@ pub struct Token {
 /// Keywords are case-insensitive in the source (`DO`, `do`, and `Do` all lex
 /// to [`TokenKind::Do`]); identifiers are lowercased by the lexer so that the
 /// rest of the pipeline is case-insensitive, matching Fortran convention.
+/// An identifier that is already lowercase in the source — the common case —
+/// borrows its text from the input instead of allocating.
 #[derive(Debug, Clone, PartialEq)]
-pub enum TokenKind {
+pub enum TokenKind<'s> {
     /// Identifier (already lowercased).
-    Ident(String),
+    Ident(Cow<'s, str>),
     /// Integer literal.
     Int(i64),
     /// Floating point literal.
@@ -90,7 +94,7 @@ pub enum TokenKind {
     Eof,
 }
 
-impl fmt::Display for TokenKind {
+impl fmt::Display for TokenKind<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
@@ -131,7 +135,7 @@ impl fmt::Display for TokenKind {
 }
 
 /// Maps an identifier to a keyword kind, if it is one.
-pub(crate) fn keyword(ident: &str) -> Option<TokenKind> {
+pub(crate) fn keyword(ident: &str) -> Option<TokenKind<'static>> {
     Some(match ident {
         "program" => TokenKind::Program,
         "end" => TokenKind::End,

@@ -72,6 +72,8 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     // sections: ASD construction and the section algebra.
     "sections.asd_built",
     "sections.subsume_checks",
+    "sections.subsume_memo_hits",
+    "sections.interned",
     "sections.degraded.subsume",
     // core: per-entry placement fates (the partition invariant
     // `candidates == placed + redundant + combined_away`) plus the
@@ -81,6 +83,7 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     "core.entries.redundant",
     "core.entries.combined_away",
     "core.candidate_positions",
+    "core.asd_cache_hits",
     "core.earliest.tests",
     "core.subset.eliminated",
     "core.redundancy.checks",
@@ -210,6 +213,67 @@ impl Registry {
         self.inner.passes.lock().unwrap().clear();
         self.inner.events.lock().unwrap().clear();
         self.inner.dropped_spans.store(0, Ordering::Relaxed);
+    }
+
+    /// Merges a snapshot taken from another registry into this one:
+    /// counters and the per-pass aggregation add, events append, and raw
+    /// spans are re-numbered into this registry's id space (preserving
+    /// their internal parent links) subject to the usual [`SPAN_CAP`].
+    ///
+    /// This is how the parallel drivers keep `--stats` output identical to
+    /// a serial run: each work item records into a fresh registry, and the
+    /// coordinating thread absorbs the snapshots **in item order**, so the
+    /// merged report never depends on worker scheduling (span timestamps
+    /// excepted — they are wall-clock by nature).
+    pub fn absorb(&self, report: &StatsReport) {
+        for (name, v) in &report.counters {
+            if *v > 0 {
+                self.add(name, *v);
+            }
+        }
+        {
+            let mut agg = self.inner.passes.lock().unwrap();
+            for p in &report.pass_table {
+                let slot = agg.entry(p.name.clone()).or_default();
+                slot.calls += p.calls;
+                slot.total_ns += p.total_ns;
+            }
+        }
+        self.inner
+            .events
+            .lock()
+            .unwrap()
+            .extend(report.events.iter().cloned());
+        if !report.spans.is_empty() {
+            let base = self
+                .inner
+                .next_span_id
+                .fetch_add(report.spans.len() as u64, Ordering::Relaxed);
+            // Map the foreign ids (unique within their registry) onto a
+            // freshly reserved block of this registry's id space.
+            let remap: std::collections::BTreeMap<u64, u64> = report
+                .spans
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.id, base + i as u64))
+                .collect();
+            let mut spans = self.inner.spans.lock().unwrap();
+            for s in &report.spans {
+                if spans.len() >= SPAN_CAP {
+                    self.inner.dropped_spans.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let mut rec = s.clone();
+                rec.id = remap[&s.id];
+                rec.parent = s.parent.and_then(|p| remap.get(&p).copied());
+                spans.push(rec);
+            }
+        }
+        if report.dropped_spans > 0 {
+            self.inner
+                .dropped_spans
+                .fetch_add(report.dropped_spans, Ordering::Relaxed);
+        }
     }
 
     /// A point-in-time copy of everything recorded so far.
@@ -760,6 +824,61 @@ mod tests {
         assert_eq!(rep.dropped_spans, 5);
         let p = rep.passes().iter().find(|p| p.name == "many").unwrap();
         assert_eq!(p.calls, (SPAN_CAP + 5) as u64);
+    }
+
+    #[test]
+    fn absorb_merges_counters_passes_and_spans() {
+        let main = Registry::new();
+        {
+            let _g = install(main.clone());
+            count("k.a", 2);
+            let _s = span("main.work");
+        }
+        let worker = Registry::new();
+        {
+            let _g = install(worker.clone());
+            count("k.a", 3);
+            count("k.b", 7);
+            let _outer = span("w.outer");
+            let _inner = span("w.inner");
+        }
+        main.absorb(&worker.snapshot());
+        let rep = main.snapshot();
+        assert_eq!(rep.counter("k.a"), 5);
+        assert_eq!(rep.counter("k.b"), 7);
+        assert_eq!(rep.spans.len(), 3);
+        // Re-numbered ids stay unique and parent links survive the remap.
+        let mut ids: Vec<u64> = rep.spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+        let outer = rep.spans.iter().find(|s| s.name == "w.outer").unwrap();
+        let inner = rep.spans.iter().find(|s| s.name == "w.inner").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        let p = rep.passes().iter().find(|p| p.name == "w.inner").unwrap();
+        assert_eq!(p.calls, 1);
+    }
+
+    #[test]
+    fn absorb_is_order_deterministic_for_counters() {
+        let mk = |n: u64| {
+            let r = Registry::new();
+            let _g = install(r.clone());
+            count("c.x", n);
+            drop(_g);
+            r.snapshot()
+        };
+        let (a, b) = (mk(1), mk(10));
+        let fwd = Registry::new();
+        fwd.absorb(&a);
+        fwd.absorb(&b);
+        let rev = Registry::new();
+        rev.absorb(&b);
+        rev.absorb(&a);
+        assert_eq!(
+            fwd.snapshot().counters.get("c.x"),
+            rev.snapshot().counters.get("c.x")
+        );
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! # gcomm-par — deterministic data parallelism for the gcomm drivers
+//!
+//! A zero-dependency scoped worker pool built on [`std::thread::scope`].
+//! The drivers (bench binaries, fuzz harness) and the optimal-placement
+//! enumeration fan independent work items across workers; this crate
+//! guarantees the **determinism contract** those callers rely on
+//! (DESIGN.md §11): for a pure `f`, [`map`] returns exactly
+//! `items.iter().enumerate().map(f).collect()` regardless of the worker
+//! count — results come back in item order, and `jobs = 1` takes a strictly
+//! serial in-place path so it is the reference behaviour by construction.
+//!
+//! Scheduling is a channel-free chunked work queue: one shared atomic
+//! next-item index that workers `fetch_add`; results land in per-item
+//! slots, so no ordering information ever depends on which worker ran what.
+//! Worker panics propagate to the caller after all threads have joined
+//! (the [`std::thread::scope`] contract), never silently dropping items.
+//!
+//! Worker-count resolution is shared by every driver: the `--jobs N` flag
+//! (see [`take_jobs_flag`]) overrides the `GCOMM_JOBS` environment
+//! variable, which overrides [`std::thread::available_parallelism`].
+//!
+//! ```
+//! let squares = gcomm_par::map(4, &[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default worker count: `GCOMM_JOBS` when set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] (1 when unknown).
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("GCOMM_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Extracts a `--jobs <N>` flag from an argument list, removing it so the
+/// binary's own parsing never sees it. Returns [`default_jobs`] when the
+/// flag is absent.
+///
+/// # Errors
+///
+/// Returns a usage message when `--jobs` has a missing or non-positive
+/// value.
+pub fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
+    let mut jobs: Option<usize> = None;
+    let mut kept = Vec::with_capacity(args.len());
+    let mut it = args.drain(..);
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let v = it.next().ok_or("--jobs requires a value")?;
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => jobs = Some(n),
+                _ => return Err(format!("--jobs: invalid worker count `{v}`")),
+            }
+        } else {
+            kept.push(a);
+        }
+    }
+    drop(it);
+    *args = kept;
+    Ok(jobs.unwrap_or_else(default_jobs))
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads, returning results
+/// in item order.
+///
+/// `f` receives `(index, &item)` and must be pure up to commutative side
+/// effects (budget charges, obs counters): the determinism contract is
+/// that the returned vector is identical to the serial
+/// `items.iter().enumerate().map(f).collect()` for any `jobs`. With
+/// `jobs <= 1` (or fewer than two items) the closure runs serially on the
+/// calling thread — same stack, same thread-locals — which makes that
+/// path the reference semantics by construction.
+///
+/// # Panics
+///
+/// A panic in `f` propagates to the caller once all workers have joined.
+pub fn map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            // invariant: the queue hands out every index < items.len()
+            // exactly once, and scope() joined all workers.
+            slot.into_inner()
+                .unwrap()
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Splits the index range `[0, total)` into at most `parts` contiguous,
+/// non-empty chunks of near-equal size (the leading chunks are one longer
+/// when `total` does not divide evenly). Used by the optimal-placement
+/// enumeration to hand each worker a contiguous slice of the assignment
+/// space.
+pub fn split_range(total: u64, parts: usize) -> Vec<(u64, u64)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let parts = (parts.max(1) as u64).min(total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut start = 0u64;
+    for i in 0..parts {
+        let len = base + u64::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = map(1, &items, |i, &x| (i as u64) * 1000 + x);
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(map(jobs, &items, |i, &x| (i as u64) * 1000 + x), serial);
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        assert_eq!(map(8, &[] as &[u8], |_, &x| x), Vec::<u8>::new());
+        assert_eq!(map(8, &[7u8], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn map_runs_every_item_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        let out = map(16, &items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x + 1
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out[999], 1000);
+    }
+
+    #[test]
+    fn split_range_covers_exactly() {
+        for total in [0u64, 1, 7, 16, 1000] {
+            for parts in [1usize, 2, 3, 8, 2000] {
+                let chunks = split_range(total, parts);
+                let mut expect = 0u64;
+                for &(lo, hi) in &chunks {
+                    assert_eq!(lo, expect);
+                    assert!(hi > lo, "chunks are non-empty");
+                    expect = hi;
+                }
+                assert_eq!(expect, total);
+                assert!(chunks.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_flag_is_extracted() {
+        let mut args: Vec<String> = ["--out", "x.json", "--jobs", "3", "-v"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(take_jobs_flag(&mut args), Ok(3));
+        assert_eq!(args, vec!["--out", "x.json", "-v"]);
+        let mut bad: Vec<String> = vec!["--jobs".into(), "zero".into()];
+        assert!(take_jobs_flag(&mut bad).is_err());
+        let mut none: Vec<String> = vec!["-v".into()];
+        assert!(take_jobs_flag(&mut none).unwrap() >= 1);
+    }
+}

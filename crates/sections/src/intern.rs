@@ -1,0 +1,155 @@
+//! Per-compile section interning and memoized subsumption.
+//!
+//! The redundancy-elimination fixpoint and the greedy/optimal grouping
+//! passes ask the same `D1 ⊆ D2` questions over and over (the fixpoint
+//! alone rescans every candidate pair per iteration). Sections are
+//! structurally hashable, so a per-compile [`SectionAlgebra`] interns each
+//! distinct [`Section`] behind a small copyable [`SectId`] and memoizes
+//! the subset relation on id pairs — a revisited pair costs one hash
+//! lookup instead of a symbolic per-dimension comparison.
+//!
+//! Soundness under budgets (DESIGN.md §10): a `false` produced while the
+//! budget was exhausted may be conservative rather than proven, so it is
+//! **never** memoized — only answers computed to completion enter the
+//! table. A memoized `true` stays valid after exhaustion (it was proven
+//! when stored), which also keeps degraded runs deterministic.
+//!
+//! Thread safety: the tables are `Mutex`-protected so one algebra can be
+//! shared by the parallel optimal-placement workers. The compute happens
+//! while holding the lock, so exactly one worker performs (and counts)
+//! each miss — `sections.subsume_checks` totals stay identical between
+//! `--jobs 1` and `--jobs N` runs.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::section::Section;
+use crate::symcmp::SymCtx;
+
+/// A small copyable handle for an interned [`Section`] (unique within one
+/// [`SectionAlgebra`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SectId(pub u32);
+
+/// Per-compile section interner + subsumption memo table.
+///
+/// The symbolic context is fixed per compile, and sections at different
+/// nesting levels intern to different ids (the level determines the
+/// widened section), so `(SectId, SectId)` fully keys the subset
+/// relation.
+#[derive(Debug, Default)]
+pub struct SectionAlgebra {
+    arena: Mutex<HashMap<Section, SectId>>,
+    subsume: Mutex<HashMap<(SectId, SectId), bool>>,
+}
+
+impl SectionAlgebra {
+    /// Creates an empty algebra.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its stable id (structurally equal sections
+    /// share one id).
+    pub fn intern(&self, s: &Section) -> SectId {
+        let mut arena = self.arena.lock().unwrap();
+        if let Some(&id) = arena.get(s) {
+            return id;
+        }
+        let id = SectId(arena.len() as u32);
+        arena.insert(s.clone(), id);
+        gcomm_obs::count("sections.interned", 1);
+        id
+    }
+
+    /// Number of distinct sections interned so far.
+    pub fn interned(&self) -> usize {
+        self.arena.lock().unwrap().len()
+    }
+
+    /// Memoized [`Section::subset_of_within`]: `a ⊆ b` under the fixed
+    /// symbolic context, keyed on the interned ids. Answers computed while
+    /// the budget was exhausted are not cached (they may be conservative);
+    /// cached answers charge nothing.
+    pub fn subset_of_within(
+        &self,
+        a: &Section,
+        a_id: SectId,
+        b: &Section,
+        b_id: SectId,
+        ctx: &SymCtx,
+        budget: &gcomm_guard::Budget,
+    ) -> bool {
+        // Hold the lock across the compute: a revisited pair is never
+        // recomputed, even when parallel workers race to the same key, so
+        // check/charge counts stay scheduling-independent.
+        let mut memo = self.subsume.lock().unwrap();
+        if let Some(&r) = memo.get(&(a_id, b_id)) {
+            gcomm_obs::count("sections.subsume_memo_hits", 1);
+            return r;
+        }
+        let r = a.subset_of_within(b, ctx, budget);
+        if r || !budget.exhausted() {
+            memo.insert((a_id, b_id), r);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::section::DimSect;
+    use gcomm_ir::{Affine, ParamId, Var};
+
+    fn n() -> Affine {
+        Affine::var(Var::Param(ParamId(0)))
+    }
+    fn rng(lo: i64, hi_off: i64) -> Section {
+        Section::new(vec![DimSect::Range {
+            lo: Affine::constant(lo),
+            hi: n().offset(hi_off),
+            step: 1,
+        }])
+    }
+
+    #[test]
+    fn interning_is_structural() {
+        let alg = SectionAlgebra::new();
+        let a = rng(1, 0);
+        let b = rng(1, 0);
+        let c = rng(2, -1);
+        assert_eq!(alg.intern(&a), alg.intern(&b));
+        assert_ne!(alg.intern(&a), alg.intern(&c));
+        assert_eq!(alg.interned(), 2);
+    }
+
+    #[test]
+    fn memo_agrees_with_direct_subset() {
+        let alg = SectionAlgebra::new();
+        let ctx = SymCtx::default();
+        let budget = gcomm_guard::Budget::unlimited();
+        let inner = rng(2, -1);
+        let outer = rng(1, 0);
+        let (ii, oi) = (alg.intern(&inner), alg.intern(&outer));
+        for _ in 0..3 {
+            assert!(alg.subset_of_within(&inner, ii, &outer, oi, &ctx, &budget));
+            assert!(!alg.subset_of_within(&outer, oi, &inner, ii, &ctx, &budget));
+        }
+    }
+
+    #[test]
+    fn exhausted_false_is_not_sticky() {
+        let alg = SectionAlgebra::new();
+        let ctx = SymCtx::default();
+        let inner = rng(2, -1);
+        let outer = rng(1, 0);
+        let (ii, oi) = (alg.intern(&inner), alg.intern(&outer));
+        // Zero budget: the degraded false must not be memoized...
+        let dead = gcomm_guard::Budget::steps(0);
+        assert!(!alg.subset_of_within(&inner, ii, &outer, oi, &ctx, &dead));
+        // ...so a later well-funded query still proves the subset.
+        let live = gcomm_guard::Budget::unlimited();
+        assert!(alg.subset_of_within(&inner, ii, &outer, oi, &ctx, &live));
+    }
+}

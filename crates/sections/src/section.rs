@@ -336,10 +336,19 @@ impl Section {
             residual_dim = Some(d);
         }
         let Some(rd) = residual_dim else {
-            // Fully covered: canonical empty section.
+            // Fully covered: canonical empty section — the first dimension
+            // becomes the empty range `lo : lo-1` (an `Any` first dimension
+            // has no bound to anchor the empty range, so the residual is
+            // inexpressible). This is what `first.subtract(first)` used to
+            // spell via the fully-covered case; constructed directly now.
             let mut dims = self.dims.clone();
             if let Some(first) = dims.first_mut() {
-                *first = first.subtract(&first.clone(), ctx)?;
+                let lo = first.lo()?.clone();
+                *first = DimSect::Range {
+                    hi: lo.offset(-1),
+                    lo,
+                    step: 1,
+                };
             }
             return Some(Section::new(dims));
         };
@@ -548,6 +557,29 @@ mod tests {
         let full = b2.count(&|_| Some(11)).unwrap();
         let res = r.count(&|_| Some(11)).unwrap();
         assert!(res < full && res * 2 <= full + 10);
+    }
+
+    #[test]
+    fn section_subtract_fully_covered_pins_canonical_empty() {
+        let ctx = SymCtx::default();
+        // (2:n-1, 3:n) minus (1:n, 1:n): fully covered. The canonical empty
+        // residual keeps the rank, empties the FIRST dimension as the range
+        // `lo : lo-1` anchored at the minuend's own lower bound, and leaves
+        // the remaining dimensions untouched.
+        let a = Section::new(vec![rng(c(2), n().offset(-1)), rng(c(3), n())]);
+        let b = Section::new(vec![rng(c(1), n()), rng(c(1), n())]);
+        let r = a.subtract(&b, &ctx).unwrap();
+        assert_eq!(r.rank(), 2);
+        assert_eq!(r.dims[0].lo().unwrap().as_const(), Some(2));
+        assert_eq!(r.dims[0].hi().unwrap().as_const(), Some(1));
+        assert_eq!(r.dims[1], a.dims[1]);
+        assert_eq!(r.count(&|_| Some(10)), Some(0));
+
+        // A fully-covered section whose first dimension is `Any` has no
+        // bound to anchor the empty range: the residual is inexpressible.
+        let any_a = Section::new(vec![DimSect::Any, rng(c(2), n())]);
+        let any_b = Section::new(vec![DimSect::Any, rng(c(1), n())]);
+        assert!(any_a.subtract(&any_b, &ctx).is_none());
     }
 
     #[test]

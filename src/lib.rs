@@ -21,6 +21,7 @@
 //! | [`exec`] | reference interpreter + dynamic schedule verification |
 //! | [`obs`] | observability: spans, counters, stats reports (DESIGN.md §9) |
 //! | [`guard`] | resource budgets + graceful degradation (DESIGN.md §10) |
+//! | [`par`] | deterministic scoped worker pool for the drivers (DESIGN.md §11) |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use gcomm_kernels as kernels;
 pub use gcomm_lang as lang;
 pub use gcomm_machine as machine;
 pub use gcomm_obs as obs;
+pub use gcomm_par as par;
 pub use gcomm_sections as sections;
 pub use gcomm_ssa as ssa;
 

@@ -41,6 +41,14 @@ fn cases() -> u64 {
         .unwrap_or(150)
 }
 
+/// Fans the seed range across the worker pool (`GCOMM_JOBS` / available
+/// cores). Seeds are independent, so this only changes wall-clock time;
+/// a failing seed panics the pool and the test either way.
+fn for_each_seed(f: impl Fn(u64) + Sync) {
+    let seeds: Vec<u64> = (0..cases()).map(|i| SEED_BASE + i).collect();
+    gcomm::par::map(gcomm::par::default_jobs(), &seeds, |_, &seed| f(seed));
+}
+
 /// Runs `exec::verify_schedule` on a compiled program at size 8.
 fn verify(c: &Compiled, seed: u64, what: &str) {
     let rank = c
@@ -68,8 +76,7 @@ fn verify(c: &Compiled, seed: u64, what: &str) {
 /// unbudgeted and with a near-zero budget (which must terminate, not hang).
 #[test]
 fn generated_programs_compile_under_all_strategies() {
-    for i in 0..cases() {
-        let seed = SEED_BASE + i;
+    for_each_seed(|seed| {
         let src = hpf::generate(seed);
         for s in STRATEGIES {
             compile(&src, s).unwrap_or_else(|e| {
@@ -78,15 +85,14 @@ fn generated_programs_compile_under_all_strategies() {
             compile_budgeted(&src, s, Budget::steps(1))
                 .unwrap_or_else(|e| panic!("seed {seed} {s:?} steps=1: {e}\n{src}"));
         }
-    }
+    });
 }
 
 /// (b) Tightly budgeted (degraded) schedules are still legal and replay
 /// correctly under the reference interpreter.
 #[test]
 fn degraded_schedules_stay_legal_and_verifiable() {
-    for i in 0..cases() {
-        let seed = SEED_BASE + i;
+    for_each_seed(|seed| {
         let src = hpf::generate(seed);
         // A spread of tight budgets, including 0 (everything degrades).
         let steps = [0, 1, 7, 50][(seed % 4) as usize];
@@ -100,15 +106,14 @@ fn degraded_schedules_stay_legal_and_verifiable() {
             );
             verify(&c, seed, "budgeted");
         }
-    }
+    });
 }
 
 /// (c) When no `degraded.*` counter fires, a budgeted compile is
 /// bit-identical to the unbudgeted one.
 #[test]
 fn budgets_change_nothing_unless_a_degraded_counter_fired() {
-    for i in 0..cases() {
-        let seed = SEED_BASE + i;
+    for_each_seed(|seed| {
         let src = hpf::generate(seed);
         // Middling budgets: big enough that small programs fit, small
         // enough that larger ones degrade — both sides get coverage.
@@ -142,5 +147,5 @@ fn budgets_change_nothing_unless_a_degraded_counter_fired() {
                 );
             }
         }
-    }
+    });
 }

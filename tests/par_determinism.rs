@@ -1,0 +1,201 @@
+//! Determinism contract of the parallel layer (DESIGN.md §11).
+//!
+//! Everything `gcomm-par` touches must be **bit-identical** between
+//! `--jobs 1` and `--jobs N`:
+//!
+//! * compiles fanned across the worker pool produce the same schedules,
+//!   and per-item stats registries merged in item order produce the same
+//!   counters, as a serial loop;
+//! * the parallel exhaustive placement search returns the same schedule,
+//!   cost bits, `tried`, and `truncated` flag for any worker count — the
+//!   shared best-cost bound only prunes, and ties resolve by assignment
+//!   index;
+//! * the memoized section algebra answers exactly like the unmemoized
+//!   symbolic comparison.
+
+use std::collections::BTreeMap;
+
+use gcomm::core::{optimal_placement_jobs, CombinePolicy, Compiled, SimConfig};
+use gcomm::machine::{NetworkModel, ProcGrid};
+use gcomm::sections::{DimSect, Section, SectionAlgebra, SymCtx};
+use gcomm::{compile, Budget, Strategy};
+use gcomm_ir::Affine;
+use proptest::hpf;
+
+const STRATEGIES: [Strategy; 4] = [
+    Strategy::Original,
+    Strategy::EarliestRE,
+    Strategy::EarliestPartialRE,
+    Strategy::Global,
+];
+
+/// Counter snapshot with the wall-clock-valued entries stripped (any
+/// `*.wall_ns` accumulating timer varies run to run by construction).
+fn stable_counters(report: &gcomm::obs::StatsReport) -> BTreeMap<String, u64> {
+    report
+        .counters
+        .iter()
+        .filter(|(k, _)| !k.ends_with("wall_ns"))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Compiles every item on `jobs` workers, each under a fresh registry,
+/// and merges the snapshots in item order — the driver pattern of
+/// `gcomm_bench::reports::par_report`.
+fn compile_matrix(
+    jobs: usize,
+    work: &[(&str, Strategy)],
+) -> (Vec<Compiled>, BTreeMap<String, u64>) {
+    let merged = gcomm::obs::Registry::new();
+    let results = gcomm::par::map(jobs, work, |_, &(src, strategy)| {
+        let reg = gcomm::obs::Registry::new();
+        let c = {
+            let _scope = gcomm::obs::install(reg.clone());
+            compile(src, strategy).expect("kernel compiles")
+        };
+        (c, reg.snapshot())
+    });
+    let mut compiled = Vec::new();
+    for (c, snap) in results {
+        merged.absorb(&snap);
+        compiled.push(c);
+    }
+    (compiled, stable_counters(&merged.snapshot()))
+}
+
+/// Every kernel × strategy cell: schedules and merged counters from an
+/// 8-worker fan-out are bit-identical to the serial loop.
+#[test]
+fn kernel_matrix_is_jobs_invariant() {
+    let mut work = Vec::new();
+    for (_, _, src) in gcomm_kernels::all_kernels() {
+        for s in STRATEGIES {
+            work.push((src, s));
+        }
+    }
+    let (serial, serial_counters) = compile_matrix(1, &work);
+    let (parallel, parallel_counters) = compile_matrix(8, &work);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            a, b,
+            "kernel cell {i} ({:?}) diverged between jobs 1 and 8",
+            work[i].1
+        );
+    }
+    assert_eq!(
+        serial_counters, parallel_counters,
+        "merged stats counters diverged between jobs 1 and 8"
+    );
+}
+
+/// The exhaustive search: same schedule, cost bits, tried, and truncated
+/// for any worker count, across exhausted and truncated budgets.
+#[test]
+fn optimal_search_is_jobs_invariant() {
+    let cases: [(&str, usize, u64); 3] = [
+        (gcomm_kernels::FIG4_RUNNING, 2, 20_000),
+        (gcomm_kernels::FIG3_SCALARIZED, 2, 5_000),
+        // Tight budget: the truncated path must stay jobs-invariant too.
+        (gcomm_kernels::TRIMESH_GAUSS, 2, 100),
+    ];
+    for (src, axes, budget) in cases {
+        let c = compile(src, Strategy::Global).expect("compiles");
+        let cfg = SimConfig::uniform(&c, ProcGrid::balanced(8, axes), 48).with("nsteps", 4);
+        let net = NetworkModel::sp2();
+        let run = |jobs: usize| {
+            let b = Budget::steps(budget);
+            optimal_placement_jobs(&c, &CombinePolicy::default(), &cfg, &net, &b, jobs)
+                .expect("has communication")
+        };
+        let one = run(1);
+        for jobs in [2, 4, 8] {
+            let many = run(jobs);
+            assert_eq!(
+                one.schedule, many.schedule,
+                "jobs {jobs}: schedule diverged"
+            );
+            assert_eq!(
+                one.comm_us.to_bits(),
+                many.comm_us.to_bits(),
+                "jobs {jobs}: cost diverged"
+            );
+            assert_eq!(one.tried, many.tried, "jobs {jobs}: tried diverged");
+            assert_eq!(
+                one.truncated, many.truncated,
+                "jobs {jobs}: truncated flag diverged"
+            );
+        }
+    }
+}
+
+/// 200 fuzzed programs: compiling inside the worker pool is bit-identical
+/// to compiling serially.
+#[test]
+fn fuzz_seeds_are_jobs_invariant() {
+    let seeds: Vec<u64> = (0..200).map(|i| 0x9c077 + i).collect();
+    let compile_all = |jobs: usize| {
+        gcomm::par::map(jobs, &seeds, |_, &seed| {
+            let src = hpf::generate(seed);
+            STRATEGIES
+                .map(|s| compile(&src, s).unwrap_or_else(|e| panic!("seed {seed} {s:?}: {e}")))
+        })
+    };
+    let serial = compile_all(1);
+    let parallel = compile_all(8);
+    for (seed, (a, b)) in seeds.iter().zip(serial.iter().zip(&parallel)) {
+        assert_eq!(a, b, "seed {seed}: schedules diverged between jobs 1 and 8");
+    }
+}
+
+/// Deterministic splitmix-style generator for random section shapes.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn random_section(state: &mut u64) -> Section {
+    let rank = 1 + (next(state) % 3) as usize;
+    let dims = (0..rank)
+        .map(|_| match next(state) % 8 {
+            0 => DimSect::Any,
+            1 => DimSect::Elem(Affine::constant((next(state) % 10) as i64)),
+            _ => {
+                let lo = (next(state) % 8) as i64;
+                let len = (next(state) % 12) as i64;
+                let step = 1 + (next(state) % 3) as i64;
+                DimSect::Range {
+                    lo: Affine::constant(lo),
+                    hi: Affine::constant(lo + len),
+                    step,
+                }
+            }
+        })
+        .collect();
+    Section::new(dims)
+}
+
+/// Memoized subsumption ≡ unmemoized symbolic subset on random pairs, and
+/// the memoized answer is stable across re-queries.
+#[test]
+fn memoized_subsumption_matches_unmemoized() {
+    let alg = SectionAlgebra::new();
+    let ctx = SymCtx::default();
+    let budget = Budget::unlimited();
+    let mut state = 0x5eed_u64;
+    let sections: Vec<Section> = (0..40).map(|_| random_section(&mut state)).collect();
+    let ids: Vec<_> = sections.iter().map(|s| alg.intern(s)).collect();
+    for (i, a) in sections.iter().enumerate() {
+        for (j, b) in sections.iter().enumerate() {
+            let direct = a.subset_of(b, &ctx);
+            let memo = alg.subset_of_within(a, ids[i], b, ids[j], &ctx, &budget);
+            assert_eq!(memo, direct, "pair ({i}, {j}): memoized answer diverged");
+            let again = alg.subset_of_within(a, ids[i], b, ids[j], &ctx, &budget);
+            assert_eq!(again, direct, "pair ({i}, {j}): memo hit diverged");
+        }
+    }
+}
