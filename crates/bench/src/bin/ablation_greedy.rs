@@ -4,16 +4,19 @@
 //! global code motion heuristic). This ablation compares that order against
 //! least-constrained-first and plain program order on every kernel.
 
-use gcomm_bench::{reports, statscli::StatsOpts};
+use gcomm_bench::reports;
 use gcomm_core::{compile_with_policy, CombinePolicy, GreedyOrder, Strategy};
+use gcomm_serve::cli;
 
 fn main() {
+    const BIN: &str = "ablation_greedy";
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = gcomm_par::take_jobs_flag(&mut args).unwrap_or_else(|e| {
-        eprintln!("ablation_greedy: {e}");
-        std::process::exit(2);
-    });
-    let _stats = StatsOpts::extract(&mut args).install();
+    if cli::take_version_flag(&mut args) {
+        println!("{}", cli::version_line(BIN));
+        return;
+    }
+    let jobs = cli::or_exit2(BIN, gcomm_par::take_jobs_flag(&mut args));
+    let _stats = cli::or_exit2(BIN, cli::StatsOpts::extract(&mut args)).install();
     println!(
         "{:<10} {:<9} {:>16} {:>17} {:>14}",
         "Benchmark", "Routine", "most-constrained", "least-constrained", "program-order"

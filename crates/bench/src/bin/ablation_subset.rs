@@ -11,12 +11,15 @@ use std::time::Instant;
 use gcomm_core::{commgen, strategy, AnalysisCtx, CombinePolicy};
 
 fn main() {
+    use gcomm_serve::cli;
+    const BIN: &str = "ablation_subset";
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = gcomm_par::take_jobs_flag(&mut args).unwrap_or_else(|e| {
-        eprintln!("ablation_subset: {e}");
-        std::process::exit(2);
-    });
-    let _stats = gcomm_bench::statscli::StatsOpts::extract(&mut args).install();
+    if cli::take_version_flag(&mut args) {
+        println!("{}", cli::version_line(BIN));
+        return;
+    }
+    let jobs = cli::or_exit2(BIN, gcomm_par::take_jobs_flag(&mut args));
+    let _stats = cli::or_exit2(BIN, cli::StatsOpts::extract(&mut args)).install();
     println!(
         "{:<10} {:<9} {:>9} {:>9} {:>12} {:>12}",
         "Benchmark", "Routine", "msgs(on)", "msgs(off)", "time on(us)", "time off(us)"

@@ -39,12 +39,15 @@ fn run(src: &str, m: usize, threshold: u64) -> (usize, f64) {
 }
 
 fn main() {
+    use gcomm_serve::cli;
+    const BIN: &str = "ablation_threshold";
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = gcomm_par::take_jobs_flag(&mut args).unwrap_or_else(|e| {
-        eprintln!("ablation_threshold: {e}");
-        std::process::exit(2);
-    });
-    let _stats = gcomm_bench::statscli::StatsOpts::extract(&mut args).install();
+    if cli::take_version_flag(&mut args) {
+        println!("{}", cli::version_line(BIN));
+        return;
+    }
+    let jobs = cli::or_exit2(BIN, gcomm_par::take_jobs_flag(&mut args));
+    let _stats = cli::or_exit2(BIN, cli::StatsOpts::extract(&mut args)).install();
     let k = 8;
     let m = 16;
     let src = kernel(k, m);

@@ -13,11 +13,14 @@ use std::time::Instant;
 use gcomm_core::{compile_stats, Strategy};
 
 fn main() {
+    use gcomm_serve::cli;
+    const BIN: &str = "bench_pipeline";
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = gcomm_par::take_jobs_flag(&mut args).unwrap_or_else(|e| {
-        eprintln!("bench_pipeline: {e}");
-        std::process::exit(2);
-    });
+    if cli::take_version_flag(&mut args) {
+        println!("{}", cli::version_line(BIN));
+        return;
+    }
+    let jobs = cli::or_exit2(BIN, gcomm_par::take_jobs_flag(&mut args));
     let mut out_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {

@@ -1,0 +1,244 @@
+//! Load generator for the compile service (DESIGN.md §12): spins up an
+//! in-process server, drives it with N client threads × M requests at a
+//! configurable cache-hit ratio, and emits the `BENCH_serve.json`
+//! artifact (throughput, warm/cold latency percentiles, measured hit
+//! rate, error count).
+//!
+//! "Warm" requests draw from a small set of sources compiled once during
+//! warmup, so they hit the content-addressed cache; "cold" requests each
+//! append a unique run of trailing newlines to the base source — textually
+//! distinct (a different cache key) but semantically identical, so every
+//! cold compile does the same pipeline work.
+//!
+//! Usage: `bench_serve [--threads <n>] [--requests <m>] [--hit-ratio <f>]
+//! [--jobs <n>] [--out <path>]` (4 × 250 at 0.5 by default, stdout
+//! without `--out`).
+
+use std::time::Instant;
+
+use gcomm_core::Strategy;
+use gcomm_serve::cli;
+use gcomm_serve::json::Json;
+use gcomm_serve::{compile_request, Client, ServiceConfig};
+
+const BIN: &str = "bench_serve";
+
+/// Warm-set size: distinct sources compiled during warmup whose responses
+/// the main phase re-requests.
+const WARM_SOURCES: usize = 8;
+
+/// The base program every request compiles (cold variants differ only in
+/// trailing newlines).
+fn source(variant: usize) -> String {
+    let mut s = gcomm_kernels::SHALLOW.to_string();
+    for _ in 0..variant {
+        s.push('\n');
+    }
+    s
+}
+
+/// Deterministic splitmix64 step (no RNG crates; reproducible runs).
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn latency_block(mut us: Vec<f64>) -> String {
+    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    format!(
+        "{{\"samples\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+        us.len(),
+        percentile(&us, 0.50),
+        percentile(&us, 0.95),
+        percentile(&us, 0.99)
+    )
+}
+
+fn counter(stats: &Json, name: &str) -> u64 {
+    stats
+        .get("stats")
+        .and_then(|s| s.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if cli::take_version_flag(&mut args) {
+        println!("{}", cli::version_line(BIN));
+        return;
+    }
+    let jobs = cli::or_exit2(BIN, gcomm_par::take_jobs_flag(&mut args));
+    let mut threads = 4usize;
+    let mut requests = 250usize;
+    let mut hit_ratio = 0.5f64;
+    let mut out_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{BIN}: {name} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--threads" => match value("--threads").parse() {
+                Ok(n) if n >= 1 => threads = n,
+                _ => cli::or_exit2::<()>(BIN, Err("--threads expects a count >= 1".into())),
+            },
+            "--requests" => match value("--requests").parse() {
+                Ok(n) if n >= 1 => requests = n,
+                _ => cli::or_exit2::<()>(BIN, Err("--requests expects a count >= 1".into())),
+            },
+            "--hit-ratio" => match value("--hit-ratio").parse::<f64>() {
+                Ok(f) if (0.0..=1.0).contains(&f) => hit_ratio = f,
+                _ => cli::or_exit2::<()>(BIN, Err("--hit-ratio expects 0.0..=1.0".into())),
+            },
+            "--out" => out_path = Some(value("--out")),
+            _ => cli::or_exit2::<()>(
+                BIN,
+                Err(format!(
+                    "unrecognized argument '{a}' \
+                     (usage: bench_serve [--threads <n>] [--requests <m>] \
+                     [--hit-ratio <f>] [--jobs <n>] [--out <path>])"
+                )),
+            ),
+        }
+    }
+
+    let config = ServiceConfig {
+        jobs,
+        ..ServiceConfig::default()
+    };
+    let server = gcomm_serve::spawn("127.0.0.1:0", config).expect("bind ephemeral server");
+    let addr = server.addr();
+
+    // Warmup: compile the warm set cold, so main-phase "warm" requests hit.
+    {
+        let mut client = Client::connect(addr).expect("connect warmup client");
+        for v in 1..=WARM_SOURCES {
+            let resp = client
+                .request(&compile_request(
+                    v as u64,
+                    &source(v),
+                    Strategy::Global,
+                    None,
+                    None,
+                ))
+                .expect("warmup response");
+            assert!(
+                resp.contains("\"ok\":true"),
+                "warmup compile failed: {resp}"
+            );
+        }
+    }
+
+    // Main phase: N threads, each with its own connection, M requests.
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let per_thread = requests;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect client");
+                let mut rng = 0xbe9c_0000 ^ (t as u64);
+                let mut warm_us: Vec<f64> = Vec::new();
+                let mut cold_us: Vec<f64> = Vec::new();
+                let mut errors = 0u64;
+                for j in 0..per_thread {
+                    let draw = (next_rand(&mut rng) % 1_000_000) as f64;
+                    let warm = draw < hit_ratio * 1_000_000.0;
+                    let variant = if warm {
+                        1 + (next_rand(&mut rng) as usize % WARM_SOURCES)
+                    } else {
+                        // A globally unique variant: never warmed, never
+                        // repeated across threads.
+                        WARM_SOURCES + 1 + t * per_thread + j
+                    };
+                    let req = compile_request(
+                        (t * per_thread + j) as u64,
+                        &source(variant),
+                        Strategy::Global,
+                        None,
+                        None,
+                    );
+                    let start = Instant::now();
+                    match client.request(&req) {
+                        Ok(resp) if resp.contains("\"ok\":true") => {
+                            let us = start.elapsed().as_secs_f64() * 1e6;
+                            if warm {
+                                warm_us.push(us);
+                            } else {
+                                cold_us.push(us);
+                            }
+                        }
+                        _ => errors += 1,
+                    }
+                }
+                (warm_us, cold_us, errors)
+            })
+        })
+        .collect();
+    let mut warm_us = Vec::new();
+    let mut cold_us = Vec::new();
+    let mut errors = 0u64;
+    for w in workers {
+        let (w_us, c_us, e) = w.join().expect("worker thread");
+        warm_us.extend(w_us);
+        cold_us.extend(c_us);
+        errors += e;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let total = threads * requests;
+
+    // The authoritative hit counts come from the server's own registry.
+    let stats = {
+        let mut client = Client::connect(addr).expect("connect stats client");
+        let resp = client
+            .request(r#"{"op":"stats","id":0,"stable":true}"#)
+            .expect("stats response");
+        Json::parse(&resp).expect("stats parses")
+    };
+    let hits = counter(&stats, "cache.hit");
+    let misses = counter(&stats, "cache.miss");
+    let evicts = counter(&stats, "cache.evict");
+    let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+    server.stop().expect("clean server drain");
+
+    let doc = format!(
+        "{{\"schema\":\"gcomm-bench-serve/v1\",\"threads\":{threads},\
+         \"requests_per_thread\":{requests},\"total_requests\":{total},\
+         \"hit_ratio_target\":{hit_ratio},\"jobs\":{jobs},\
+         \"elapsed_s\":{elapsed},\"throughput_rps\":{rps},\
+         \"errors\":{errors},\"hit_rate\":{hit_rate},\
+         \"cache\":{{\"hit\":{hits},\"miss\":{misses},\"evict\":{evicts}}},\
+         \"warm\":{warm},\"cold\":{cold}}}",
+        rps = total as f64 / elapsed.max(1e-9),
+        warm = latency_block(warm_us),
+        cold = latency_block(cold_us),
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{doc}\n")).unwrap_or_else(|e| {
+                eprintln!("{BIN}: {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "{BIN}: {total} requests in {elapsed:.2}s, hit rate {hit_rate:.3}, \
+                 {errors} errors -> {path}"
+            );
+        }
+        None => println!("{doc}"),
+    }
+}

@@ -6,15 +6,20 @@
 //! enumeration budget defaults to the golden-file setting; pass
 //! `--budget <n>` for a deeper search.
 
-use gcomm_bench::{reports, statscli::StatsOpts};
+use gcomm_bench::reports;
+use gcomm_serve::cli;
 
 fn main() {
+    const BIN: &str = "compare_optimal";
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = gcomm_par::take_jobs_flag(&mut args).unwrap_or_else(|e| {
-        eprintln!("compare_optimal: {e}");
-        std::process::exit(2);
-    });
-    let _stats = StatsOpts::extract(&mut args).install();
+    if cli::take_version_flag(&mut args) {
+        println!("{}", cli::version_line(BIN));
+        return;
+    }
+    let jobs = cli::or_exit2(BIN, gcomm_par::take_jobs_flag(&mut args));
+    let _stats = cli::or_exit2(BIN, cli::StatsOpts::extract(&mut args)).install();
+    // NOTE: `--budget <n>` here is the *enumeration* budget (a bare step
+    // count), not the shared `--budget <spec>` analysis budget.
     let mut budget = reports::DEFAULT_OPTIMAL_BUDGET;
     let mut it = args.iter();
     while let Some(a) = it.next() {

@@ -8,15 +8,20 @@
 //!   cargo run -p gcomm-bench --bin fig10_runtimes -- --json
 //!   cargo run -p gcomm-bench --bin fig10_runtimes -- --faults seed=42,loss=0.01
 
-use gcomm_bench::statscli::StatsOpts;
 use gcomm_bench::{
     bar, fault_row, json, paper_sizes, runtime_row, runtime_source, FaultRow, Platform,
 };
 use gcomm_machine::FaultPlan;
+use gcomm_serve::cli;
 
 fn main() {
+    const BIN: &str = "fig10_runtimes";
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let _stats = StatsOpts::extract(&mut args).install();
+    if cli::take_version_flag(&mut args) {
+        println!("{}", cli::version_line(BIN));
+        return;
+    }
+    let _stats = cli::or_exit2(BIN, cli::StatsOpts::extract(&mut args)).install();
     let json_out = args.iter().any(|a| a == "--json");
     let mut plan = FaultPlan::quiet();
     let mut filt: Vec<&String> = Vec::new();

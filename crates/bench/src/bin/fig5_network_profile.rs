@@ -4,13 +4,18 @@
 //! Usage: `cargo run -p gcomm-bench --bin fig5_network_profile [--json]`
 
 use gcomm_bench::json;
-use gcomm_bench::statscli::StatsOpts;
 use gcomm_machine::profile::{default_sizes, profile};
 use gcomm_machine::NetworkModel;
+use gcomm_serve::cli;
 
 fn main() {
+    const BIN: &str = "fig5_network_profile";
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let _stats = StatsOpts::extract(&mut args).install();
+    if cli::take_version_flag(&mut args) {
+        println!("{}", cli::version_line(BIN));
+        return;
+    }
+    let _stats = cli::or_exit2(BIN, cli::StatsOpts::extract(&mut args)).install();
     let json = args.iter().any(|a| a == "--json");
     let sizes = default_sizes();
     for net in [NetworkModel::sp2(), NetworkModel::now_myrinet()] {

@@ -1,13 +1,16 @@
 //! Regenerates the static message count table (Figure 10, top).
-use gcomm_bench::{reports, statscli::StatsOpts};
+use gcomm_bench::reports;
+use gcomm_serve::cli;
 
 fn main() {
+    const BIN: &str = "table_static_counts";
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = gcomm_par::take_jobs_flag(&mut args).unwrap_or_else(|e| {
-        eprintln!("table_static_counts: {e}");
-        std::process::exit(2);
-    });
-    let _stats = StatsOpts::extract(&mut args).install();
+    if cli::take_version_flag(&mut args) {
+        println!("{}", cli::version_line(BIN));
+        return;
+    }
+    let jobs = cli::or_exit2(BIN, gcomm_par::take_jobs_flag(&mut args));
+    let _stats = cli::or_exit2(BIN, cli::StatsOpts::extract(&mut args)).install();
     let verbose = args.iter().any(|a| a == "-v");
     print!("{}", reports::table_static_counts_text(verbose, jobs));
 }

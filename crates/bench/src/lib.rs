@@ -419,81 +419,6 @@ pub mod reports {
     }
 }
 
-/// Shared `--stats` / `--stats-json <path>` handling for the benchmark
-/// binaries: strips the flags from an argument list, installs a collection
-/// registry when requested, and emits the report when dropped.
-pub mod statscli {
-    /// Stats options parsed out of a binary's argument list.
-    #[derive(Debug, Default)]
-    pub struct StatsOpts {
-        /// Print the human-readable table to stderr on completion.
-        pub text: bool,
-        /// Write the JSON report to this path on completion.
-        pub json_path: Option<String>,
-    }
-
-    impl StatsOpts {
-        /// Extracts `--stats` and `--stats-json <path>` from `args`,
-        /// removing them so the binary's own parsing never sees them.
-        pub fn extract(args: &mut Vec<String>) -> StatsOpts {
-            let mut opts = StatsOpts::default();
-            let mut kept = Vec::with_capacity(args.len());
-            let mut it = args.drain(..);
-            while let Some(a) = it.next() {
-                match a.as_str() {
-                    "--stats" => opts.text = true,
-                    "--stats-json" => opts.json_path = it.next(),
-                    _ => kept.push(a),
-                }
-            }
-            drop(it);
-            *args = kept;
-            opts
-        }
-
-        /// True when any stats output was requested.
-        pub fn enabled(&self) -> bool {
-            self.text || self.json_path.is_some()
-        }
-
-        /// Installs a fresh registry scoped to the returned guard; `None`
-        /// when stats are off. Emission happens when the guard drops.
-        pub fn install(self) -> Option<StatsScope> {
-            if !self.enabled() {
-                return None;
-            }
-            let reg = gcomm_obs::Registry::new();
-            let scope = gcomm_obs::install(reg.clone());
-            Some(StatsScope {
-                opts: self,
-                reg,
-                _scope: scope,
-            })
-        }
-    }
-
-    /// Keeps stats collection active; renders the report on drop.
-    pub struct StatsScope {
-        opts: StatsOpts,
-        reg: gcomm_obs::Registry,
-        _scope: gcomm_obs::ScopeGuard,
-    }
-
-    impl Drop for StatsScope {
-        fn drop(&mut self) {
-            let report = self.reg.snapshot();
-            if self.opts.text {
-                eprint!("{}", report.render_text());
-            }
-            if let Some(path) = &self.opts.json_path {
-                if let Err(e) = std::fs::write(path, report.to_json()) {
-                    eprintln!("stats: {path}: {e}");
-                }
-            }
-        }
-    }
-}
-
 /// The problem sizes the paper plots per (platform, benchmark).
 pub fn paper_sizes(platform: Platform, bench: &str) -> Vec<i64> {
     match (platform, bench) {

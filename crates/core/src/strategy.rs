@@ -36,6 +36,31 @@ pub enum Strategy {
     Global,
 }
 
+impl Strategy {
+    /// Parses the canonical CLI/protocol name (`orig`, `nored`, `partial`,
+    /// `comb`) — the single source of truth for every driver and for the
+    /// compile-service protocol.
+    pub fn parse(s: &str) -> Option<Strategy> {
+        match s {
+            "orig" => Some(Strategy::Original),
+            "nored" => Some(Strategy::EarliestRE),
+            "partial" => Some(Strategy::EarliestPartialRE),
+            "comb" => Some(Strategy::Global),
+            _ => None,
+        }
+    }
+
+    /// The canonical name [`Strategy::parse`] accepts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Original => "orig",
+            Strategy::EarliestRE => "nored",
+            Strategy::EarliestPartialRE => "partial",
+            Strategy::Global => "comb",
+        }
+    }
+}
+
 /// Runs a strategy over pre-generated entries.
 pub fn run(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>, strategy: Strategy) -> Schedule {
     run_with_policy(ctx, entries, strategy, &CombinePolicy::default())

@@ -145,7 +145,14 @@ fn parse_u64(val: &str, key: &str) -> Result<u64, String> {
         .map_err(|_| format!("budget: invalid number '{val}' for '{key}'"))
 }
 
-fn parse_bytes(val: &str) -> Result<u64, String> {
+/// Parses a byte-size literal with optional `k`/`m`/`g` suffix (powers of
+/// 1024), e.g. `4m` → 4 MiB. Shared by the `mem=` budget key and the
+/// compile service's `--cache-bytes` flag.
+///
+/// # Errors
+///
+/// Returns a one-line message on a malformed number or overflow.
+pub fn parse_size(val: &str) -> Result<u64, String> {
     let (digits, mult) = match val.as_bytes().last().map(|b| b.to_ascii_lowercase()) {
         Some(b'k') => (&val[..val.len() - 1], 1024u64),
         Some(b'm') => (&val[..val.len() - 1], 1024 * 1024),
@@ -154,9 +161,13 @@ fn parse_bytes(val: &str) -> Result<u64, String> {
     };
     let n = digits
         .parse::<u64>()
-        .map_err(|_| format!("budget: invalid size '{val}' for 'mem'"))?;
+        .map_err(|_| format!("invalid size '{val}'"))?;
     n.checked_mul(mult)
-        .ok_or_else(|| format!("budget: size '{val}' overflows"))
+        .ok_or_else(|| format!("size '{val}' overflows"))
+}
+
+fn parse_bytes(val: &str) -> Result<u64, String> {
+    parse_size(val).map_err(|e| format!("budget: {e} for 'mem'"))
 }
 
 #[derive(Debug)]

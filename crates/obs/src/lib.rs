@@ -102,6 +102,17 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     "machine.fault.timeouts",
     "machine.fault.fallbacks",
     "machine.fault.giveups",
+    // serve: the persistent compile service (DESIGN.md §12) — request
+    // volume, load shedding, and the content-addressed compile cache.
+    "serve.requests",
+    "serve.compiles",
+    "serve.errors",
+    "serve.overloaded",
+    "serve.degraded",
+    "cache.hit",
+    "cache.miss",
+    "cache.evict",
+    "cache.bypass",
 ];
 
 // ---------------------------------------------------------------------------

@@ -24,8 +24,10 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// Default worker count: `GCOMM_JOBS` when set to a positive integer,
 /// otherwise [`std::thread::available_parallelism`] (1 when unknown).
@@ -118,6 +120,197 @@ where
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Long-lived worker pool (the compile-service backend)
+// ---------------------------------------------------------------------------
+
+/// A submitted unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why [`Pool::try_submit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — the caller must shed load
+    /// (reject the request) rather than buffer unboundedly.
+    Full,
+    /// The pool is draining or shut down and accepts no new work.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "queue full"),
+            SubmitError::Closed => write!(f, "pool closed"),
+        }
+    }
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Closed pools accept no new jobs; workers drain the queue then exit.
+    open: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled on every enqueue and on close.
+    wake: Condvar,
+    cap: usize,
+}
+
+/// A long-lived worker pool with a **bounded** job queue and explicit
+/// backpressure — the execution backend of the compile service
+/// (DESIGN.md §12). Unlike [`map`], which fans a known slice across
+/// scoped threads, a `Pool` accepts work items one at a time as they
+/// arrive from the outside world, and *refuses* them
+/// ([`SubmitError::Full`]) once `queue_cap` jobs are waiting: the caller
+/// sheds load instead of buffering without bound.
+///
+/// Worker count resolution follows the same `--jobs`/`GCOMM_JOBS`
+/// conventions as [`map`] (the caller passes the resolved count).
+/// [`Pool::shutdown`] closes the queue, lets the workers finish every
+/// job already accepted (drain semantics), and joins them.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `jobs` workers (at least 1) behind a queue of at most
+    /// `queue_cap` waiting jobs (at least 1).
+    pub fn new(jobs: usize, queue_cap: usize) -> Pool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            wake: Condvar::new(),
+            cap: queue_cap.max(1),
+        });
+        let workers = (0..jobs.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Enqueues a job unless the queue is full or the pool is closed.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when `queue_cap` jobs are already waiting
+    /// (the backpressure signal), [`SubmitError::Closed`] after
+    /// [`Pool::shutdown`] began.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if !state.open {
+            return Err(SubmitError::Closed);
+        }
+        if state.queue.len() >= self.shared.cap {
+            return Err(SubmitError::Full);
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.wake.notify_one();
+        Ok(())
+    }
+
+    /// Jobs waiting in the queue right now (excludes jobs mid-execution).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// A clonable submission handle that shares this pool's queue. Handles
+    /// can outlive the moment [`Pool::shutdown`] is called — their submits
+    /// then fail with [`SubmitError::Closed`] — which lets the pool's owner
+    /// keep drain/join authority while other threads only ever enqueue.
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Closes the queue, drains it (every job already accepted still
+    /// runs), and joins the workers. Idempotent by construction: consumes
+    /// the pool.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.state.lock().unwrap().open = false;
+        self.shared.wake.notify_all();
+        for w in self.workers.drain(..) {
+            // A worker panic is a bug in the submitted job; surface it.
+            if let Err(e) = w.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() && !std::thread::panicking() {
+            self.close_and_join();
+        }
+    }
+}
+
+/// A clonable enqueue-only handle to a [`Pool`] (see [`Pool::handle`]).
+#[derive(Clone)]
+pub struct PoolHandle {
+    shared: Arc<PoolShared>,
+}
+
+impl PoolHandle {
+    /// Enqueues a job; same contract as [`Pool::try_submit`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] at capacity, [`SubmitError::Closed`] once the
+    /// owning pool began shutting down (or was dropped).
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if !state.open {
+            return Err(SubmitError::Closed);
+        }
+        if state.queue.len() >= self.shared.cap {
+            return Err(SubmitError::Full);
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.wake.notify_one();
+        Ok(())
+    }
+
+    /// Jobs waiting in the queue right now.
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if !state.open {
+                    return;
+                }
+                state = shared.wake.wait(state).unwrap();
+            }
+        };
+        job();
+    }
+}
+
 /// Splits the index range `[0, total)` into at most `parts` contiguous,
 /// non-empty chunks of near-equal size (the leading chunks are one longer
 /// when `total` does not divide evenly). Used by the optimal-placement
@@ -187,6 +380,100 @@ mod tests {
                 assert!(chunks.len() <= parts.max(1));
             }
         }
+    }
+
+    #[test]
+    fn pool_runs_every_accepted_job() {
+        use std::sync::atomic::AtomicU64;
+        let ran = Arc::new(AtomicU64::new(0));
+        let pool = Pool::new(4, 64);
+        for _ in 0..50 {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn pool_rejects_when_full_and_drains_on_shutdown() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::mpsc;
+        let ran = Arc::new(AtomicU64::new(0));
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let pool = Pool::new(1, 2);
+        // Occupy the single worker until released so the queue backs up.
+        {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(move || {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        started_rx.recv().unwrap();
+        // Two queued jobs fill the cap; the third is refused, not buffered.
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for _ in 0..5 {
+            let ran = Arc::clone(&ran);
+            match pool.try_submit(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }) {
+                Ok(()) => accepted += 1,
+                Err(SubmitError::Full) => rejected += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!(accepted, 2, "queue cap admits exactly cap jobs");
+        assert_eq!(rejected, 3);
+        release_tx.send(()).unwrap();
+        // Drain: the blocked job and both queued jobs all complete.
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pool_refuses_jobs_after_drop_begins() {
+        let pool = Pool::new(2, 4);
+        pool.try_submit(|| {}).unwrap();
+        pool.shutdown();
+        // `shutdown` consumed the pool; a fresh closed pool behaves the
+        // same way via the state flag.
+        let pool = Pool::new(1, 1);
+        pool.shared.state.lock().unwrap().open = false;
+        assert_eq!(pool.try_submit(|| {}), Err(SubmitError::Closed));
+        pool.shared.state.lock().unwrap().open = true;
+    }
+
+    #[test]
+    fn handle_submits_and_closes_with_pool() {
+        use std::sync::atomic::AtomicU64;
+        let ran = Arc::new(AtomicU64::new(0));
+        let pool = Pool::new(2, 8);
+        let handle = pool.handle();
+        for _ in 0..10 {
+            // Submission can hit backpressure while the workers catch up;
+            // the contract under test is that accepted jobs all run.
+            loop {
+                let ran = Arc::clone(&ran);
+                match handle.try_submit(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }) {
+                    Ok(()) => break,
+                    Err(SubmitError::Full) => std::thread::yield_now(),
+                    Err(e) => panic!("unexpected {e:?}"),
+                }
+            }
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 10);
+        assert_eq!(handle.try_submit(|| {}), Err(SubmitError::Closed));
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! A minimal TCP client for the compile service: frames requests, reads
+//! framed responses, and can write raw bytes (the robustness tests use
+//! that to send deliberately malformed frames).
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+use gcomm_core::Strategy;
+use gcomm_guard::BudgetSpec;
+
+use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+use crate::json::escape;
+use crate::protocol::SimSpec;
+
+/// One connection to a serve instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // One frame = one packet: without this, Nagle + delayed-ACK add
+        // tens of milliseconds to every request round-trip.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// The peer address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.writer.peer_addr()
+    }
+
+    /// Sends one request and waits for one response. Only valid when no
+    /// other responses are pending on this connection (for pipelining,
+    /// pair [`Client::send`] with [`Client::recv`] and match by id).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a connection closed before the response
+    /// surfaces as `UnexpectedEof`.
+    pub fn request(&mut self, json: &str) -> io::Result<String> {
+        self.send(json)?;
+        self.recv()?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+
+    /// Sends one framed request without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send(&mut self, json: &str) -> io::Result<()> {
+        write_frame(&mut self.writer, json.as_bytes())
+    }
+
+    /// Writes raw bytes with no framing — for tests that must place
+    /// malformed data on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Reads one framed response; `Ok(None)` when the server closed the
+    /// connection at a frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a malformed frame surfaces as
+    /// `InvalidData`.
+    pub fn recv(&mut self) -> io::Result<Option<String>> {
+        match read_frame(&mut self.reader, self.max_frame) {
+            Ok(Some(payload)) => Ok(Some(String::from_utf8_lossy(&payload).into_owned())),
+            Ok(None) => Ok(None),
+            Err(FrameError::Io(e)) => Err(e),
+            Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+    }
+}
+
+/// Renders a `compile` request object (the canonical client-side builder
+/// shared by `gcommc client`, the benches, and the tests).
+pub fn compile_request(
+    id: u64,
+    source: &str,
+    strategy: Strategy,
+    budget: Option<&BudgetSpec>,
+    sim: Option<&SimSpec>,
+) -> String {
+    let mut s = format!(
+        "{{\"op\":\"compile\",\"id\":{id},\"strategy\":{},\"source\":{}",
+        escape(strategy.name()),
+        escape(source)
+    );
+    if let Some(b) = budget {
+        s.push_str(",\"budget\":");
+        s.push_str(&escape(&b.to_string()));
+    }
+    if let Some(sim) = sim {
+        s.push_str(&format!(
+            ",\"sim\":{{\"profile\":{},\"n\":{}}}",
+            escape(&sim.profile),
+            sim.n
+        ));
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::protocol::{CompileReq, Request};
+
+    #[test]
+    fn compile_request_roundtrips_through_the_parser() {
+        let spec = BudgetSpec::parse("steps=500").unwrap();
+        let sim = SimSpec {
+            profile: "now".into(),
+            n: 16,
+        };
+        let text = compile_request(
+            7,
+            "program p\nend",
+            Strategy::EarliestRE,
+            Some(&spec),
+            Some(&sim),
+        );
+        let req = Request::parse(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(
+            req,
+            Request::Compile(CompileReq {
+                id: Some(7),
+                source: "program p\nend".into(),
+                strategy: Strategy::EarliestRE,
+                budget: Some(spec),
+                sim: Some(sim),
+            })
+        );
+    }
+}

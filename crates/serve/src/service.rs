@@ -1,0 +1,458 @@
+//! The transport-independent service core: request execution, the compile
+//! cache, per-request observability, and the in-order stats absorber.
+//!
+//! A [`Service`] is shared (behind an `Arc`) between every connection
+//! thread and every pool worker. It owns:
+//!
+//! * the content-addressed compile [`LruCache`] (under a mutex — the
+//!   critical section is a hash plus a map probe, orders of magnitude
+//!   cheaper than a compile);
+//! * the **lifetime registry** all per-request stats merge into, and the
+//!   sequencing machinery that keeps that merge *jobs-invariant*: every
+//!   request draws a sequence number at submission ([`Service::begin`])
+//!   and its snapshot is absorbed strictly in sequence order
+//!   ([`Service::finish`] holds out-of-order reports in a reorder
+//!   buffer), so a `stats` report taken after a set of requests completed
+//!   is identical whether the pool ran 1 worker or 8.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use gcomm_core::{compile_diagnostics_budgeted, lower_to_sim, Compiled, SimConfig, Strategy};
+use gcomm_guard::{Budget, BudgetSpec};
+use gcomm_machine::{simulate_with_faults, FaultPlan, NetworkModel, ProcGrid};
+use gcomm_obs::{Registry, StatsReport};
+
+use crate::cache::LruCache;
+use crate::frame::DEFAULT_MAX_FRAME;
+use crate::json::escape;
+use crate::protocol::{assemble, cache_key_material, CompileReq, SimSpec};
+
+/// Tuning knobs of a service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing compiles (`--jobs`/`GCOMM_JOBS`).
+    pub jobs: usize,
+    /// Bounded request-queue capacity; submissions beyond it are rejected
+    /// with `overloaded` (backpressure, never unbounded buffering).
+    pub queue_cap: usize,
+    /// Byte capacity of the compile cache (`--cache-bytes`).
+    pub cache_bytes: u64,
+    /// Budget applied to compile requests that do not carry their own.
+    pub default_budget: BudgetSpec,
+    /// Maximum accepted frame/line payload in bytes.
+    pub max_frame: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            jobs: gcomm_par::default_jobs(),
+            queue_cap: 64,
+            cache_bytes: 32 * 1024 * 1024,
+            default_budget: BudgetSpec::default(),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Reorder buffer absorbing per-request reports in sequence order.
+#[derive(Debug, Default)]
+struct Absorber {
+    next_expected: u64,
+    pending: std::collections::BTreeMap<u64, StatsReport>,
+}
+
+/// The shared state of one running compile service.
+#[derive(Debug)]
+pub struct Service {
+    config: ServiceConfig,
+    cache: Mutex<LruCache>,
+    lifetime: Registry,
+    absorber: Mutex<Absorber>,
+    next_seq: AtomicU64,
+}
+
+impl Service {
+    /// A fresh service with an empty cache and zeroed lifetime stats.
+    pub fn new(config: ServiceConfig) -> Service {
+        let cache = Mutex::new(LruCache::new(config.cache_bytes));
+        Service {
+            config,
+            cache,
+            lifetime: Registry::new(),
+            absorber: Mutex::new(Absorber::default()),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Draws the sequence number for a request **at submission time**.
+    /// Every `begin` must be paired with exactly one [`Service::finish`]
+    /// (even for rejected or failed requests), or later reports stall in
+    /// the reorder buffer.
+    pub fn begin(&self) -> u64 {
+        self.next_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Completes sequence number `seq` with the request's stats snapshot.
+    /// Reports are absorbed into the lifetime registry strictly in
+    /// sequence order; an out-of-order completion parks in the reorder
+    /// buffer until its predecessors arrive.
+    pub fn finish(&self, seq: u64, report: StatsReport) {
+        let mut ab = self.absorber.lock().unwrap();
+        ab.pending.insert(seq, report);
+        loop {
+            let next = ab.next_expected;
+            let Some(rep) = ab.pending.remove(&next) else {
+                break;
+            };
+            self.lifetime.absorb(&rep);
+            ab.next_expected += 1;
+        }
+    }
+
+    /// A one-off report carrying only the given counters — the completion
+    /// shape for requests that never execute (rejections, parse errors).
+    pub fn counter_report(&self, counters: &[(&str, u64)]) -> StatsReport {
+        let reg = Registry::new();
+        for &(name, v) in counters {
+            reg.add(name, v);
+        }
+        reg.snapshot()
+    }
+
+    /// Snapshot of the lifetime registry (completed requests only — an
+    /// in-flight request's stats appear once it finishes and its turn in
+    /// the sequence order comes up).
+    pub fn lifetime_report(&self) -> StatsReport {
+        self.lifetime.snapshot()
+    }
+
+    /// Executes a compile request, returning the full response and the
+    /// request's stats snapshot (pass it to [`Service::finish`]).
+    pub fn compile(&self, req: &CompileReq) -> (String, StatsReport) {
+        let reg = Registry::new();
+        let payload = {
+            let _g = gcomm_obs::install(reg.clone());
+            gcomm_obs::count("serve.requests", 1);
+            self.compile_payload(req)
+        };
+        (assemble(req.id, &payload), reg.snapshot())
+    }
+
+    /// The response payload (everything after `"id":…,`) for a compile
+    /// request: served from the cache when possible, compiled cold
+    /// otherwise. Requests with a wall-clock (`ms=`) budget bypass the
+    /// cache — their degradation depends on the clock, so the payload is
+    /// not a pure function of the key.
+    fn compile_payload(&self, req: &CompileReq) -> String {
+        let effective = req.budget.unwrap_or(self.config.default_budget);
+        let cacheable = effective.ms.is_none();
+        if !cacheable {
+            gcomm_obs::count("cache.bypass", 1);
+            gcomm_obs::count("serve.compiles", 1);
+            return cold_compile_payload(req, &effective);
+        }
+        let key = cache_key_material(req, &effective);
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            gcomm_obs::count("cache.hit", 1);
+            return hit;
+        }
+        gcomm_obs::count("cache.miss", 1);
+        gcomm_obs::count("serve.compiles", 1);
+        let payload = cold_compile_payload(req, &effective);
+        let evicted = self.cache.lock().unwrap().insert(key, payload.clone());
+        if evicted > 0 {
+            gcomm_obs::count("cache.evict", evicted);
+        }
+        payload
+    }
+
+    /// Inline cache probe for the transports: on a hit the reader thread
+    /// answers directly — the request never consumes a worker slot or
+    /// queue capacity, so warm latency stays flat under compile load and
+    /// backpressure never rejects a request the cache could have served.
+    /// Counts exactly what the pooled hit path would have counted
+    /// (`serve.requests` + `cache.hit`), keeping stats jobs-invariant.
+    pub fn try_cached(&self, req: &CompileReq) -> Option<(String, StatsReport)> {
+        let effective = req.budget.unwrap_or(self.config.default_budget);
+        if effective.ms.is_some() {
+            return None; // wall-clock budgets always compile (and bypass).
+        }
+        let key = cache_key_material(req, &effective);
+        let payload = self.cache.lock().unwrap().get(&key)?;
+        Some((
+            assemble(req.id, &payload),
+            self.counter_report(&[("serve.requests", 1), ("cache.hit", 1)]),
+        ))
+    }
+
+    /// Cache occupancy `(entries, used_bytes)` (for reports and tests).
+    pub fn cache_usage(&self) -> (usize, u64) {
+        let c = self.cache.lock().unwrap();
+        (c.len(), c.used_bytes())
+    }
+}
+
+/// Compiles a request without consulting any cache and renders its
+/// response payload. Pure in the content-addressing sense: for a fixed
+/// `(req minus id, effective)` the returned bytes are identical across
+/// invocations, which is the property the cache relies on (and the
+/// bit-identity property test checks).
+pub fn cold_compile_payload(req: &CompileReq, effective: &BudgetSpec) -> String {
+    let budget = Budget::from_spec(effective);
+    match compile_diagnostics_budgeted(&req.source, req.strategy, budget.clone()) {
+        Ok(compiled) => {
+            let degraded = budget.exhausted();
+            if degraded {
+                gcomm_obs::count("serve.degraded", 1);
+            }
+            let mut p = format!(
+                "\"ok\":true,\"strategy\":{},\"degraded\":{degraded},\"report\":{}",
+                escape(req.strategy.name()),
+                escape(&compiled.report())
+            );
+            if let Some(sim) = &req.sim {
+                p.push_str(",\"sim\":");
+                p.push_str(&sim_json(&compiled, sim));
+            }
+            p
+        }
+        Err(errs) => {
+            gcomm_obs::count("serve.errors", 1);
+            let mut p = String::from("\"ok\":false,\"error\":\"compile_error\",\"errors\":[");
+            for (i, e) in errs.iter().enumerate() {
+                if i > 0 {
+                    p.push(',');
+                }
+                let _ = write!(
+                    p,
+                    "{{\"line\":{},\"message\":{}}}",
+                    e.line,
+                    escape(&e.message)
+                );
+            }
+            p.push(']');
+            p
+        }
+    }
+}
+
+/// Runs the machine simulation of a compiled schedule on the requested
+/// profile and renders it as a JSON object. Deterministic: the simulator
+/// is an analytical cost model, not a measurement.
+fn sim_json(compiled: &Compiled, sim: &SimSpec) -> String {
+    let (p, net) = match sim.profile.as_str() {
+        "sp2" => (25u32, NetworkModel::sp2()),
+        _ => (8u32, NetworkModel::now_myrinet()),
+    };
+    // Same grid-rank choice as the gcommc --sim path: the largest number
+    // of distributed dimensions among the program's arrays.
+    let rank = compiled
+        .prog
+        .arrays
+        .iter()
+        .map(|a| a.distributed_dims().len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let cfg = SimConfig::uniform(compiled, ProcGrid::balanced(p, rank), sim.n).with("nsteps", 10);
+    let rep = simulate_with_faults(&lower_to_sim(compiled, &cfg), &net, &FaultPlan::quiet());
+    let r = rep.result;
+    format!(
+        "{{\"profile\":{},\"p\":{p},\"n\":{},\"total_us\":{},\"compute_us\":{},\
+         \"comm_us\":{},\"messages\":{},\"bytes\":{}}}",
+        escape(&sim.profile),
+        sim.n,
+        fmt_f64(r.total_us()),
+        fmt_f64(r.compute_us),
+        fmt_f64(r.comm_us),
+        r.messages,
+        fmt_f64(r.bytes)
+    )
+}
+
+/// Formats a simulator quantity for JSON: finite shortest-roundtrip
+/// decimal (Rust's `Display` for `f64` never emits exponents or
+/// non-numeric tokens for finite values; the simulator only produces
+/// finite, non-negative times).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a stats response payload from a report. `stable` keeps only
+/// scheduling-invariant counters (drops `*.wall_ns`, the pass table, the
+/// spans, and the events), which is the diffable form.
+pub fn stats_payload(report: &StatsReport, stable: bool) -> String {
+    if !stable {
+        return format!("\"ok\":true,\"stats\":{}", report.to_json());
+    }
+    let mut p =
+        String::from("\"ok\":true,\"stats\":{\"schema\":\"gcomm-serve-stats/v1\",\"counters\":{");
+    let mut first = true;
+    for (k, v) in &report.counters {
+        if k.ends_with(".wall_ns") {
+            continue;
+        }
+        if !first {
+            p.push(',');
+        }
+        first = false;
+        let _ = write!(p, "{}:{v}", escape(k));
+    }
+    p.push_str("}}");
+    p
+}
+
+/// Parses an optional strategy name defaulting to the paper's combined
+/// placement.
+pub fn strategy_or_default(name: Option<&str>) -> Option<Strategy> {
+    match name {
+        None => Some(Strategy::Global),
+        Some(n) => Strategy::parse(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::protocol::Request;
+
+    const OK_SRC: &str = "program p\nparam n\nreal a(n,n), b(n,n) distribute (block, block)\nb(2:n, 1:n) = a(1:n-1, 1:n)\nend\n";
+
+    fn compile_req(source: &str) -> CompileReq {
+        CompileReq {
+            id: Some(1),
+            source: source.into(),
+            strategy: Strategy::Global,
+            budget: None,
+            sim: None,
+        }
+    }
+
+    #[test]
+    fn cache_hit_is_bit_identical_and_counted() {
+        let svc = Service::new(ServiceConfig::default());
+        let req = compile_req(OK_SRC);
+        let (cold, rep0) = svc.compile(&req);
+        svc.finish(svc.begin(), rep0);
+        let mut warm_req = req.clone();
+        warm_req.id = Some(99); // a different id must not defeat the cache
+        let (warm, rep1) = svc.compile(&warm_req);
+        svc.finish(svc.begin(), rep1);
+        // Identical payloads behind the echoed ids.
+        assert_eq!(
+            cold.strip_prefix("{\"id\":1,").unwrap(),
+            warm.strip_prefix("{\"id\":99,").unwrap()
+        );
+        let life = svc.lifetime_report();
+        assert_eq!(life.counter("cache.miss"), 1);
+        assert_eq!(life.counter("cache.hit"), 1);
+        assert_eq!(life.counter("serve.compiles"), 1);
+        assert_eq!(life.counter("serve.requests"), 2);
+        assert_eq!(svc.cache_usage().0, 1);
+    }
+
+    #[test]
+    fn ms_budget_bypasses_the_cache() {
+        let svc = Service::new(ServiceConfig::default());
+        let mut req = compile_req(OK_SRC);
+        req.budget = Some(BudgetSpec::parse("ms=10000").unwrap());
+        let (_, r0) = svc.compile(&req);
+        let (_, r1) = svc.compile(&req);
+        svc.finish(svc.begin(), r0);
+        svc.finish(svc.begin(), r1);
+        let life = svc.lifetime_report();
+        assert_eq!(life.counter("cache.bypass"), 2);
+        assert_eq!(life.counter("cache.hit"), 0);
+        assert_eq!(life.counter("serve.compiles"), 2);
+        assert_eq!(svc.cache_usage().0, 0);
+    }
+
+    #[test]
+    fn compile_errors_are_rendered_and_cached() {
+        let svc = Service::new(ServiceConfig::default());
+        let req = compile_req("program p\nthis is not hpf\nend\n");
+        let (resp, rep) = svc.compile(&req);
+        svc.finish(svc.begin(), rep);
+        assert!(resp.contains("\"ok\":false"));
+        assert!(resp.contains("\"error\":\"compile_error\""));
+        let v = Json::parse(&resp).expect("error responses are valid JSON");
+        assert!(v.get("errors").unwrap().as_str().is_none());
+        // Diagnostics are deterministic, so they cache like successes.
+        let (resp2, rep2) = svc.compile(&req);
+        svc.finish(svc.begin(), rep2);
+        assert_eq!(resp, resp2);
+        assert_eq!(svc.lifetime_report().counter("cache.hit"), 1);
+    }
+
+    #[test]
+    fn sim_payload_is_deterministic_and_parses() {
+        let req = CompileReq {
+            sim: Some(SimSpec {
+                profile: "sp2".into(),
+                n: 32,
+            }),
+            ..compile_req(OK_SRC)
+        };
+        let a = cold_compile_payload(&req, &BudgetSpec::default());
+        let b = cold_compile_payload(&req, &BudgetSpec::default());
+        assert_eq!(a, b);
+        let v = Json::parse(&format!("{{{a}}}")).unwrap();
+        let sim = v.get("sim").unwrap();
+        assert_eq!(sim.get("p").unwrap().as_u64(), Some(25));
+        assert!(sim.get("total_us").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn finish_reorders_out_of_order_completions() {
+        let svc = Service::new(ServiceConfig::default());
+        let s0 = svc.begin();
+        let s1 = svc.begin();
+        let s2 = svc.begin();
+        svc.finish(s2, svc.counter_report(&[("t.c", 4)]));
+        assert_eq!(svc.lifetime_report().counter("t.c"), 0, "parked");
+        svc.finish(s0, svc.counter_report(&[("t.c", 1)]));
+        assert_eq!(svc.lifetime_report().counter("t.c"), 1);
+        svc.finish(s1, svc.counter_report(&[("t.c", 2)]));
+        assert_eq!(svc.lifetime_report().counter("t.c"), 7, "drained in order");
+    }
+
+    #[test]
+    fn stable_stats_filter_wall_counters() {
+        let reg = Registry::new();
+        reg.add("cache.hit", 3);
+        reg.add("dep.query.wall_ns", 123456);
+        let p = stats_payload(&reg.snapshot(), true);
+        assert!(p.contains("\"cache.hit\":3"));
+        assert!(!p.contains("wall_ns"));
+        let v = Json::parse(&format!("{{{p}}}")).unwrap();
+        assert_eq!(
+            v.get("stats").unwrap().get("schema").unwrap().as_str(),
+            Some("gcomm-serve-stats/v1")
+        );
+    }
+
+    #[test]
+    fn stats_requests_parse_with_stable_flag() {
+        let v = Json::parse(r#"{"op":"stats","stable":true,"id":2}"#).unwrap();
+        assert_eq!(
+            Request::parse(&v).unwrap(),
+            Request::Stats {
+                id: Some(2),
+                stable: true
+            }
+        );
+    }
+}

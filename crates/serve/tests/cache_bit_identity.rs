@@ -1,0 +1,93 @@
+//! The cache's core contract, held against fuzzed inputs: a cache hit is
+//! **bit-identical** to the cold compile it replaced, for any well-formed
+//! program the generator can produce (ISSUE: 200 seeds). Also pins the
+//! LRU eviction order end-to-end through a byte-capped service.
+
+use gcomm_core::Strategy;
+use gcomm_guard::BudgetSpec;
+use gcomm_serve::protocol::CompileReq;
+use gcomm_serve::service::cold_compile_payload;
+use gcomm_serve::{Service, ServiceConfig};
+
+fn req(source: String, id: u64) -> CompileReq {
+    CompileReq {
+        id: Some(id),
+        source,
+        strategy: Strategy::Global,
+        budget: None,
+        sim: None,
+    }
+}
+
+#[test]
+fn cache_hits_are_bit_identical_across_fuzzed_programs() {
+    let svc = Service::new(ServiceConfig::default());
+    for seed in 0..200u64 {
+        let source = proptest::hpf::generate(seed);
+        // Cold through the service (fills the cache) …
+        let (cold, r0) = svc.compile(&req(source.clone(), 1));
+        svc.finish(svc.begin(), r0);
+        // … warm through the service (must hit) …
+        let (warm, r1) = svc.compile(&req(source.clone(), 2));
+        svc.finish(svc.begin(), r1);
+        // … and a cache-free reference compile.
+        let reference = cold_compile_payload(&req(source, 0), &BudgetSpec::default());
+        let cold_payload = cold.strip_prefix("{\"id\":1,").unwrap();
+        let warm_payload = warm.strip_prefix("{\"id\":2,").unwrap();
+        assert_eq!(
+            cold_payload, warm_payload,
+            "seed {seed}: hit differs from cold"
+        );
+        assert_eq!(
+            cold_payload,
+            format!("{reference}}}"),
+            "seed {seed}: service payload differs from a cache-free compile"
+        );
+    }
+    let life = svc.lifetime_report();
+    assert_eq!(life.counter("cache.hit"), 200);
+    assert_eq!(life.counter("cache.miss"), 200);
+    assert_eq!(life.counter("serve.compiles"), 200);
+}
+
+#[test]
+fn byte_capped_service_evicts_in_lru_order() {
+    // A cache barely big enough for two responses: the third insert must
+    // evict the least-recently-used entry, and touching an entry (a hit)
+    // must protect it.
+    let sources: Vec<String> = (0..3).map(proptest::hpf::generate).collect();
+    // Measure what the first two entries actually occupy, then cap the
+    // real service at exactly that.
+    let probe = Service::new(ServiceConfig::default());
+    for s in &sources[..2] {
+        let (_, r) = probe.compile(&req(s.clone(), 1));
+        probe.finish(probe.begin(), r);
+    }
+    let svc = Service::new(ServiceConfig {
+        cache_bytes: probe.cache_usage().1,
+        ..ServiceConfig::default()
+    });
+    for s in &sources[..2] {
+        let (_, r) = svc.compile(&req(s.clone(), 1));
+        svc.finish(svc.begin(), r);
+    }
+    assert_eq!(svc.cache_usage().0, 2);
+    // Touch the older entry so the *newer* one becomes the LRU victim.
+    let (_, r) = svc.compile(&req(sources[0].clone(), 1));
+    svc.finish(svc.begin(), r);
+    let (_, r) = svc.compile(&req(sources[2].clone(), 1));
+    svc.finish(svc.begin(), r);
+    let life = svc.lifetime_report();
+    assert!(life.counter("cache.evict") >= 1, "third insert must evict");
+    // The touched entry survived; the untouched one was evicted.
+    let (_, r) = svc.compile(&req(sources[0].clone(), 1));
+    svc.finish(svc.begin(), r);
+    assert_eq!(svc.lifetime_report().counter("cache.hit"), 2);
+    let (_, r) = svc.compile(&req(sources[1].clone(), 1));
+    svc.finish(svc.begin(), r);
+    assert_eq!(
+        svc.lifetime_report().counter("cache.miss"),
+        4,
+        "the untouched entry must have been the eviction victim"
+    );
+}

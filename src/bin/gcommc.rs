@@ -1,9 +1,12 @@
 //! `gcommc` — command-line driver for the gcomm communication optimizer.
 //!
 //! ```text
-//! gcommc [OPTIONS] <file.hpf | - >
+//! gcommc [OPTIONS] <file.hpf | - >      compile one program
+//! gcommc serve [OPTIONS]                run the persistent compile service
+//! gcommc client --addr <host:port> ...  talk to a running service
+//! gcommc --version                      print the toolchain version
 //!
-//! Options:
+//! Compile options:
 //!   --strategy orig|nored|partial|comb   placement strategy (default: comb)
 //!   --counts                     print static message counts for all three
 //!   --dot-cfg                    print the augmented CFG as Graphviz DOT
@@ -19,6 +22,23 @@
 //!                                steps=50000,ms=200,mem=4m; on exhaustion the
 //!                                compile degrades gracefully (see the
 //!                                degraded.* counters under --stats)
+//!
+//! Serve options (DESIGN.md §12):
+//!   --addr <host:port>           serve length-delimited frames on TCP;
+//!                                without it, NDJSON on stdin/stdout
+//!   --jobs <n>                   worker threads (default: GCOMM_JOBS or cores)
+//!   --cache-bytes <size>         compile-cache capacity, e.g. 32m
+//!   --budget <spec>              default budget for requests without one
+//!
+//! Client options:
+//!   --addr <host:port>           the server to talk to (required)
+//!   --op ping|version|stats|shutdown|compile
+//!                                request to send (default: compile with an
+//!                                input file, ping without)
+//!   --strategy / --budget        forwarded on compile requests
+//!   --sim <profile[:n]>          request a simulation, e.g. sp2:128 or now
+//!   --stable                     ask for the deterministic stats form
+//!   <file | ->                   source for compile requests
 //! ```
 //!
 //! Example:
@@ -34,9 +54,12 @@
 use std::collections::HashMap;
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gcomm::core::{commgen, compile_diagnostics_budgeted, lower_to_sim, SimConfig};
 use gcomm::machine::{simulate_with_faults, FaultPlan, NetworkModel, ProcGrid};
+use gcomm::serve::cli;
+use gcomm::serve::{Client, ServiceConfig};
 use gcomm::{Budget, BudgetSpec, Strategy};
 
 struct Opts {
@@ -49,22 +72,20 @@ struct Opts {
     faults: FaultPlan,
     budget: BudgetSpec,
     entries: bool,
-    stats: bool,
-    stats_json: Option<String>,
+    stats: cli::StatsOpts,
     input: Option<String>,
-}
-
-impl Opts {
-    fn stats_enabled(&self) -> bool {
-        self.stats || self.stats_json.is_some()
-    }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: gcommc [--strategy orig|nored|partial|comb] [--counts] [--dot-cfg] [--dot-dom] \
          [--verify] [--sim <n>] [--faults <spec>] [--budget <spec>] [--entries] [--stats] \
-         [--stats-json <path>] <file | ->"
+         [--stats-json <path>] <file | ->\n\
+         \x20      gcommc serve [--addr <host:port>] [--jobs <n>] [--cache-bytes <size>] \
+         [--budget <spec>]\n\
+         \x20      gcommc client --addr <host:port> [--op ping|version|stats|shutdown|compile] \
+         [--strategy <s>] [--budget <spec>] [--sim <profile[:n]>] [--stable] [<file | ->]\n\
+         \x20      gcommc --version"
     );
     std::process::exit(2);
 }
@@ -76,7 +97,11 @@ fn bad_args(msg: impl std::fmt::Display) -> ! {
     std::process::exit(2);
 }
 
-fn parse_args() -> Opts {
+fn parse_args(mut args: Vec<String>) -> Opts {
+    // The cross-cutting flags shared with `serve`, `client`, and the bench
+    // binaries come out first via the shared helpers (exit-2 contract).
+    let budget = cli::or_exit2("gcommc", cli::take_budget_flag(&mut args));
+    let stats = cli::or_exit2("gcommc", cli::StatsOpts::extract(&mut args));
     let mut o = Opts {
         strategy: Strategy::Global,
         counts: false,
@@ -85,36 +110,25 @@ fn parse_args() -> Opts {
         verify: false,
         sim: None,
         faults: FaultPlan::quiet(),
-        budget: BudgetSpec::default(),
+        budget,
         entries: false,
-        stats: false,
-        stats_json: None,
+        stats,
         input: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--strategy" => {
                 o.strategy = match args.next().as_deref() {
-                    Some("orig") => Strategy::Original,
-                    Some("nored") => Strategy::EarliestRE,
-                    Some("partial") => Strategy::EarliestPartialRE,
-                    Some("comb") => Strategy::Global,
-                    Some(other) => bad_args(format_args!(
-                        "--strategy expects orig|nored|partial|comb, got '{other}'"
-                    )),
+                    Some(name) => Strategy::parse(name).unwrap_or_else(|| {
+                        bad_args(format_args!(
+                            "--strategy expects orig|nored|partial|comb, got '{name}'"
+                        ))
+                    }),
                     None => bad_args("--strategy expects a value: orig|nored|partial|comb"),
                 }
             }
             "--counts" => o.counts = true,
-            "--stats" => o.stats = true,
-            "--stats-json" => match args.next() {
-                Some(p) if !p.starts_with("--") => o.stats_json = Some(p),
-                Some(p) => bad_args(format_args!(
-                    "--stats-json expects a file path, got option '{p}'"
-                )),
-                None => bad_args("--stats-json expects a file path"),
-            },
             "--dot-cfg" => o.dot_cfg = true,
             "--dot-dom" => o.dot_dom = true,
             "--verify" => o.verify = true,
@@ -137,15 +151,6 @@ fn parse_args() -> Opts {
                     Err(e) => bad_args(e),
                 };
             }
-            "--budget" => {
-                let Some(spec) = args.next() else {
-                    bad_args("--budget expects a spec, e.g. steps=50000,ms=200,mem=4m")
-                };
-                o.budget = match BudgetSpec::parse(&spec) {
-                    Ok(b) => b,
-                    Err(e) => bad_args(e),
-                };
-            }
             "--help" | "-h" => usage(),
             _ if a.starts_with("--") => bad_args(format_args!(
                 "unrecognized option '{a}' (run --help for the option list)"
@@ -162,33 +167,215 @@ fn parse_args() -> Opts {
     o
 }
 
-fn main() -> ExitCode {
-    let opts = parse_args();
-    let path = opts.input.as_deref().unwrap_or("-");
-    let src = if path == "-" {
+/// Reads the program source from a path, or stdin for `-`.
+fn read_source(path: &str) -> Result<String, String> {
+    if path == "-" {
         let mut s = String::new();
-        if std::io::stdin().read_to_string(&mut s).is_err() {
-            eprintln!("gcommc: failed to read stdin");
-            return ExitCode::FAILURE;
-        }
-        s
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|_| "failed to read stdin".to_string())?;
+        Ok(s)
     } else {
-        match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("gcommc: {path}: {e}");
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if cli::take_version_flag(&mut args) {
+        println!("{}", cli::version_line("gcommc"));
+        return ExitCode::SUCCESS;
+    }
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_main(args.split_off(1)),
+        Some("client") => client_main(args.split_off(1)),
+        _ => compile_main(args),
+    }
+}
+
+/// `gcommc serve`: the persistent compile service, on TCP with `--addr`
+/// or NDJSON over stdio without it. SIGINT/SIGTERM drain gracefully.
+fn serve_main(mut args: Vec<String>) -> ExitCode {
+    let jobs = cli::or_exit2("gcommc", gcomm::par::take_jobs_flag(&mut args));
+    let addr = cli::or_exit2("gcommc", cli::take_addr_flag(&mut args));
+    let cache_bytes = cli::or_exit2("gcommc", cli::take_cache_bytes_flag(&mut args));
+    let default_budget = cli::or_exit2("gcommc", cli::take_budget_flag(&mut args));
+    if let Some(extra) = args.first() {
+        bad_args(format_args!("serve: unexpected argument '{extra}'"));
+    }
+    let mut config = ServiceConfig {
+        jobs,
+        default_budget,
+        ..ServiceConfig::default()
+    };
+    if let Some(bytes) = cache_bytes {
+        config.cache_bytes = bytes;
+    }
+    match addr {
+        Some(addr) => {
+            let server = match gcomm::serve::Server::bind(&addr, config) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("gcommc: bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            #[cfg(unix)]
+            {
+                gcomm::serve::server::signal::install();
+                gcomm::serve::server::signal::watch(server.shutdown_flag());
+            }
+            if let Ok(local) = server.local_addr() {
+                eprintln!("gcommc: serving on {local} ({jobs} jobs)");
+            }
+            if let Err(e) = server.run() {
+                eprintln!("gcommc: serve: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+        None => {
+            let svc = Arc::new(gcomm::serve::Service::new(config));
+            let shutdown = gcomm::serve::ShutdownFlag::new();
+            #[cfg(unix)]
+            {
+                gcomm::serve::server::signal::install();
+                gcomm::serve::server::signal::watch(shutdown.clone());
+            }
+            let stdin = std::io::stdin();
+            let mut input = stdin.lock();
+            if let Err(e) =
+                gcomm::serve::serve_lines(&svc, &mut input, Box::new(std::io::stdout()), &shutdown)
+            {
+                eprintln!("gcommc: serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `gcommc client`: sends one request to a running service and prints the
+/// response line. Exit 0 on an `"ok":true` response, 1 otherwise.
+fn client_main(mut args: Vec<String>) -> ExitCode {
+    let Some(addr) = cli::or_exit2("gcommc", cli::take_addr_flag(&mut args)) else {
+        bad_args("client: --addr <host:port> is required");
+    };
+    let budget = cli::or_exit2("gcommc", cli::take_budget_flag(&mut args));
+    let budget = (!budget.is_unlimited()).then_some(budget);
+    let mut op: Option<String> = None;
+    let mut strategy = Strategy::Global;
+    let mut sim: Option<gcomm::serve::SimSpec> = None;
+    let mut stable = false;
+    let mut input: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--op" => match it.next() {
+                Some(v) => op = Some(v),
+                None => bad_args("--op expects ping|version|stats|shutdown|compile"),
+            },
+            "--strategy" => {
+                strategy = match it.next().as_deref() {
+                    Some(name) => Strategy::parse(name).unwrap_or_else(|| {
+                        bad_args(format_args!(
+                            "--strategy expects orig|nored|partial|comb, got '{name}'"
+                        ))
+                    }),
+                    None => bad_args("--strategy expects a value: orig|nored|partial|comb"),
+                }
+            }
+            "--sim" => {
+                let Some(v) = it.next() else {
+                    bad_args("--sim expects a profile, e.g. sp2:128 or now")
+                };
+                let (profile, n) = match v.split_once(':') {
+                    Some((p, n)) => match n.parse::<i64>() {
+                        Ok(n) if n >= 1 => (p.to_string(), n),
+                        _ => bad_args(format_args!("--sim expects profile[:n], got '{v}'")),
+                    },
+                    None => (v.clone(), 64),
+                };
+                if profile != "sp2" && profile != "now" {
+                    bad_args(format_args!(
+                        "--sim profile must be sp2 or now, got '{profile}'"
+                    ));
+                }
+                sim = Some(gcomm::serve::SimSpec { profile, n });
+            }
+            "--stable" => stable = true,
+            _ if a.starts_with("--") => bad_args(format_args!("client: unrecognized option '{a}'")),
+            _ if input.is_none() => input = Some(a),
+            _ => bad_args(format_args!("client: unexpected extra argument '{a}'")),
+        }
+    }
+    let op = op.unwrap_or_else(|| if input.is_some() { "compile" } else { "ping" }.to_string());
+    let request = match op.as_str() {
+        "ping" => r#"{"op":"ping","id":1}"#.to_string(),
+        "version" => r#"{"op":"version","id":1}"#.to_string(),
+        "shutdown" => r#"{"op":"shutdown","id":1}"#.to_string(),
+        "stats" => format!("{{\"op\":\"stats\",\"id\":1,\"stable\":{stable}}}"),
+        "compile" => {
+            let Some(path) = input.as_deref() else {
+                bad_args("client: compile needs a source file (or '-' for stdin)");
+            };
+            let src = match read_source(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("gcommc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            gcomm::serve::compile_request(1, &src, strategy, budget.as_ref(), sim.as_ref())
+        }
+        other => bad_args(format_args!(
+            "--op expects ping|version|stats|shutdown|compile, got '{other}'"
+        )),
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gcommc: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.request(&request) {
+        Ok(resp) => {
+            println!("{resp}");
+            let failed = gcomm::serve::json::Json::parse(&resp)
+                .map(|v| {
+                    v.get("error").is_some() || v.get("ok").and_then(|o| o.as_bool()) == Some(false)
+                })
+                .unwrap_or(true);
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("gcommc: {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn compile_main(args: Vec<String>) -> ExitCode {
+    let opts = parse_args(args);
+    let path = opts.input.as_deref().unwrap_or("-");
+    let src = match read_source(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gcommc: {e}");
+            return ExitCode::FAILURE;
         }
     };
 
     // Stats collection covers the whole run (compile + sim + verify); the
     // registry is thread-local and opt-in, so without --stats the compile
-    // path pays only a thread-local read per instrumentation point.
-    let reg = gcomm_obs::Registry::new();
-    let _scope = opts
-        .stats_enabled()
-        .then(|| gcomm_obs::install(reg.clone()));
+    // path pays only a thread-local read per instrumentation point. The
+    // scope guard renders/writes the report when it drops at return.
+    let stats_enabled = opts.stats.enabled();
+    let _scope = opts.stats.install();
 
     // The budget clock starts here, covering the whole compile.
     let budget = Budget::from_spec(&opts.budget);
@@ -323,36 +510,23 @@ fn main() -> ExitCode {
         }
     }
 
-    if opts.stats_enabled() {
+    if stats_enabled && opts.sim.is_none() {
         // Populate the machine stage even without --sim: one quiet
         // small-size run on the default network (doesn't touch stdout).
-        if opts.sim.is_none() {
-            let rank = compiled
-                .prog
-                .arrays
-                .iter()
-                .map(|a| a.distributed_dims().len())
-                .max()
-                .unwrap_or(1)
-                .max(1);
-            let cfg =
-                SimConfig::uniform(&compiled, ProcGrid::balanced(4, rank), 64).with("nsteps", 2);
-            let _ = simulate_with_faults(
-                &lower_to_sim(&compiled, &cfg),
-                &NetworkModel::sp2(),
-                &opts.faults,
-            );
-        }
-        let report = reg.snapshot();
-        if opts.stats {
-            eprint!("{}", report.render_text());
-        }
-        if let Some(path) = &opts.stats_json {
-            if let Err(e) = std::fs::write(path, report.to_json()) {
-                eprintln!("gcommc: {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        let rank = compiled
+            .prog
+            .arrays
+            .iter()
+            .map(|a| a.distributed_dims().len())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let cfg = SimConfig::uniform(&compiled, ProcGrid::balanced(4, rank), 64).with("nsteps", 2);
+        let _ = simulate_with_faults(
+            &lower_to_sim(&compiled, &cfg),
+            &NetworkModel::sp2(),
+            &opts.faults,
+        );
     }
 
     ExitCode::SUCCESS

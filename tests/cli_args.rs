@@ -48,6 +48,37 @@ fn malformed_arguments_exit_two_with_a_message() {
 }
 
 #[test]
+fn serve_and_client_arguments_exit_two_with_a_message() {
+    assert_usage_error(&["serve", "--addr"], "--addr expects a value");
+    assert_usage_error(&["serve", "--addr", "noport"], "--addr expects host:port");
+    assert_usage_error(&["serve", "--cache-bytes", "lots"], "--cache-bytes");
+    assert_usage_error(&["serve", "--jobs", "zero"], "--jobs");
+    assert_usage_error(&["serve", "--budget", "frobs=1"], "budget");
+    assert_usage_error(&["serve", "stray"], "unexpected argument");
+    assert_usage_error(&["client"], "--addr <host:port> is required");
+    assert_usage_error(&["client", "--addr", "1.2.3.4:1", "--op", "frob"], "--op");
+    assert_usage_error(
+        &["client", "--addr", "1.2.3.4:1", "--sim", "mars"],
+        "--sim profile must be sp2 or now",
+    );
+}
+
+#[test]
+fn version_flag_prints_the_workspace_version() {
+    let out = gcommc(&["--version"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with(&format!("gcommc {}", env!("CARGO_PKG_VERSION"))),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("gcomm-serve/v1"), "stdout: {stdout}");
+    // The flag wins from any position, even with other arguments around.
+    let out = gcommc(&["--counts", "--version", "x.hpf"]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
 fn missing_input_file_is_a_clean_error() {
     let out = gcommc(&["/no/such/file.hpf"]);
     assert_ne!(out.status.code(), Some(0));
