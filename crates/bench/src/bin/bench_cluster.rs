@@ -1,0 +1,300 @@
+//! Load generator for the sharded compile cluster (DESIGN.md §13). Two
+//! phases, one artifact (`BENCH_cluster.json`):
+//!
+//! * **Scaling** — in-process shards behind a router at 1..=4 shards,
+//!   driven with all-cold compiles (every request a distinct program, so
+//!   the shards' compile pipelines are the bottleneck, not the router
+//!   hop); records throughput and latency percentiles per shard count.
+//! * **Chaos** — real `gcommc serve` shard processes behind an in-process
+//!   router; one shard is SIGKILLed after a third of the run has
+//!   completed, guaranteed mid-flight. Records tail latency across the
+//!   kill and asserts the robustness contract: zero failed requests
+//!   (every request answered `ok`, none even `unavailable`).
+//!
+//! The chaos phase needs the `gcommc` binary; pass `--gcommc <path>` (or
+//! build `target/release/gcommc` first). Without it the phase is skipped
+//! and recorded as `null`.
+//!
+//! Usage: `bench_cluster [--threads <n>] [--requests <m>] [--jobs <n>]
+//! [--gcommc <path>] [--out <path>]`
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gcomm_core::Strategy;
+use gcomm_serve::cluster::{spawn_router, ClusterConfig, ShardProc};
+use gcomm_serve::{cli, compile_request, Client, ServerHandle, ServiceConfig};
+
+const BIN: &str = "bench_cluster";
+
+/// A distinct variant of the SHALLOW kernel per request index (trailing
+/// newlines change the cache key, not the program): every request is a
+/// cold compile of a real kernel, so shard CPU is what's being measured.
+fn source(i: usize) -> String {
+    let mut s = gcomm_kernels::SHALLOW.to_string();
+    for _ in 0..=i {
+        s.push('\n');
+    }
+    s
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn latency_block(mut us: Vec<f64>) -> String {
+    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    format!(
+        "{{\"samples\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+        us.len(),
+        percentile(&us, 0.50),
+        percentile(&us, 0.95),
+        percentile(&us, 0.99),
+        us.last().copied().unwrap_or(0.0)
+    )
+}
+
+/// Drives `threads × requests` cold compiles, bumping `done` after each
+/// response; returns (latencies_us, ok, unavailable, other_errors).
+fn drive(
+    addr: SocketAddr,
+    threads: usize,
+    requests: usize,
+    done: Arc<AtomicUsize>,
+) -> (Vec<f64>, u64, u64, u64) {
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect client");
+                let mut us: Vec<f64> = Vec::new();
+                let (mut ok, mut unavailable, mut errors) = (0u64, 0u64, 0u64);
+                for j in 0..requests {
+                    let i = t * requests + j;
+                    let req = compile_request(i as u64, &source(i), Strategy::Global, None, None);
+                    let start = Instant::now();
+                    match client.request(&req) {
+                        Ok(resp) if resp.contains("\"ok\":true") => {
+                            us.push(start.elapsed().as_secs_f64() * 1e6);
+                            ok += 1;
+                        }
+                        Ok(resp) if resp.contains("\"error\":\"unavailable\"") => {
+                            us.push(start.elapsed().as_secs_f64() * 1e6);
+                            unavailable += 1;
+                        }
+                        _ => errors += 1,
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+                (us, ok, unavailable, errors)
+            })
+        })
+        .collect();
+    let mut all_us = Vec::new();
+    let (mut ok, mut unavailable, mut errors) = (0u64, 0u64, 0u64);
+    for w in workers {
+        let (us, o, u, e) = w.join().expect("worker thread");
+        all_us.extend(us);
+        ok += o;
+        unavailable += u;
+        errors += e;
+    }
+    (all_us, ok, unavailable, errors)
+}
+
+fn router_config(threads: usize, jobs: usize) -> ClusterConfig {
+    ClusterConfig {
+        jobs: (threads + 2).max(jobs),
+        ..ClusterConfig::default()
+    }
+}
+
+/// One scaling measurement: router over `n` in-process shards.
+fn scaling_run(n: usize, jobs: usize, threads: usize, requests: usize) -> String {
+    let shards: Vec<ServerHandle> = (0..n)
+        .map(|_| {
+            gcomm_serve::spawn(
+                "127.0.0.1:0",
+                ServiceConfig {
+                    jobs,
+                    ..ServiceConfig::default()
+                },
+            )
+            .expect("bind shard")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(ServerHandle::addr).collect();
+    let router =
+        spawn_router("127.0.0.1:0", &addrs, router_config(threads, jobs)).expect("bind router");
+
+    let t0 = Instant::now();
+    let (us, ok, unavailable, errors) = drive(
+        router.addr(),
+        threads,
+        requests,
+        Arc::new(AtomicUsize::new(0)),
+    );
+    let elapsed = t0.elapsed().as_secs_f64();
+    router.stop().expect("router drain");
+    for s in shards {
+        s.stop().expect("shard drain");
+    }
+    let total = (threads * requests) as f64;
+    format!(
+        "{{\"shards\":{n},\"throughput_rps\":{rps},\"ok\":{ok},\
+         \"unavailable\":{unavailable},\"errors\":{errors},\"cold\":{cold}}}",
+        rps = total / elapsed.max(1e-9),
+        cold = latency_block(us)
+    )
+}
+
+/// The chaos measurement: process shards, one SIGKILLed after a third of
+/// the run has completed.
+fn chaos_run(gcommc: &str, jobs: usize, threads: usize, requests: usize) -> String {
+    let jobs_arg = jobs.to_string();
+    let mut shards: Vec<ShardProc> = (0..3)
+        .map(|_| ShardProc::spawn(gcommc, &["--jobs", &jobs_arg]).expect("spawn shard process"))
+        .collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(ShardProc::addr).collect();
+    let router =
+        spawn_router("127.0.0.1:0", &addrs, router_config(threads, jobs)).expect("bind router");
+
+    // Kill shard 1 once a third of the run has completed — progress-based,
+    // so the kill is guaranteed to land with traffic in flight.
+    let done = Arc::new(AtomicUsize::new(0));
+    let kill_at = threads * requests / 3;
+    let killer = {
+        let done = Arc::clone(&done);
+        let mut victim = shards.remove(1);
+        std::thread::spawn(move || {
+            while done.load(Ordering::Relaxed) < kill_at {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            victim.kill();
+        })
+    };
+    let t0 = Instant::now();
+    let (us, ok, unavailable, errors) = drive(router.addr(), threads, requests, Arc::clone(&done));
+    let elapsed = t0.elapsed().as_secs_f64();
+    killer.join().expect("killer thread");
+
+    let report = router.registry().snapshot();
+    let doc = format!(
+        "{{\"shards\":3,\"killed\":1,\"kill_after_requests\":{kill_at},\
+         \"throughput_rps\":{rps},\"ok\":{ok},\"unavailable\":{unavailable},\
+         \"errors\":{errors},\"failover\":{fo},\"retries\":{re},\
+         \"conn_lost\":{cl},\"marked_down\":{md},\"latency\":{lat}}}",
+        rps = (threads * requests) as f64 / elapsed.max(1e-9),
+        fo = report.counter("cluster.failover"),
+        re = report.counter("cluster.retry"),
+        cl = report.counter("cluster.conn_lost"),
+        md = report.counter("cluster.marked_down"),
+        lat = latency_block(us)
+    );
+    router.stop().expect("router drain");
+    for mut s in shards {
+        let _ = s.shutdown_graceful(Duration::from_secs(5));
+    }
+    assert_eq!(errors, 0, "chaos run dropped requests on the floor");
+    assert_eq!(
+        unavailable, 0,
+        "one dead shard of three must be absorbed by failover"
+    );
+    doc
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if cli::take_version_flag(&mut args) {
+        println!("{}", cli::version_line(BIN));
+        return;
+    }
+    let jobs = cli::or_exit2(BIN, gcomm_par::take_jobs_flag(&mut args));
+    let mut threads = 8usize;
+    let mut requests = 150usize;
+    let mut gcommc: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{BIN}: {name} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--threads" => match value("--threads").parse() {
+                Ok(n) if n >= 1 => threads = n,
+                _ => cli::or_exit2::<()>(BIN, Err("--threads expects a count >= 1".into())),
+            },
+            "--requests" => match value("--requests").parse() {
+                Ok(n) if n >= 1 => requests = n,
+                _ => cli::or_exit2::<()>(BIN, Err("--requests expects a count >= 1".into())),
+            },
+            "--gcommc" => gcommc = Some(value("--gcommc")),
+            "--out" => out_path = Some(value("--out")),
+            _ => cli::or_exit2::<()>(
+                BIN,
+                Err(format!(
+                    "unrecognized argument '{a}' \
+                     (usage: bench_cluster [--threads <n>] [--requests <m>] \
+                     [--jobs <n>] [--gcommc <path>] [--out <path>])"
+                )),
+            ),
+        }
+    }
+
+    // Shard worker count: small and fixed, so throughput gains come from
+    // adding shards, not from oversubscribing one shard.
+    let shard_jobs = jobs.clamp(1, 2);
+
+    let mut scaling = Vec::new();
+    for n in 1..=4 {
+        eprintln!("{BIN}: scaling run with {n} shard(s)...");
+        scaling.push(scaling_run(n, shard_jobs, threads, requests));
+    }
+
+    let gcommc = gcommc.or_else(|| {
+        let default = "target/release/gcommc";
+        std::path::Path::new(default)
+            .exists()
+            .then(|| default.to_string())
+    });
+    let chaos = match gcommc.as_deref() {
+        Some(bin) => {
+            eprintln!("{BIN}: chaos run (3 process shards, one SIGKILLed)...");
+            chaos_run(bin, shard_jobs, threads, requests)
+        }
+        None => {
+            eprintln!("{BIN}: no gcommc binary found, skipping the chaos phase");
+            "null".to_string()
+        }
+    };
+
+    // Shards only scale throughput when there are cores to back them;
+    // record the host's parallelism so flat scaling on a 1-CPU CI box is
+    // interpretable rather than mysterious.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let doc = format!(
+        "{{\"schema\":\"gcomm-bench-cluster/v1\",\"cpus\":{cpus},\
+         \"threads\":{threads},\"requests_per_thread\":{requests},\
+         \"shard_jobs\":{shard_jobs},\"scaling\":[{}],\"chaos\":{chaos}}}",
+        scaling.join(",")
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{doc}\n")).unwrap_or_else(|e| {
+                eprintln!("{BIN}: {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("{BIN}: wrote {path}");
+        }
+        None => println!("{doc}"),
+    }
+}

@@ -108,11 +108,24 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     "serve.compiles",
     "serve.errors",
     "serve.overloaded",
+    "serve.unavailable",
     "serve.degraded",
     "cache.hit",
     "cache.miss",
     "cache.evict",
     "cache.bypass",
+    // cluster: the sharded router (DESIGN.md §13) — routing volume, the
+    // failure/recovery path (retries with wall-clock backoff, failover to
+    // the ring replica), hot-key replication, and shard health
+    // transitions.
+    "cluster.requests",
+    "cluster.retry",
+    "cluster.failover",
+    "cluster.replica_hit",
+    "cluster.replicated",
+    "cluster.conn_lost",
+    "cluster.marked_down",
+    "cluster.marked_up",
 ];
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@
 
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use gcomm_core::Strategy;
 use gcomm_guard::BudgetSpec;
@@ -12,7 +13,14 @@ use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 use crate::json::escape;
 use crate::protocol::SimSpec;
 
+/// Default read/write deadline on every client socket. Generous — orders
+/// of magnitude above any cold compile — but finite: a hung or
+/// half-drained peer surfaces as a `TimedOut` error instead of blocking
+/// the caller forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// One connection to a serve instance.
+#[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -20,22 +28,48 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Connects to `addr` with the [`DEFAULT_IO_TIMEOUT`] deadlines.
     ///
     /// # Errors
     ///
     /// Propagates the connect failure.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects to `addr`, giving up on the connect itself after
+    /// `timeout` (the per-I/O deadlines stay [`DEFAULT_IO_TIMEOUT`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure or timeout.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> io::Result<Client> {
+        Client::from_stream(TcpStream::connect_timeout(addr, timeout)?)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
         // One frame = one packet: without this, Nagle + delayed-ACK add
         // tens of milliseconds to every request round-trip.
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(DEFAULT_IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(DEFAULT_IO_TIMEOUT))?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
             max_frame: DEFAULT_MAX_FRAME,
         })
+    }
+
+    /// Overrides the read/write deadlines (`None` = block forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        let s = self.reader.get_ref();
+        s.set_read_timeout(timeout)?;
+        s.set_write_timeout(timeout)
     }
 
     /// The peer address.
@@ -90,12 +124,24 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures; a malformed frame surfaces as
-    /// `InvalidData`.
+    /// Propagates I/O failures. A peer that died mid-frame (truncated
+    /// header or payload) surfaces as a `ConnectionAborted` "connection
+    /// lost" error — never as a JSON parse error on a partial payload;
+    /// any other malformed frame surfaces as `InvalidData`.
     pub fn recv(&mut self) -> io::Result<Option<String>> {
         match read_frame(&mut self.reader, self.max_frame) {
             Ok(Some(payload)) => Ok(Some(String::from_utf8_lossy(&payload).into_owned())),
             Ok(None) => Ok(None),
+            Err(FrameError::Truncated) => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "connection lost mid-frame",
+            )),
+            Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "connection lost mid-frame",
+                ))
+            }
             Err(FrameError::Io(e)) => Err(e),
             Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
         }

@@ -1,0 +1,161 @@
+//! Shard health: a failure-threshold state machine fed by both the
+//! background ping prober and the forwarding path itself.
+//!
+//! A shard starts `Up`. `fail_threshold` **consecutive** failures
+//! (refused connects, I/O timeouts, mid-frame deaths, bad pongs) mark it
+//! `Down`; `up_threshold` consecutive successes mark it `Up` again. One
+//! success resets the failure streak and vice versa, so a flapping shard
+//! needs a clean streak to transition — a single lucky ping does not
+//! resurrect a dying shard when `up_threshold > 1`.
+//!
+//! The cell is shared between the router's worker threads and the prober;
+//! transitions are returned to the caller exactly once so the router can
+//! count `cluster.marked_down` / `cluster.marked_up` without double
+//! counting.
+
+use std::sync::Mutex;
+
+/// Thresholds of the up/down state machine.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// Consecutive failures that mark an `Up` shard `Down` (min 1).
+    pub fail_threshold: u32,
+    /// Consecutive successes that mark a `Down` shard `Up` (min 1).
+    pub up_threshold: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            fail_threshold: 2,
+            up_threshold: 2,
+        }
+    }
+}
+
+/// A state transition that just happened (report it exactly once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The shard crossed the failure threshold.
+    MarkedDown,
+    /// The shard crossed the recovery threshold.
+    MarkedUp,
+}
+
+#[derive(Debug)]
+struct State {
+    up: bool,
+    streak_failures: u32,
+    streak_successes: u32,
+}
+
+/// One shard's shared health state.
+#[derive(Debug)]
+pub struct HealthCell {
+    state: Mutex<State>,
+}
+
+impl Default for HealthCell {
+    fn default() -> Self {
+        HealthCell {
+            state: Mutex::new(State {
+                up: true,
+                streak_failures: 0,
+                streak_successes: 0,
+            }),
+        }
+    }
+}
+
+impl HealthCell {
+    /// True while the shard is considered routable.
+    pub fn is_up(&self) -> bool {
+        self.state.lock().unwrap().up
+    }
+
+    /// Records a successful probe or forward.
+    pub fn record_success(&self, policy: &HealthPolicy) -> Option<Transition> {
+        let mut s = self.state.lock().unwrap();
+        s.streak_failures = 0;
+        if s.up {
+            return None;
+        }
+        s.streak_successes += 1;
+        if s.streak_successes >= policy.up_threshold.max(1) {
+            s.up = true;
+            s.streak_successes = 0;
+            return Some(Transition::MarkedUp);
+        }
+        None
+    }
+
+    /// Records a failed probe or forward.
+    pub fn record_failure(&self, policy: &HealthPolicy) -> Option<Transition> {
+        let mut s = self.state.lock().unwrap();
+        s.streak_successes = 0;
+        if !s.up {
+            return None;
+        }
+        s.streak_failures += 1;
+        if s.streak_failures >= policy.fail_threshold.max(1) {
+            s.up = false;
+            s.streak_failures = 0;
+            return Some(Transition::MarkedDown);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn down_after_threshold_consecutive_failures() {
+        let p = HealthPolicy {
+            fail_threshold: 3,
+            up_threshold: 2,
+        };
+        let c = HealthCell::default();
+        assert!(c.is_up());
+        assert_eq!(c.record_failure(&p), None);
+        assert_eq!(c.record_failure(&p), None);
+        assert!(c.is_up(), "below threshold stays up");
+        assert_eq!(c.record_failure(&p), Some(Transition::MarkedDown));
+        assert!(!c.is_up());
+        // Further failures report nothing new.
+        assert_eq!(c.record_failure(&p), None);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let p = HealthPolicy {
+            fail_threshold: 2,
+            up_threshold: 1,
+        };
+        let c = HealthCell::default();
+        assert_eq!(c.record_failure(&p), None);
+        assert_eq!(c.record_success(&p), None, "already up: no transition");
+        // The streak restarted: one more failure is again below threshold.
+        assert_eq!(c.record_failure(&p), None);
+        assert!(c.is_up());
+        assert_eq!(c.record_failure(&p), Some(Transition::MarkedDown));
+    }
+
+    #[test]
+    fn recovery_needs_a_clean_success_streak() {
+        let p = HealthPolicy {
+            fail_threshold: 1,
+            up_threshold: 2,
+        };
+        let c = HealthCell::default();
+        assert_eq!(c.record_failure(&p), Some(Transition::MarkedDown));
+        assert_eq!(c.record_success(&p), None);
+        // A failure inside the recovery streak restarts it.
+        assert_eq!(c.record_failure(&p), None);
+        assert_eq!(c.record_success(&p), None);
+        assert!(!c.is_up());
+        assert_eq!(c.record_success(&p), Some(Transition::MarkedUp));
+        assert!(c.is_up());
+    }
+}

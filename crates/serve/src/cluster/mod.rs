@@ -1,0 +1,122 @@
+//! # gcomm-cluster — sharded compile service with failover (DESIGN.md §13)
+//!
+//! One cache per `gcomm-serve` process stops paying off when the working
+//! set outgrows a single LRU or a single process pins its cores. This
+//! module shards the service: a **router** accepts the unchanged
+//! `gcomm-serve/v1` protocol and consistent-hashes each request's
+//! content-addressed cache key ([`crate::protocol::cache_key_material`],
+//! the same FNV-1a material the shard cache uses) onto N independent
+//! shard processes, so every repeat of a source lands on the shard whose
+//! cache is warm for it.
+//!
+//! The robustness machinery around that one idea:
+//!
+//! * [`ring`] — the consistent-hash ring (virtual nodes; removal moves
+//!   only the dead shard's keys) and the replica order (next distinct
+//!   shard on the ring).
+//! * [`health`] — a failure-threshold state machine per shard, fed by a
+//!   background `ping` prober and by forwarding outcomes.
+//! * [`hotkey`] — sliding-window hot-key detection; keys above the
+//!   threshold replicate to the next ring shard so a primary's death does
+//!   not cold-start the popular programs.
+//! * [`shard`] — deadline-armed pooled connections and verbatim
+//!   request/response relay (the bit-identity guarantee: the router never
+//!   re-renders a payload, and payloads are pure functions of the key).
+//! * [`router`] — the accept loop, retry with wall-clock exponential
+//!   backoff ([`gcomm_machine::fault::RetryPolicy`] pointed at real
+//!   sockets), failover to replicas, and a structured `unavailable`
+//!   error when everything failed — never a hang, never a partial frame.
+//! * [`proc`] — shard child-process management for `gcommc cluster`
+//!   (spawn, address handshake, graceful shutdown, kill).
+
+use std::time::Duration;
+
+use gcomm_guard::BudgetSpec;
+use gcomm_machine::fault::RetryPolicy;
+
+use crate::frame::DEFAULT_MAX_FRAME;
+
+pub mod health;
+pub mod hotkey;
+pub mod proc;
+pub mod ring;
+pub mod router;
+pub mod shard;
+
+pub use health::{HealthCell, HealthPolicy, Transition};
+pub use hotkey::HotKeys;
+pub use proc::ShardProc;
+pub use ring::Ring;
+pub use router::{spawn_router, Router, RouterHandle};
+pub use shard::{ForwardError, Shard};
+
+/// Tuning knobs of a cluster router.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Extra ring successors a request may fail over to (and hot keys
+    /// replicate to). `1` means primary + one replica.
+    pub replicas: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Router worker threads forwarding requests.
+    pub jobs: usize,
+    /// Bounded router queue; submissions beyond it get `overloaded`.
+    pub queue_cap: usize,
+    /// Maximum accepted frame payload in bytes.
+    pub max_frame: usize,
+    /// Budget assumed for compile requests without one — **must match the
+    /// shards' default budget** so the router hashes the same key material
+    /// the shard caches under.
+    pub default_budget: BudgetSpec,
+    /// Read/write deadline on router→shard sockets.
+    pub io_timeout: Duration,
+    /// Connect deadline on router→shard sockets.
+    pub connect_timeout: Duration,
+    /// Retry curve (attempt count, exponential backoff shape).
+    pub retry: RetryPolicy,
+    /// Base of the wall-clock backoff between attempts.
+    pub retry_base: Duration,
+    /// Hard cap on a single backoff sleep.
+    pub retry_cap: Duration,
+    /// Seed for the per-request jitter stream (deterministic per key).
+    pub seed: u64,
+    /// Interval between background health probes.
+    pub check_interval: Duration,
+    /// Deadline on one health probe round-trip.
+    pub check_timeout: Duration,
+    /// Up/down thresholds of the health state machine.
+    pub health: HealthPolicy,
+    /// Hits within [`ClusterConfig::hot_window`] that make a key hot.
+    pub hot_threshold: u32,
+    /// Sliding window for hot-key detection.
+    pub hot_window: Duration,
+    /// Maximum tracked keys in the hot-key table.
+    pub hot_capacity: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            replicas: 1,
+            vnodes: 64,
+            jobs: gcomm_par::default_jobs(),
+            queue_cap: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            default_budget: BudgetSpec::default(),
+            // Above the 10s sleep-op cap, so a worst-case parked worker
+            // still answers within the deadline instead of tripping it.
+            io_timeout: Duration::from_secs(15),
+            connect_timeout: Duration::from_secs(1),
+            retry: RetryPolicy::default(),
+            retry_base: Duration::from_millis(25),
+            retry_cap: Duration::from_secs(1),
+            seed: 0x9e37_79b9_7f4a_7c15,
+            check_interval: Duration::from_millis(150),
+            check_timeout: Duration::from_secs(1),
+            health: HealthPolicy::default(),
+            hot_threshold: 3,
+            hot_window: Duration::from_secs(2),
+            hot_capacity: 65_536,
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Shard child-process management for `gcommc cluster`: spawn a
+//! `gcommc serve` process per shard, learn its ephemeral address from the
+//! startup banner, and take it down — gracefully via the protocol's
+//! `shutdown` op, or hard (SIGKILL) for chaos testing.
+
+use std::io::{self, BufRead, BufReader, Read};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use crate::client::Client;
+
+/// One spawned shard process and its serve address.
+#[derive(Debug)]
+pub struct ShardProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ShardProc {
+    /// Spawns `program serve --addr 127.0.0.1:0 <extra_args>` and waits
+    /// for its `serving on <addr>` banner on stderr. The rest of the
+    /// child's stderr is drained by a detached thread so the pipe can
+    /// never fill up and stall the shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the spawn failure; fails with `InvalidData` when the
+    /// child exits (or closes stderr) before announcing an address.
+    pub fn spawn(program: &str, extra_args: &[&str]) -> io::Result<ShardProc> {
+        let mut child = Command::new(program)
+            .arg("serve")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .args(extra_args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()?;
+        let stderr = child.stderr.take().expect("stderr was piped");
+        let mut reader = BufReader::new(stderr);
+        let addr = match read_banner_addr(&mut reader) {
+            Ok(addr) => addr,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(e);
+            }
+        };
+        // Keep draining so the shard never blocks writing diagnostics.
+        std::thread::spawn(move || {
+            let mut sink = io::sink();
+            let _ = io::copy(&mut reader, &mut sink);
+        });
+        Ok(ShardProc { child, addr })
+    }
+
+    /// The shard's serve address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shard's process id (for external signalling in tests).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Hard-kills the shard (SIGKILL) and reaps it. Idempotent enough for
+    /// chaos tests: errors from an already-dead child are ignored.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Asks the shard to drain and exit via the protocol's `shutdown` op,
+    /// then reaps it. Falls back to a kill when the shard cannot be
+    /// reached or does not exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wait failure.
+    pub fn shutdown_graceful(&mut self, timeout: Duration) -> io::Result<()> {
+        let reachable = Client::connect_timeout(&self.addr, timeout)
+            .and_then(|mut c| {
+                c.set_io_timeout(Some(timeout))?;
+                c.request(r#"{"op":"shutdown","id":0}"#)
+            })
+            .is_ok();
+        if !reachable {
+            self.kill();
+            return self.child.wait().map(|_| ());
+        }
+        // The shard drains accepted work before exiting; poll for it.
+        let deadline = std::time::Instant::now() + timeout.max(Duration::from_secs(5));
+        loop {
+            if self.child.try_wait()?.is_some() {
+                return Ok(());
+            }
+            if std::time::Instant::now() >= deadline {
+                self.kill();
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        // Never leak a child process, even on panic paths in tests.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Reads stderr lines until the `serving on <addr>` banner appears.
+fn read_banner_addr(reader: &mut BufReader<impl Read>) -> io::Result<SocketAddr> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "shard exited before announcing its address",
+            ));
+        }
+        if let Some(rest) = line.split("serving on ").nth(1) {
+            let addr_text = rest.split_whitespace().next().unwrap_or("");
+            if let Ok(addr) = addr_text.parse::<SocketAddr>() {
+                return Ok(addr);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparseable serve banner: {}", line.trim()),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_parsing_extracts_the_address() {
+        let text = "warming up\ngcommc: serving on 127.0.0.1:4567 (8 jobs)\n";
+        let mut r = BufReader::new(text.as_bytes());
+        assert_eq!(
+            read_banner_addr(&mut r).unwrap(),
+            "127.0.0.1:4567".parse::<SocketAddr>().unwrap()
+        );
+    }
+
+    #[test]
+    fn missing_banner_is_a_clean_error() {
+        let mut r = BufReader::new("no banner here\n".as_bytes());
+        let err = read_banner_addr(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -25,12 +25,17 @@
 //! * **Graceful drain** ([`server::ShutdownFlag`]): a `shutdown` request
 //!   or SIGTERM/SIGINT stops accepting, finishes every accepted job,
 //!   flushes its response, and exits cleanly.
+//! * **Cluster mode** ([`cluster`]): a router consistent-hashes cache
+//!   keys over N shard processes, health-checks them, retries with real
+//!   wall-clock backoff, fails over to ring replicas, and replicates hot
+//!   keys — while responses stay bit-identical to a single-node server.
 //!
 //! Everything here is `std`-only, like the rest of the workspace.
 
 pub mod cache;
 pub mod cli;
 pub mod client;
+pub mod cluster;
 pub mod frame;
 pub mod json;
 pub mod protocol;
@@ -39,6 +44,7 @@ pub mod service;
 
 pub use cache::{fnv1a, LruCache};
 pub use client::{compile_request, Client};
+pub use cluster::{spawn_router, ClusterConfig, Router, RouterHandle};
 pub use frame::DEFAULT_MAX_FRAME;
 pub use protocol::{CompileReq, Request, SimSpec, PROTOCOL};
 pub use server::{serve_lines, spawn, Server, ServerHandle, ShutdownFlag};

@@ -74,7 +74,7 @@ impl ShutdownFlag {
         self.flag.load(Ordering::SeqCst)
     }
 
-    fn set_wake_addr(&self, addr: SocketAddr) {
+    pub(crate) fn set_wake_addr(&self, addr: SocketAddr) {
         *self.wake_addr.lock().unwrap() = Some(addr);
     }
 }

@@ -1,0 +1,78 @@
+//! Golden transcript of a scripted cluster session (the `cluster-smoke`
+//! CI job mirrors this shape at the process level): a fixed request
+//! sequence through a router over two shards, issued sequentially so
+//! every response — including the stable stats counters — is
+//! deterministic. Bless an intentional protocol change with:
+//!
+//! ```text
+//! GCOMM_BLESS=1 cargo test -p gcomm-serve --test cluster_smoke_golden
+//! ```
+
+use std::path::PathBuf;
+
+use gcomm_core::Strategy;
+use gcomm_serve::cluster::{spawn_router, ClusterConfig};
+use gcomm_serve::{compile_request, Client, ServiceConfig};
+
+const OK_SRC: &str = "program p\nparam n\nreal a(n,n), b(n,n) distribute (block, block)\nb(2:n, 1:n) = a(1:n-1, 1:n)\nend\n";
+const BAD_SRC: &str = "program p\nthis is not hpf\nend\n";
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/cluster_smoke.txt")
+}
+
+#[test]
+fn scripted_cluster_session_matches_golden() {
+    let shards: Vec<_> = (0..2)
+        .map(|_| {
+            gcomm_serve::spawn(
+                "127.0.0.1:0",
+                ServiceConfig {
+                    jobs: 2,
+                    ..ServiceConfig::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs: Vec<_> = shards.iter().map(|s| s.addr()).collect();
+    let router = spawn_router("127.0.0.1:0", &addrs, ClusterConfig::default()).unwrap();
+
+    let mut client = Client::connect(router.addr()).unwrap();
+    // Sequential request/response: each transcript line is fully
+    // determined by the ones before it — routing is a pure function of
+    // the key, and no health or replication event fires in a clean run.
+    let script: Vec<String> = vec![
+        r#"{"op":"ping","id":1}"#.into(),
+        r#"{"op":"version","id":2}"#.into(),
+        r#"{not json"#.into(),
+        r#"{"op":"frobnicate","id":3}"#.into(),
+        compile_request(10, OK_SRC, Strategy::Global, None, None),
+        compile_request(11, OK_SRC, Strategy::Global, None, None), // shard cache hit
+        compile_request(12, BAD_SRC, Strategy::Global, None, None),
+        r#"{"op":"stats","id":20,"stable":true}"#.into(),
+        r#"{"op":"shutdown","id":21}"#.into(),
+    ];
+    let mut transcript = String::new();
+    for req in &script {
+        transcript.push_str(&client.request(req).unwrap());
+        transcript.push('\n');
+    }
+    drop(client);
+    router.stop().unwrap();
+    for s in shards {
+        s.stop().unwrap();
+    }
+
+    let path = golden_path();
+    if std::env::var_os("GCOMM_BLESS").is_some() {
+        std::fs::write(&path, &transcript).expect("write blessed golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} (GCOMM_BLESS=1 to create)", path.display()));
+    assert_eq!(
+        golden, transcript,
+        "results/cluster_smoke.txt drifted (GCOMM_BLESS=1 to accept)"
+    );
+}

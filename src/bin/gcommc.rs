@@ -3,6 +3,7 @@
 //! ```text
 //! gcommc [OPTIONS] <file.hpf | - >      compile one program
 //! gcommc serve [OPTIONS]                run the persistent compile service
+//! gcommc cluster --addr <host:port> ... run a sharded compile cluster
 //! gcommc client --addr <host:port> ...  talk to a running service
 //! gcommc --version                      print the toolchain version
 //!
@@ -29,6 +30,18 @@
 //!   --jobs <n>                   worker threads (default: GCOMM_JOBS or cores)
 //!   --cache-bytes <size>         compile-cache capacity, e.g. 32m
 //!   --budget <spec>              default budget for requests without one
+//!
+//! Cluster options (DESIGN.md §13):
+//!   --addr <host:port>           router listen address (required)
+//!   --shards <n>                 shard processes to spawn (default: 2)
+//!   --replicas <n>               ring successors for failover and hot-key
+//!                                replication (default: 1)
+//!   --attach <host:port>         attach a running serve instead of spawning
+//!                                (repeatable; overrides --shards)
+//!   --jobs <n>                   router workers and per-shard workers
+//!   --cache-bytes <size>         per-shard compile-cache capacity
+//!   --budget <spec>              default budget — forwarded to shards and
+//!                                used for router-side key hashing
 //!
 //! Client options:
 //!   --addr <host:port>           the server to talk to (required)
@@ -83,6 +96,8 @@ fn usage() -> ! {
          [--stats-json <path>] <file | ->\n\
          \x20      gcommc serve [--addr <host:port>] [--jobs <n>] [--cache-bytes <size>] \
          [--budget <spec>]\n\
+         \x20      gcommc cluster --addr <host:port> [--shards <n>] [--replicas <n>] \
+         [--attach <host:port>]... [--jobs <n>] [--cache-bytes <size>] [--budget <spec>]\n\
          \x20      gcommc client --addr <host:port> [--op ping|version|stats|shutdown|compile] \
          [--strategy <s>] [--budget <spec>] [--sim <profile[:n]>] [--stable] [<file | ->]\n\
          \x20      gcommc --version"
@@ -188,6 +203,7 @@ fn main() -> ExitCode {
     }
     match args.first().map(String::as_str) {
         Some("serve") => serve_main(args.split_off(1)),
+        Some("cluster") => cluster_main(args.split_off(1)),
         Some("client") => client_main(args.split_off(1)),
         _ => compile_main(args),
     }
@@ -250,6 +266,116 @@ fn serve_main(mut args: Vec<String>) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `gcommc cluster`: the sharded compile service (DESIGN.md §13). Spawns
+/// `--shards` child `gcommc serve` processes (or attaches to running ones
+/// via `--attach`) and routes the unchanged protocol across them with
+/// health checks, retry/backoff, and hot-key replication. SIGINT/SIGTERM
+/// drain the router's in-flight requests, then shut the spawned shards
+/// down gracefully.
+fn cluster_main(mut args: Vec<String>) -> ExitCode {
+    let jobs = cli::or_exit2("gcommc", gcomm::par::take_jobs_flag(&mut args));
+    let addr = cli::or_exit2("gcommc", cli::take_addr_flag(&mut args));
+    let cache_bytes = cli::or_exit2("gcommc", cli::take_cache_bytes_flag(&mut args));
+    let default_budget = cli::or_exit2("gcommc", cli::take_budget_flag(&mut args));
+    let shards = cli::or_exit2("gcommc", cli::take_count_flag(&mut args, "--shards")).unwrap_or(2);
+    let replicas =
+        cli::or_exit2("gcommc", cli::take_count_flag(&mut args, "--replicas")).unwrap_or(1);
+    let attach = cli::or_exit2("gcommc", cli::take_repeated_flag(&mut args, "--attach"));
+    if let Some(extra) = args.first() {
+        bad_args(format_args!("cluster: unexpected argument '{extra}'"));
+    }
+    let Some(addr) = addr else {
+        bad_args("cluster: --addr <host:port> is required");
+    };
+
+    // Attached shards are trusted as-is; otherwise spawn our own children
+    // running the same binary, so the cluster needs no external setup.
+    let mut procs: Vec<gcomm::serve::cluster::ShardProc> = Vec::new();
+    let shard_addrs: Vec<std::net::SocketAddr> = if attach.is_empty() {
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("gcommc: cluster: cannot locate own binary: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let jobs_arg = jobs.to_string();
+        let mut extra: Vec<String> = vec!["--jobs".into(), jobs_arg];
+        if let Some(bytes) = cache_bytes {
+            extra.push("--cache-bytes".into());
+            extra.push(bytes.to_string());
+        }
+        if !default_budget.is_unlimited() {
+            extra.push("--budget".into());
+            extra.push(default_budget.to_string());
+        }
+        let extra_refs: Vec<&str> = extra.iter().map(String::as_str).collect();
+        for i in 0..shards {
+            match gcomm::serve::cluster::ShardProc::spawn(&exe.to_string_lossy(), &extra_refs) {
+                Ok(p) => procs.push(p),
+                Err(e) => {
+                    eprintln!("gcommc: cluster: spawning shard {i}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        procs
+            .iter()
+            .map(gcomm::serve::cluster::ShardProc::addr)
+            .collect()
+    } else {
+        let mut addrs = Vec::new();
+        for a in &attach {
+            match a.parse() {
+                Ok(sa) => addrs.push(sa),
+                Err(_) => bad_args(format_args!(
+                    "cluster: --attach expects host:port, got '{a}'"
+                )),
+            }
+        }
+        addrs
+    };
+
+    let config = gcomm::serve::ClusterConfig {
+        replicas,
+        jobs,
+        default_budget,
+        ..gcomm::serve::ClusterConfig::default()
+    };
+    let router = match gcomm::serve::Router::bind(&addr, &shard_addrs, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gcommc: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    #[cfg(unix)]
+    {
+        gcomm::serve::server::signal::install();
+        gcomm::serve::server::signal::watch(router.shutdown_flag());
+    }
+    if let Ok(local) = router.local_addr() {
+        eprintln!(
+            "gcommc: cluster on {local} ({} shards, {} replica(s), {jobs} jobs)",
+            shard_addrs.len(),
+            replicas
+        );
+    }
+    let result = router.run();
+    // The router drained first, so the shards see no more forwards; now
+    // drain and stop the children we own (attached shards stay up).
+    for (i, p) in procs.iter_mut().enumerate() {
+        if let Err(e) = p.shutdown_graceful(std::time::Duration::from_secs(5)) {
+            eprintln!("gcommc: cluster: stopping shard {i}: {e}");
+        }
+    }
+    if let Err(e) = result {
+        eprintln!("gcommc: cluster: {e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,216 @@
+//! Process-level chaos tests for `gcommc cluster` (DESIGN.md §13): a real
+//! router process over real shard processes, with a shard SIGKILLed under
+//! load. The contract under fire:
+//!
+//! * every in-flight request either succeeds via failover or returns a
+//!   structured `unavailable` error — never a hang, never a corrupt frame;
+//! * SIGTERM to the router drains in-flight requests, shuts down the
+//!   shards it spawned, and exits 0.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use gcomm::serve::cluster::ShardProc;
+use gcomm::serve::json::Json;
+use gcomm::serve::{compile_request, Client};
+use gcomm::Strategy;
+
+const GCOMMC: &str = env!("CARGO_BIN_EXE_gcommc");
+
+fn source(i: usize) -> String {
+    format!(
+        "program p{i}\nparam n\nreal a(n,n), b(n,n) distribute (block, block)\n\
+         b(2:n, 1:n) = a(1:n-1, 1:n)\nend\n"
+    )
+}
+
+/// Spawns a router process and returns it plus the address parsed from
+/// its startup banner (stderr is drained by a detached thread after).
+fn spawn_router(args: &[String]) -> (Child, SocketAddr) {
+    let mut child = Command::new(GCOMMC)
+        .arg("cluster")
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn gcommc cluster");
+    let stderr = child.stderr.take().unwrap();
+    let mut reader = BufReader::new(stderr);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("router stderr readable");
+        assert_ne!(n, 0, "router exited before announcing its address");
+        if let Some(rest) = line.split("cluster on ").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .and_then(|a| a.parse().ok())
+                .unwrap_or_else(|| panic!("unparseable banner: {line}"));
+        }
+    };
+    std::thread::spawn(move || {
+        let mut sink = std::io::sink();
+        let _ = std::io::copy(&mut reader, &mut sink);
+    });
+    (child, addr)
+}
+
+/// A response is acceptable under chaos iff it is a complete, parseable
+/// frame that either succeeded or failed *structurally*.
+fn acceptable(resp: &str) -> bool {
+    let Ok(v) = Json::parse(resp) else {
+        return false;
+    };
+    if v.get("ok").and_then(Json::as_bool) == Some(true) {
+        return true;
+    }
+    v.get("error").and_then(Json::as_str) == Some("unavailable")
+}
+
+#[test]
+fn sigkilled_shard_under_load_never_hangs_or_corrupts() {
+    // The test owns the shard processes (so it can SIGKILL one) and the
+    // router attaches to them.
+    let mut shards: Vec<ShardProc> = (0..3)
+        .map(|_| ShardProc::spawn(GCOMMC, &["--jobs", "2"]).expect("spawn shard"))
+        .collect();
+    let mut args: Vec<String> = vec!["--addr".into(), "127.0.0.1:0".into()];
+    for s in &shards {
+        args.push("--attach".into());
+        args.push(s.addr().to_string());
+    }
+    args.push("--jobs".into());
+    args.push("4".into());
+    let (mut router, addr) = spawn_router(&args);
+
+    const THREADS: usize = 4;
+    const BATCHES: usize = 8;
+    const PER_BATCH: usize = 6;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect router");
+                let mut ok = 0usize;
+                let mut unavailable = 0usize;
+                for b in 0..BATCHES {
+                    // Pipeline a batch, then collect it — requests are in
+                    // flight when the shard dies.
+                    for j in 0..PER_BATCH {
+                        let i = (t * BATCHES + b) * PER_BATCH + j;
+                        let req =
+                            compile_request(i as u64, &source(i), Strategy::Global, None, None);
+                        client.send(&req).expect("send");
+                    }
+                    for _ in 0..PER_BATCH {
+                        let resp = client
+                            .recv()
+                            .expect("complete frame, not a corrupt or hung one")
+                            .expect("response before EOF");
+                        assert!(acceptable(&resp), "unacceptable response: {resp}");
+                        if resp.contains("\"ok\":true") {
+                            ok += 1;
+                        } else {
+                            unavailable += 1;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                (ok, unavailable)
+            })
+        })
+        .collect();
+
+    // Let the load ramp, then SIGKILL a shard mid-flight.
+    std::thread::sleep(Duration::from_millis(300));
+    shards[1].kill();
+
+    let mut total_ok = 0;
+    let mut total_unavailable = 0;
+    for w in workers {
+        let (ok, unavailable) = w.join().expect("worker thread");
+        total_ok += ok;
+        total_unavailable += unavailable;
+    }
+    assert_eq!(
+        total_ok + total_unavailable,
+        THREADS * BATCHES * PER_BATCH,
+        "every request must be answered"
+    );
+    // With one replica per key, killing one of three shards must not fail
+    // any request: the failover path absorbs the loss entirely.
+    assert_eq!(
+        total_unavailable, 0,
+        "failover should absorb a single shard death"
+    );
+
+    // The cluster's stats must show it noticed and recovered.
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.request(r#"{"op":"stats","id":1}"#).unwrap();
+    assert!(stats.contains("\"cluster.requests\""), "{stats}");
+    let resp = client.request(r#"{"op":"shutdown","id":2}"#).unwrap();
+    assert!(resp.contains("\"shutting_down\":true"));
+    drop(client);
+    let status = wait_with_deadline(&mut router, Duration::from_secs(20));
+    assert_eq!(status, Some(0), "router must drain and exit cleanly");
+}
+
+#[test]
+fn sigterm_drains_router_and_spawned_shards_exit_zero() {
+    // Here the router spawns and owns its shards (the production shape).
+    let (mut router, addr) = spawn_router(&[
+        "--addr".into(),
+        "127.0.0.1:0".into(),
+        "--shards".into(),
+        "2".into(),
+        "--jobs".into(),
+        "2".into(),
+    ]);
+    let mut client = Client::connect(addr).unwrap();
+    // In-flight work at the moment the signal lands.
+    const N: u64 = 5;
+    for id in 0..N {
+        client
+            .send(&format!("{{\"op\":\"sleep\",\"id\":{id},\"ms\":200}}"))
+            .unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let term = Command::new("kill")
+        .args(["-TERM", &router.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+
+    // Every accepted request drains before the router exits.
+    let mut got = 0;
+    while got < N {
+        match client.recv() {
+            Ok(Some(resp)) => {
+                assert!(resp.contains("\"slept_ms\":200"), "{resp}");
+                got += 1;
+            }
+            other => panic!("lost {} in-flight responses ({other:?})", N - got),
+        }
+    }
+    drop(client);
+    let status = wait_with_deadline(&mut router, Duration::from_secs(20));
+    assert_eq!(status, Some(0), "SIGTERM must exit 0 after the drain");
+}
+
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> Option<i32> {
+    let end = Instant::now() + deadline;
+    loop {
+        if let Some(status) = child.try_wait().expect("wait on child") {
+            return status.code();
+        }
+        if Instant::now() >= end {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("child did not exit within {deadline:?}");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}

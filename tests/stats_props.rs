@@ -3,11 +3,47 @@
 //! * the entry-fate partition `candidates == placed + redundant +
 //!   combined_away` holds for every kernel × strategy,
 //! * a stats-enabled compile is bit-identical in program and schedule to a
-//!   stats-disabled compile (collection never influences placement).
+//!   stats-disabled compile (collection never influences placement),
+//! * every canonical taxonomy counter — including the serve/cluster
+//!   robustness counters — is zero-filled in every emitted report.
 
 use proptest::prelude::*;
 
 use gcomm::{compile, compile_stats, Strategy as Opt};
+
+/// The canonical counter taxonomy is a contract: every report carries the
+/// full key set (zero-filled), so dashboards and diffs never miss a key
+/// because a run happened not to exercise it. This pins both halves: the
+/// zero-fill mechanism, and membership of the cluster robustness counters
+/// added with gcomm-cluster (DESIGN.md §13).
+#[test]
+fn canonical_taxonomy_is_zero_filled_in_every_report() {
+    let empty = gcomm::obs::Registry::new().snapshot().to_json();
+    for name in gcomm::obs::CANONICAL_COUNTERS {
+        let key = format!("\"{name}\":0");
+        assert!(
+            empty.contains(&key),
+            "canonical counter {name} missing from an empty report"
+        );
+    }
+    for required in [
+        "serve.overloaded",
+        "serve.unavailable",
+        "cluster.requests",
+        "cluster.retry",
+        "cluster.failover",
+        "cluster.replica_hit",
+        "cluster.replicated",
+        "cluster.conn_lost",
+        "cluster.marked_down",
+        "cluster.marked_up",
+    ] {
+        assert!(
+            gcomm::obs::CANONICAL_COUNTERS.contains(&required),
+            "{required} must be part of the canonical taxonomy"
+        );
+    }
+}
 
 fn any_kernel() -> impl Strategy<Value = (&'static str, &'static str)> {
     prop::sample::select(
