@@ -1,18 +1,30 @@
-//! Load generator for the compile service (DESIGN.md §12): spins up an
-//! in-process server, drives it with N client threads × M requests at a
-//! configurable cache-hit ratio, and emits the `BENCH_serve.json`
+//! Load generator for the compile service (DESIGN.md §12, §14): spins up
+//! an in-process server, drives it with N client threads × M requests at
+//! a configurable cache-hit ratio, and emits the `BENCH_serve.json`
 //! artifact (throughput, warm/cold latency percentiles, measured hit
 //! rate, error count).
 //!
 //! "Warm" requests draw from a small set of sources compiled once during
 //! warmup, so they hit the content-addressed cache; "cold" requests each
-//! append a unique run of trailing newlines to the base source — textually
-//! distinct (a different cache key) but semantically identical, so every
-//! cold compile does the same pipeline work.
+//! rename the program to a unique name — a different cache key *and* a
+//! different AST, so every cold compile does the full pipeline. (Trailing
+//! whitespace would no longer do: the incremental engine's early cutoff
+//! recognizes edits that shift no statement lines and reuses everything
+//! past the parse.)
 //!
-//! Usage: `bench_serve [--threads <n>] [--requests <m>] [--hit-ratio <f>]
-//! [--jobs <n>] [--out <path>]` (4 × 250 at 0.5 by default, stdout
-//! without `--out`).
+//! `--mode edit-storm` appends a second phase exercising the incremental
+//! query engine: fuzzed multi-routine modules take chains of seeded
+//! single-routine edits, and every edited state is compiled twice — on an
+//! incremental server and on a memo-free cold server — with the responses
+//! compared byte-for-byte. The phase reports three latency distributions
+//! (pure LRU hit, warm edit through the memo, cold compile), the engine's
+//! own `query.*` counters, and the differential mismatch count (which
+//! must be zero).
+//!
+//! Usage: `bench_serve [--mode classic|edit-storm] [--threads <n>]
+//! [--requests <m>] [--hit-ratio <f>] [--jobs <n>] [--storm-cases <n>]
+//! [--storm-edits <n>] [--storm-hits <n>] [--out <path>]`
+//! (4 × 250 at 0.5, classic, stdout without `--out`).
 
 use std::time::Instant;
 
@@ -20,6 +32,7 @@ use gcomm_core::Strategy;
 use gcomm_serve::cli;
 use gcomm_serve::json::Json;
 use gcomm_serve::{compile_request, Client, ServiceConfig};
+use proptest::hpf;
 
 const BIN: &str = "bench_serve";
 
@@ -27,14 +40,11 @@ const BIN: &str = "bench_serve";
 /// the main phase re-requests.
 const WARM_SOURCES: usize = 8;
 
-/// The base program every request compiles (cold variants differ only in
-/// trailing newlines).
+/// The base program every classic-phase request compiles. Variants get a
+/// unique program name: textually and semantically distinct (the name is
+/// part of the AST), identical pipeline work.
 fn source(variant: usize) -> String {
-    let mut s = gcomm_kernels::SHALLOW.to_string();
-    for _ in 0..variant {
-        s.push('\n');
-    }
-    s
+    gcomm_kernels::SHALLOW.replacen("program shallow", &format!("program shallow{variant}"), 1)
 }
 
 /// Deterministic splitmix64 step (no RNG crates; reproducible runs).
@@ -52,6 +62,11 @@ fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     }
     let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
     sorted_us[idx]
+}
+
+fn p50(us: &mut [f64]) -> f64 {
+    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    percentile(us, 0.50)
 }
 
 fn latency_block(mut us: Vec<f64>) -> String {
@@ -74,6 +89,149 @@ fn counter(stats: &Json, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+fn fetch_stats(addr: std::net::SocketAddr) -> Json {
+    let mut client = Client::connect(addr).expect("connect stats client");
+    let resp = client
+        .request(r#"{"op":"stats","id":0,"stable":true}"#)
+        .expect("stats response");
+    Json::parse(&resp).expect("stats parses")
+}
+
+/// The edit-storm phase (DESIGN.md §14). Returns the `edit_storm` JSON
+/// block.
+fn run_storm(jobs: usize, cases: usize, edits: usize, hits: usize, routines: usize) -> String {
+    // An incremental server and a memo-free twin; each request goes to
+    // both and the responses must agree byte-for-byte (ids match, and
+    // the payload past the id is a pure function of the cache key).
+    let inc_server = gcomm_serve::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            jobs,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind incremental server");
+    let cold_server = gcomm_serve::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            jobs,
+            query_cache_bytes: 0,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind cold server");
+    let mut inc = Client::connect(inc_server.addr()).expect("connect incremental client");
+    let mut cold = Client::connect(cold_server.addr()).expect("connect cold client");
+
+    // Small routines: the storm measures reuse across routines, not the
+    // cost of any one placement.
+    let gen_cfg = hpf::GenConfig {
+        max_arrays: 2,
+        max_block_stmts: 1,
+        max_depth: 1,
+    };
+    let mut id = 0u64;
+    let mut req = |src: &str| {
+        id += 1;
+        compile_request(id, src, Strategy::Global, None, None)
+    };
+    let timed = |client: &mut Client, r: &str| {
+        let start = Instant::now();
+        let resp = client.request(r).expect("storm response");
+        (resp, start.elapsed().as_secs_f64() * 1e6)
+    };
+
+    // Pure-hit baseline: one module, compiled once, then re-requested —
+    // every repeat is a content-addressed LRU hit.
+    let base = hpf::generate_module_with(0x0057_0841, routines, &gen_cfg);
+    let mut errors = 0u64;
+    let mut hit_us: Vec<f64> = Vec::new();
+    {
+        let r = req(&base);
+        let (resp, _) = timed(&mut inc, &r);
+        if !resp.contains("\"ok\":true") {
+            errors += 1;
+        }
+        for _ in 0..hits {
+            let r = req(&base);
+            let (resp, us) = timed(&mut inc, &r);
+            if resp.contains("\"ok\":true") {
+                hit_us.push(us);
+            } else {
+                errors += 1;
+            }
+        }
+    }
+
+    // The storm: per case a fresh module plus a chain of single-routine
+    // edits. Every state goes to both servers (incremental sweep first,
+    // then the cold sweep, so neither's latency samples interleave with
+    // the other's work); edited states are the warm-edit and cold
+    // latency samples, and each state's two responses must be identical.
+    let mut warm_us: Vec<f64> = Vec::new();
+    let mut cold_us: Vec<f64> = Vec::new();
+    let mut comparisons = 0u64;
+    let mut mismatches = 0u64;
+    for case in 0..cases {
+        let seed = 0xed17_0000 + case as u64;
+        let mut module = hpf::generate_module_with(seed, routines, &gen_cfg);
+        let mut states: Vec<String> = vec![req(&module)];
+        for step in 1..=edits {
+            module = hpf::apply_edit(&module, seed.wrapping_mul(1000) + step as u64).0;
+            states.push(req(&module));
+        }
+        let inc_resps: Vec<String> = states
+            .iter()
+            .enumerate()
+            .map(|(step, r)| {
+                let (resp, us) = timed(&mut inc, r);
+                if !resp.contains("\"ok\":true") {
+                    errors += 1;
+                } else if step > 0 {
+                    warm_us.push(us);
+                }
+                resp
+            })
+            .collect();
+        for (step, r) in states.iter().enumerate() {
+            let (resp, us) = timed(&mut cold, r);
+            comparisons += 1;
+            if resp != inc_resps[step] {
+                mismatches += 1;
+            }
+            if resp.contains("\"ok\":true") && step > 0 {
+                cold_us.push(us);
+            }
+        }
+    }
+
+    let stats = fetch_stats(inc_server.addr());
+    let q_hit = counter(&stats, "query.hit");
+    let q_miss = counter(&stats, "query.miss");
+    let q_cutoff = counter(&stats, "query.cutoff");
+    let q_inval = counter(&stats, "query.invalidate");
+    inc_server.stop().expect("clean incremental drain");
+    cold_server.stop().expect("clean cold drain");
+
+    let hit_p50 = p50(&mut hit_us);
+    let warm_p50 = p50(&mut warm_us);
+    let cold_p50 = p50(&mut cold_us);
+    format!(
+        "{{\"cases\":{cases},\"edits_per_case\":{edits},\
+         \"routines_per_module\":{routines},\"errors\":{errors},\
+         \"hit\":{hit},\"warm_edit\":{warm},\"cold\":{cold},\
+         \"warm_edit_over_hit_p50\":{woh},\"cold_over_warm_edit_p50\":{cow},\
+         \"query\":{{\"hit\":{q_hit},\"miss\":{q_miss},\
+         \"cutoff\":{q_cutoff},\"invalidate\":{q_inval}}},\
+         \"differential\":{{\"cases\":{comparisons},\"mismatches\":{mismatches}}}}}",
+        hit = latency_block(hit_us),
+        warm = latency_block(warm_us),
+        cold = latency_block(cold_us),
+        woh = warm_p50 / hit_p50.max(1e-9),
+        cow = cold_p50 / warm_p50.max(1e-9),
+    )
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if cli::take_version_flag(&mut args) {
@@ -84,6 +242,11 @@ fn main() {
     let mut threads = 4usize;
     let mut requests = 250usize;
     let mut hit_ratio = 0.5f64;
+    let mut storm = false;
+    let mut storm_cases = 40usize;
+    let mut storm_edits = 5usize;
+    let mut storm_hits = 200usize;
+    let mut storm_routines = 64usize;
     let mut out_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -94,6 +257,11 @@ fn main() {
             })
         };
         match a.as_str() {
+            "--mode" => match value("--mode").as_str() {
+                "classic" => storm = false,
+                "edit-storm" => storm = true,
+                _ => cli::or_exit2::<()>(BIN, Err("--mode expects classic|edit-storm".into())),
+            },
             "--threads" => match value("--threads").parse() {
                 Ok(n) if n >= 1 => threads = n,
                 _ => cli::or_exit2::<()>(BIN, Err("--threads expects a count >= 1".into())),
@@ -106,13 +274,31 @@ fn main() {
                 Ok(f) if (0.0..=1.0).contains(&f) => hit_ratio = f,
                 _ => cli::or_exit2::<()>(BIN, Err("--hit-ratio expects 0.0..=1.0".into())),
             },
+            "--storm-cases" => match value("--storm-cases").parse() {
+                Ok(n) if n >= 1 => storm_cases = n,
+                _ => cli::or_exit2::<()>(BIN, Err("--storm-cases expects a count >= 1".into())),
+            },
+            "--storm-edits" => match value("--storm-edits").parse() {
+                Ok(n) if n >= 1 => storm_edits = n,
+                _ => cli::or_exit2::<()>(BIN, Err("--storm-edits expects a count >= 1".into())),
+            },
+            "--storm-hits" => match value("--storm-hits").parse() {
+                Ok(n) if n >= 1 => storm_hits = n,
+                _ => cli::or_exit2::<()>(BIN, Err("--storm-hits expects a count >= 1".into())),
+            },
+            "--storm-routines" => match value("--storm-routines").parse() {
+                Ok(n) if n >= 2 => storm_routines = n,
+                _ => cli::or_exit2::<()>(BIN, Err("--storm-routines expects a count >= 2".into())),
+            },
             "--out" => out_path = Some(value("--out")),
             _ => cli::or_exit2::<()>(
                 BIN,
                 Err(format!(
                     "unrecognized argument '{a}' \
-                     (usage: bench_serve [--threads <n>] [--requests <m>] \
-                     [--hit-ratio <f>] [--jobs <n>] [--out <path>])"
+                     (usage: bench_serve [--mode classic|edit-storm] [--threads <n>] \
+                     [--requests <m>] [--hit-ratio <f>] [--jobs <n>] [--storm-cases <n>] \
+                     [--storm-edits <n>] [--storm-hits <n>] [--storm-routines <n>] \
+                     [--out <path>])"
                 )),
             ),
         }
@@ -203,27 +389,30 @@ fn main() {
     let total = threads * requests;
 
     // The authoritative hit counts come from the server's own registry.
-    let stats = {
-        let mut client = Client::connect(addr).expect("connect stats client");
-        let resp = client
-            .request(r#"{"op":"stats","id":0,"stable":true}"#)
-            .expect("stats response");
-        Json::parse(&resp).expect("stats parses")
-    };
+    let stats = fetch_stats(addr);
     let hits = counter(&stats, "cache.hit");
     let misses = counter(&stats, "cache.miss");
     let evicts = counter(&stats, "cache.evict");
     let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
     server.stop().expect("clean server drain");
 
+    let edit_storm = if storm {
+        format!(
+            ",\"edit_storm\":{}",
+            run_storm(jobs, storm_cases, storm_edits, storm_hits, storm_routines)
+        )
+    } else {
+        String::new()
+    };
+
     let doc = format!(
-        "{{\"schema\":\"gcomm-bench-serve/v1\",\"threads\":{threads},\
+        "{{\"schema\":\"gcomm-bench-serve/v2\",\"threads\":{threads},\
          \"requests_per_thread\":{requests},\"total_requests\":{total},\
          \"hit_ratio_target\":{hit_ratio},\"jobs\":{jobs},\
          \"elapsed_s\":{elapsed},\"throughput_rps\":{rps},\
          \"errors\":{errors},\"hit_rate\":{hit_rate},\
          \"cache\":{{\"hit\":{hits},\"miss\":{misses},\"evict\":{evicts}}},\
-         \"warm\":{warm},\"cold\":{cold}}}",
+         \"warm\":{warm},\"cold\":{cold}{edit_storm}}}",
         rps = total as f64 / elapsed.max(1e-9),
         warm = latency_block(warm_us),
         cold = latency_block(cold_us),

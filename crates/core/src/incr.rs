@@ -1,0 +1,637 @@
+//! Incremental compilation: the pipeline as memoized queries
+//! (DESIGN.md §14).
+//!
+//! Source is split into **routine-granular chunks** (one `program … end`
+//! unit each; a classic single-routine source is exactly one chunk whose
+//! text is the whole input, byte for byte). Each chunk flows through a
+//! chain of pass-level queries memoized in a [`QueryEngine`]:
+//!
+//! ```text
+//!   chunk text ──fnv──▶ src_fp
+//!   query.parse (src_fp)          → AST   + ast_fp  (or diagnostics)
+//!   query.lower (ast_fp)          → IR    + ir_fp   (or a lowering error)
+//!   query.place (ir_fp × strategy × budget) → Schedule + degraded flag
+//! ```
+//!
+//! Every key is a content fingerprint of the *complete* input of that
+//! pass, so invalidation needs no revision bookkeeping: an edit to one
+//! routine changes only that routine's `src_fp`, every other chunk's
+//! whole chain hits, and **early cutoff** happens whenever a recomputed
+//! pass reproduces an output with an unchanged fingerprint — the
+//! downstream keys are then also unchanged and the recomputation stops.
+//! The fingerprints cover the `Debug` rendering of the artifacts
+//! (including source line numbers, which downstream diagnostics and
+//! reports embed); the one non-deterministically-ordered field,
+//! `IrProgram::branch_conds` (a `HashMap`), is serialized sorted by node
+//! id.
+//!
+//! Placement results computed under an exhausted budget (**degraded**)
+//! are never cached — the same soundness rule as the subsumption memo in
+//! `crates/sections/src/intern.rs`: a degraded schedule is legal but not
+//! a pure function of the key (it depends on how far the budget
+//! stretched), so reusing it would silently pin a worse-than-necessary
+//! placement. Diagnostics *are* cached: they are deterministic.
+//!
+//! Placement always uses [`CombinePolicy::default`] — the same fixed
+//! policy as the serve path, which is the consumer of this module.
+//! Wall-clock (`ms=`) budgets must not reach this module at all; the
+//! service keeps them on its uncached cold path for the same
+//! not-a-pure-function reason.
+//!
+//! [`compile_module_cold`] runs the identical stage functions with no
+//! engine, which is what makes "incremental ≡ from-scratch" testable as
+//! bit-identity (tests/incremental_differential.rs).
+
+use std::sync::Arc;
+
+use gcomm_guard::{Budget, BudgetSpec};
+use gcomm_ir::IrProgram;
+use gcomm_lang::Program;
+use gcomm_query::{fingerprint, mix, Computed, QueryEngine};
+
+use crate::greedy::CombinePolicy;
+use crate::pipeline::{compile_program_budgeted, CoreError};
+use crate::schedule::Schedule;
+use crate::strategy::Strategy;
+
+// ---------------------------------------------------------------------------
+// Routine chunking
+// ---------------------------------------------------------------------------
+
+/// One routine-granular source chunk, borrowing the module text (the
+/// chunker is on the warm-edit fast path — it runs on every request the
+/// payload cache misses, so it slices rather than copies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutineChunk<'a> {
+    /// Routine name: the word after `program`, lowercased (the same
+    /// normalization the lexer applies), or `routine<idx>` when the
+    /// chunk has no `program` line.
+    pub name: String,
+    /// The chunk's exact source text. Concatenating all chunks yields
+    /// the original input byte for byte.
+    pub src: &'a str,
+    /// FNV-1a fingerprint of [`Self::src`].
+    pub fp: u64,
+    /// Number of source lines before this chunk (add to chunk-relative
+    /// diagnostic lines to get module-level lines).
+    pub line_offset: u32,
+}
+
+/// True for a line whose first word is `end` — the terminator of one
+/// routine. `enddo`/`endif` are distinct words and do not match.
+fn is_end_line(line: &str) -> bool {
+    let trimmed = line.trim_start();
+    let word_len = trimmed
+        .bytes()
+        .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        .count();
+    trimmed[..word_len].eq_ignore_ascii_case("end")
+}
+
+/// The word following `program` on the first `program` line, lowercased.
+fn program_name(chunk: &str) -> Option<String> {
+    for line in chunk.lines() {
+        let trimmed = line.trim_start();
+        let word_len = trimmed
+            .bytes()
+            .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            .count();
+        if !trimmed[..word_len].eq_ignore_ascii_case("program") {
+            continue;
+        }
+        let rest = trimmed[word_len..].trim_start();
+        let name_len = rest
+            .bytes()
+            .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            .count();
+        if name_len > 0 {
+            return Some(rest[..name_len].to_ascii_lowercase());
+        }
+    }
+    None
+}
+
+/// Splits source text into routine chunks at `end` lines. A source with
+/// a single routine (or none at all) comes back as exactly one chunk
+/// whose `src` is the input unchanged; trailing text after the last
+/// `end` (blank lines, comments) is folded into the last chunk so the
+/// chunks always reassemble the input exactly.
+pub fn split_routines(src: &str) -> Vec<RoutineChunk<'_>> {
+    // Byte spans `(start, end, line_offset)`; chunks are contiguous, so
+    // folding trailing text into the last chunk just widens its span.
+    let mut spans: Vec<(usize, usize, u32)> = Vec::new();
+    let mut start = 0usize;
+    let mut start_line = 0u32;
+    let mut pos = 0usize;
+    let mut line_no = 0u32;
+    for line in src.split_inclusive('\n') {
+        pos += line.len();
+        line_no += 1;
+        if is_end_line(line) {
+            spans.push((start, pos, start_line));
+            start = pos;
+            start_line = line_no;
+        }
+    }
+    if start < src.len() {
+        match spans.last_mut() {
+            Some(last) => last.1 = src.len(),
+            None => spans.push((0, src.len(), 0)),
+        }
+    }
+    if spans.is_empty() {
+        spans.push((0, 0, 0));
+    }
+    spans
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (a, b, line_offset))| {
+            let text = &src[a..b];
+            RoutineChunk {
+                name: program_name(text).unwrap_or_else(|| format!("routine{idx}")),
+                fp: fingerprint(text.as_bytes()),
+                src: text,
+                line_offset,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Stage functions (shared verbatim by the cold and incremental paths)
+// ---------------------------------------------------------------------------
+
+/// Parse-stage output: the AST plus the fingerprint of its `Debug`
+/// rendering (which includes statement line numbers — two sources that
+/// differ only in ways invisible to the AST *and* to diagnostics get the
+/// same `ast_fp`, and everything downstream cuts off).
+type ParseOut = Result<(Arc<Program>, u64), Arc<Vec<CoreError>>>;
+
+fn run_parse(src: &str) -> ParseOut {
+    match gcomm_lang::parse_program_diagnostics(src) {
+        Ok(ast) => {
+            let repr = format!("{ast:?}");
+            Ok((Arc::new(ast), fingerprint(repr.as_bytes())))
+        }
+        Err(errs) => Err(Arc::new(errs.into_iter().map(CoreError::from).collect())),
+    }
+}
+
+/// Lower-stage output: the IR plus its canonical fingerprint.
+type LowerOut = Result<(Arc<IrProgram>, u64), Arc<Vec<CoreError>>>;
+
+fn run_lower(ast: &Program) -> LowerOut {
+    match gcomm_ir::lower(ast) {
+        Ok(prog) => {
+            let fp = ir_fingerprint(&prog);
+            Ok((Arc::new(prog), fp))
+        }
+        Err(e) => Err(Arc::new(vec![CoreError::from(e)])),
+    }
+}
+
+/// Canonical content fingerprint of a lowered program. All fields of
+/// [`IrProgram`] are `Vec`-backed (deterministic `Debug`) except
+/// `branch_conds`, which is hashed in node-id order.
+pub fn ir_fingerprint(prog: &IrProgram) -> u64 {
+    let mut repr = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        prog.name, prog.params, prog.arrays, prog.loops, prog.stmts, prog.cfg
+    );
+    let mut conds: Vec<_> = prog.branch_conds.iter().collect();
+    conds.sort_by_key(|(node, _)| *node);
+    for (node, expr) in conds {
+        repr.push_str(&format!("|{node:?}={expr:?}"));
+    }
+    fingerprint(repr.as_bytes())
+}
+
+/// Place-stage output.
+#[derive(Debug)]
+struct PlaceOut {
+    schedule: Arc<Schedule>,
+    degraded: bool,
+}
+
+fn run_place(prog: &IrProgram, strategy: Strategy, spec: &BudgetSpec) -> PlaceOut {
+    let budget = Budget::from_spec(spec);
+    let schedule =
+        compile_program_budgeted(prog, strategy, &CombinePolicy::default(), budget.clone());
+    PlaceOut {
+        schedule: Arc::new(schedule),
+        degraded: budget.exhausted(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcomes
+// ---------------------------------------------------------------------------
+
+/// Successful per-routine artifacts, with the memo-hit flags of each
+/// stage (all `false` on the cold path).
+#[derive(Debug, Clone)]
+pub struct RoutineArtifacts {
+    /// Fingerprint of the parsed AST (the lower-stage key).
+    pub ast_fp: u64,
+    /// Canonical fingerprint of the lowered program.
+    pub ir_fp: u64,
+    /// The place-stage memo key: `ir_fp` × strategy × budget spec.
+    /// Downstream consumers (the serve render memo) extend this.
+    pub place_key: u64,
+    /// The lowered program.
+    pub prog: Arc<IrProgram>,
+    /// The placed schedule.
+    pub schedule: Arc<Schedule>,
+    /// True when placement exhausted its budget (never cached).
+    pub degraded: bool,
+    /// Memo-hit flags: `(parse, lower, place)`.
+    pub hits: (bool, bool, bool),
+}
+
+/// The outcome for one routine chunk.
+#[derive(Debug, Clone)]
+pub struct RoutineOutcome {
+    /// Display name (the lowered program's name when compilation got
+    /// that far, the chunk's textual name otherwise).
+    pub name: String,
+    /// Lines before this chunk (offset for module-level diagnostics).
+    pub line_offset: u32,
+    /// Artifacts, or the chunk's diagnostics with chunk-relative lines.
+    pub result: Result<RoutineArtifacts, Arc<Vec<CoreError>>>,
+}
+
+impl RoutineOutcome {
+    /// The chunk's diagnostics shifted to module-level line numbers
+    /// (`line == 0` markers stay 0).
+    pub fn module_errors(&self) -> Vec<CoreError> {
+        match &self.result {
+            Ok(_) => Vec::new(),
+            Err(errs) => errs
+                .iter()
+                .map(|e| CoreError {
+                    message: e.message.clone(),
+                    line: if e.line == 0 {
+                        0
+                    } else {
+                        e.line + self.line_offset
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The outcome of compiling a whole source (one or more routines).
+#[derive(Debug, Clone)]
+pub struct ModuleOutcome {
+    /// Per-chunk outcomes, in source order.
+    pub routines: Vec<RoutineOutcome>,
+}
+
+impl ModuleOutcome {
+    /// True when every routine compiled.
+    pub fn all_ok(&self) -> bool {
+        self.routines.iter().all(|r| r.result.is_ok())
+    }
+
+    /// True when any routine's placement was degraded.
+    pub fn any_degraded(&self) -> bool {
+        self.routines
+            .iter()
+            .any(|r| matches!(&r.result, Ok(a) if a.degraded))
+    }
+}
+
+fn outcome_of(
+    chunk: &RoutineChunk,
+    parse: ParseOut,
+    lower: Option<LowerOut>,
+    place: Option<PlaceOut>,
+    hits: (bool, bool, bool),
+) -> RoutineOutcome {
+    let (name, result) = match (parse, lower, place) {
+        (Err(errs), _, _) => (chunk.name.clone(), Err(errs)),
+        (Ok(_), Some(Err(errs)), _) => (chunk.name.clone(), Err(errs)),
+        (Ok((_, ast_fp)), Some(Ok((prog, ir_fp))), Some(placed)) => (
+            prog.name.clone(),
+            Ok(RoutineArtifacts {
+                ast_fp,
+                ir_fp,
+                place_key: 0, // overwritten by callers that know the key
+                prog,
+                schedule: placed.schedule,
+                degraded: placed.degraded,
+                hits,
+            }),
+        ),
+        _ => unreachable!("stage chain never skips a middle stage"),
+    };
+    RoutineOutcome {
+        name,
+        line_offset: chunk.line_offset,
+        result,
+    }
+}
+
+/// The place-stage memo key for a given IR under a strategy and budget.
+pub fn place_key(ir_fp: u64, strategy: Strategy, spec: &BudgetSpec) -> u64 {
+    let k = mix(ir_fp, fingerprint(strategy.name().as_bytes()));
+    mix(k, fingerprint(format!("{spec}").as_bytes()))
+}
+
+// ---------------------------------------------------------------------------
+// Cold path
+// ---------------------------------------------------------------------------
+
+/// Compiles every routine of `src` from scratch — the identical stage
+/// functions as the incremental path, with no memoization. This is the
+/// reference the differential tests compare against.
+pub fn compile_module_cold(src: &str, strategy: Strategy, spec: &BudgetSpec) -> ModuleOutcome {
+    let routines = split_routines(src)
+        .iter()
+        .map(|chunk| {
+            let parse = run_parse(chunk.src);
+            let lower = match &parse {
+                Ok((ast, _)) => Some(run_lower(ast)),
+                Err(_) => None,
+            };
+            let place = match &lower {
+                Some(Ok((prog, _))) => Some(run_place(prog, strategy, spec)),
+                _ => None,
+            };
+            let mut out = outcome_of(chunk, parse, lower, place, (false, false, false));
+            if let Ok(a) = &mut out.result {
+                a.place_key = place_key(a.ir_fp, strategy, spec);
+            }
+            out
+        })
+        .collect();
+    ModuleOutcome { routines }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental path
+// ---------------------------------------------------------------------------
+
+/// Rough heap-footprint estimate for a memoized artifact, charged
+/// against the engine's byte cap.
+fn artifact_bytes(src_len: usize, factor: u64) -> u64 {
+    (src_len as u64).saturating_mul(factor).max(256)
+}
+
+/// An incremental compiler: a [`QueryEngine`] plus the pipeline wiring.
+/// Cheap to share (`Arc` it); all methods take `&self`.
+#[derive(Debug)]
+pub struct IncrCompiler {
+    engine: QueryEngine,
+}
+
+impl IncrCompiler {
+    /// A fresh compiler whose memo holds at most `cap_bytes`.
+    pub fn new(cap_bytes: u64) -> Self {
+        IncrCompiler {
+            engine: QueryEngine::new(cap_bytes),
+        }
+    }
+
+    /// The underlying engine (for stats, probes, and the render memo).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// Compiles `src` incrementally: chunks whose fingerprints match a
+    /// previous compile reuse every downstream artifact; changed chunks
+    /// recompute only until an output fingerprint matches again (early
+    /// cutoff). Output artifacts are identical to
+    /// [`compile_module_cold`]'s — only the work to produce them
+    /// differs.
+    pub fn compile_module(
+        &self,
+        src: &str,
+        strategy: Strategy,
+        spec: &BudgetSpec,
+    ) -> ModuleOutcome {
+        let routines = split_routines(src)
+            .iter()
+            .map(|chunk| {
+                self.engine
+                    .note_input(fingerprint(chunk.name.as_bytes()), chunk.fp);
+                self.compile_routine(chunk, strategy, spec)
+            })
+            .collect();
+        ModuleOutcome { routines }
+    }
+
+    /// Compiles one chunk through the pass-level memos. Callers that
+    /// track module membership (as [`IncrCompiler::compile_module`]
+    /// does) should `note_input` the chunk themselves.
+    pub fn compile_routine(
+        &self,
+        chunk: &RoutineChunk,
+        strategy: Strategy,
+        spec: &BudgetSpec,
+    ) -> RoutineOutcome {
+        let src_len = chunk.src.len();
+        let (parse, parse_hit) = self.engine.memo("query.parse", chunk.fp, || Computed {
+            value: run_parse(chunk.src),
+            bytes: artifact_bytes(src_len, 8),
+            cacheable: true,
+        });
+
+        let Ok((ast, ast_fp)) = &*parse else {
+            return outcome_of(
+                chunk,
+                (*parse).clone(),
+                None,
+                None,
+                (parse_hit, false, false),
+            );
+        };
+
+        let (lower, lower_hit) = self.engine.memo("query.lower", *ast_fp, || Computed {
+            value: run_lower(ast),
+            bytes: artifact_bytes(src_len, 10),
+            cacheable: true,
+        });
+        if !parse_hit && lower_hit {
+            // Parse recomputed but produced a fingerprint-identical AST:
+            // the edit was invisible past the frontend.
+            self.engine.count_cutoff(1);
+        }
+
+        let Ok((prog, ir_fp)) = &*lower else {
+            return outcome_of(
+                chunk,
+                (*parse).clone(),
+                Some((*lower).clone()),
+                None,
+                (parse_hit, lower_hit, false),
+            );
+        };
+
+        let key = place_key(*ir_fp, strategy, spec);
+        let (placed, place_hit) = self.engine.memo("query.place", key, || {
+            let out = run_place(prog, strategy, spec);
+            Computed {
+                bytes: artifact_bytes(src_len, 12),
+                // Degraded schedules depend on how far the budget
+                // stretched, not just the key: never cache them.
+                cacheable: !out.degraded,
+                value: out,
+            }
+        });
+        if !lower_hit && place_hit {
+            self.engine.count_cutoff(1);
+        }
+
+        let mut out = outcome_of(
+            chunk,
+            (*parse).clone(),
+            Some((*lower).clone()),
+            Some(PlaceOut {
+                schedule: placed.schedule.clone(),
+                degraded: placed.degraded,
+            }),
+            (parse_hit, lower_hit, place_hit),
+        );
+        if let Ok(a) = &mut out.result {
+            a.place_key = key;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ONE: &str =
+        "program one\nparam n\nreal a(n), b(n) distribute (block)\nb(2:n) = a(1:n-1)\nend\n";
+    const TWO: &str =
+        "program two\nparam n\nreal c(n), d(n) distribute (cyclic)\nd(2:n) = c(1:n-1)\nend\n";
+
+    fn spec() -> BudgetSpec {
+        BudgetSpec::default()
+    }
+
+    #[test]
+    fn single_routine_is_one_verbatim_chunk() {
+        let chunks = split_routines(ONE);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].src, ONE);
+        assert_eq!(chunks[0].name, "one");
+        assert_eq!(chunks[0].line_offset, 0);
+    }
+
+    #[test]
+    fn chunks_reassemble_the_input_exactly() {
+        let module = format!("{ONE}{TWO}\n! trailing comment\n");
+        let chunks = split_routines(&module);
+        assert_eq!(chunks.len(), 2);
+        let joined: String = chunks.iter().map(|c| c.src).collect();
+        assert_eq!(joined, module);
+        assert_eq!(chunks[1].name, "two");
+        assert_eq!(chunks[1].line_offset, 5);
+        // Trailing comment folded into the last chunk.
+        assert!(chunks[1].src.ends_with("! trailing comment\n"));
+    }
+
+    #[test]
+    fn enddo_endif_do_not_split() {
+        let src = "program p\nparam n\nreal a(n,n) distribute (block, *)\nreal x\n\
+                   do i = 2, n\nif (x > 0) then\na(i, 1:n) = 1\nendif\nenddo\nend\n";
+        assert_eq!(split_routines(src).len(), 1);
+    }
+
+    #[test]
+    fn end_with_comment_still_splits() {
+        let src = "program a\nparam n\nreal q(n) distribute (block)\nq(1:n) = 1\nEND ! done\nprogram b\nparam n\nreal r(n) distribute (block)\nr(1:n) = 2\nend";
+        let chunks = split_routines(src);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].name, "a");
+        assert_eq!(chunks[1].name, "b");
+    }
+
+    #[test]
+    fn incremental_matches_cold_per_routine() {
+        let module = format!("{ONE}{TWO}");
+        let cold = compile_module_cold(&module, Strategy::Global, &spec());
+        let ic = IncrCompiler::new(1 << 20);
+        let warm = ic.compile_module(&module, Strategy::Global, &spec());
+        assert_eq!(cold.routines.len(), 2);
+        for (c, w) in cold.routines.iter().zip(&warm.routines) {
+            let (ca, wa) = match (&c.result, &w.result) {
+                (Ok(ca), Ok(wa)) => (ca, wa),
+                other => panic!("expected both ok, got {other:?}"),
+            };
+            assert_eq!(*ca.prog, *wa.prog);
+            assert_eq!(*ca.schedule, *wa.schedule);
+            assert_eq!(ca.place_key, wa.place_key);
+        }
+    }
+
+    #[test]
+    fn second_compile_hits_every_stage() {
+        let ic = IncrCompiler::new(1 << 20);
+        let module = format!("{ONE}{TWO}");
+        ic.compile_module(&module, Strategy::Global, &spec());
+        let again = ic.compile_module(&module, Strategy::Global, &spec());
+        for r in &again.routines {
+            let a = r.result.as_ref().unwrap();
+            assert_eq!(a.hits, (true, true, true), "{}", r.name);
+        }
+        assert_eq!(ic.engine().stats().invalidations, 0);
+    }
+
+    #[test]
+    fn editing_one_routine_reuses_the_other() {
+        let ic = IncrCompiler::new(1 << 20);
+        ic.compile_module(&format!("{ONE}{TWO}"), Strategy::Global, &spec());
+        // Change routine two's content (a different constant).
+        let edited = TWO.replace("= c(1:n-1)", "= c(1:n-1) + 1");
+        let out = ic.compile_module(&format!("{ONE}{edited}"), Strategy::Global, &spec());
+        let one = out.routines[0].result.as_ref().unwrap();
+        let two = out.routines[1].result.as_ref().unwrap();
+        assert_eq!(one.hits, (true, true, true), "untouched routine reuses");
+        assert!(!two.hits.0, "edited routine re-parses");
+        assert_eq!(ic.engine().stats().invalidations, 1);
+    }
+
+    #[test]
+    fn comment_edit_cuts_off_after_parse() {
+        let ic = IncrCompiler::new(1 << 20);
+        ic.compile_module(ONE, Strategy::Global, &spec());
+        // A trailing comment on the last line changes no AST content and
+        // shifts no statement lines.
+        let edited = ONE.replace("end\n", "end ! tweaked\n");
+        let out = ic.compile_module(&edited, Strategy::Global, &spec());
+        let a = out.routines[0].result.as_ref().unwrap();
+        assert_eq!(a.hits, (false, true, true), "parse reran, rest cut off");
+        assert_eq!(ic.engine().stats().cutoffs, 1);
+    }
+
+    #[test]
+    fn errors_are_offset_to_module_lines() {
+        let bad = "program oops\nparam n\nreal a(n) distribute (block)\nq(1) = 1\nend\n";
+        let module = format!("{ONE}{bad}");
+        let cold = compile_module_cold(&module, Strategy::Global, &spec());
+        assert!(cold.routines[0].result.is_ok());
+        let errs = cold.routines[1].module_errors();
+        assert_eq!(errs.len(), 1);
+        // `q(1) = 1` is chunk line 4, module line 9 (ONE is 5 lines).
+        assert_eq!(errs[0].line, 9, "{errs:?}");
+    }
+
+    #[test]
+    fn degraded_results_are_not_cached() {
+        let tight = BudgetSpec::parse("steps=1").unwrap();
+        let ic = IncrCompiler::new(1 << 20);
+        let out1 = ic.compile_module(ONE, Strategy::Global, &tight);
+        let a1 = out1.routines[0].result.as_ref().unwrap();
+        assert!(a1.degraded, "steps=1 must exhaust");
+        let out2 = ic.compile_module(ONE, Strategy::Global, &tight);
+        let a2 = out2.routines[0].result.as_ref().unwrap();
+        assert!(!a2.hits.2, "degraded placement must recompute");
+        assert!(a2.hits.0 && a2.hits.1, "frontend stages still hit");
+    }
+}

@@ -61,6 +61,7 @@ pub mod ctx;
 pub mod earliest;
 pub mod entry;
 pub mod greedy;
+pub mod incr;
 pub mod latest;
 pub mod optimal;
 pub mod pipeline;

@@ -126,6 +126,14 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     "cluster.conn_lost",
     "cluster.marked_down",
     "cluster.marked_up",
+    // query: the incremental query engine (DESIGN.md §14) — memo
+    // hits/misses across all pass-level queries, early-cutoff events
+    // (upstream recomputed, downstream still hit), and input-slot
+    // invalidations (a routine chunk's fingerprint actually changed).
+    "query.hit",
+    "query.miss",
+    "query.cutoff",
+    "query.invalidate",
 ];
 
 // ---------------------------------------------------------------------------

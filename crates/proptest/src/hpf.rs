@@ -312,6 +312,225 @@ fn pad(indent: usize) -> String {
     "  ".repeat(indent)
 }
 
+// ---------------------------------------------------------------------------
+// Modules and the seeded edit generator
+// ---------------------------------------------------------------------------
+
+/// Generates a module of `count` well-formed routines (concatenated
+/// `program … end` units) with the default configuration. Routine names
+/// are distinct by construction.
+pub fn generate_module(seed: u64, count: usize) -> String {
+    generate_module_with(seed, count, &GenConfig::default())
+}
+
+/// [`generate_module`] with explicit size knobs.
+pub fn generate_module_with(seed: u64, count: usize, cfg: &GenConfig) -> String {
+    (0..count.max(1))
+        .map(|i| generate_with(subseed(seed, i), cfg))
+        .collect()
+}
+
+/// Derives the per-routine seed: distinct for distinct `(seed, i)` and
+/// spread out so routine names (`fuzz<subseed>`) never collide within a
+/// module.
+fn subseed(seed: u64, i: usize) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(i as u64 + 1)
+}
+
+/// The kind of mutation [`apply_edit`] performed. Every kind preserves
+/// well-formedness: the edited module still parses, validates, and
+/// lowers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditKind {
+    /// Replace the routine's `program` name with a fresh one.
+    Rename,
+    /// Flip one distribution keyword (`block` ↔ `cyclic`, or `*` →
+    /// `block`) in one declaration.
+    Retile,
+    /// Append one in-bounds full-section assignment before the
+    /// routine's `end`.
+    AppendStatement,
+    /// Delete one whole routine (only on modules with ≥ 2 routines).
+    DeleteRoutine,
+}
+
+/// What [`apply_edit`] did: the mutation kind and which routine (index
+/// in source order, pre-edit) it touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditInfo {
+    /// The mutation applied.
+    pub kind: EditKind,
+    /// Pre-edit index of the edited (or deleted) routine.
+    pub routine: usize,
+}
+
+/// Splits a module into per-routine line groups at lines whose first
+/// word is `end` (`enddo`/`endif` do not match); trailing text joins the
+/// last routine.
+fn split_units(module: &str) -> Vec<String> {
+    let mut units: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    for line in module.split_inclusive('\n') {
+        cur.push_str(line);
+        let trimmed = line.trim_start();
+        let word = trimmed
+            .bytes()
+            .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            .count();
+        if trimmed[..word].eq_ignore_ascii_case("end") {
+            units.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        match units.last_mut() {
+            Some(last) => last.push_str(&cur),
+            None => units.push(cur),
+        }
+    }
+    units
+}
+
+/// Applies one seeded, well-formedness-preserving mutation to a module
+/// produced by [`generate_module`] (or any module in the generator's
+/// shape). Deterministic per `(module, seed)`; the edit always touches
+/// exactly one routine, leaving every other routine's text byte-
+/// identical — which is what makes the edit stream a valid probe for
+/// per-routine incremental reuse.
+pub fn apply_edit(module: &str, seed: u64) -> (String, EditInfo) {
+    let mut rng = TestRng::new(seed);
+    let mut units = split_units(module);
+    assert!(!units.is_empty(), "apply_edit needs at least one routine");
+    let routine = rng.below(units.len() as u64) as usize;
+    let mut kind = match rng.below(4) {
+        0 => EditKind::Rename,
+        1 => EditKind::Retile,
+        2 => EditKind::AppendStatement,
+        _ => EditKind::DeleteRoutine,
+    };
+    if kind == EditKind::DeleteRoutine && units.len() < 2 {
+        kind = EditKind::AppendStatement;
+    }
+    match kind {
+        EditKind::Rename => {
+            let fresh = format!("r{}", rng.below(1_000_000));
+            units[routine] = rename_unit(&units[routine], &fresh);
+        }
+        EditKind::Retile => {
+            units[routine] = retile_unit(&units[routine], &mut rng);
+        }
+        EditKind::AppendStatement => {
+            units[routine] = append_stmt_unit(&units[routine], &mut rng);
+        }
+        EditKind::DeleteRoutine => {
+            units.remove(routine);
+        }
+    }
+    (units.concat(), EditInfo { kind, routine })
+}
+
+/// Rewrites the unit's `program` line to a fresh name.
+fn rename_unit(unit: &str, fresh: &str) -> String {
+    unit.split_inclusive('\n')
+        .map(|line| {
+            let trimmed = line.trim_start();
+            if trimmed.len() >= 8
+                && trimmed[..7].eq_ignore_ascii_case("program")
+                && !trimmed.as_bytes()[7].is_ascii_alphanumeric()
+            {
+                let eol = if line.ends_with('\n') { "\n" } else { "" };
+                format!("program {fresh}{eol}")
+            } else {
+                line.to_string()
+            }
+        })
+        .collect()
+}
+
+/// Flips one distribution keyword on one randomly chosen declaration.
+/// Only the text after `distribute` is touched, so array extents and
+/// statement expressions are never affected.
+fn retile_unit(unit: &str, rng: &mut TestRng) -> String {
+    let decl_lines: Vec<usize> = unit
+        .split_inclusive('\n')
+        .enumerate()
+        .filter(|(_, l)| l.contains("distribute"))
+        .map(|(i, _)| i)
+        .collect();
+    if decl_lines.is_empty() {
+        return unit.to_string(); // no declarations: nothing to retile
+    }
+    let target = decl_lines[rng.below(decl_lines.len() as u64) as usize];
+    unit.split_inclusive('\n')
+        .enumerate()
+        .map(|(i, line)| {
+            if i != target {
+                return line.to_string();
+            }
+            let at = line.find("distribute").expect("target line has the word");
+            let (head, dist) = line.split_at(at);
+            let flipped = if dist.contains("block") {
+                dist.replacen("block", "cyclic", 1)
+            } else if dist.contains("cyclic") {
+                dist.replacen("cyclic", "block", 1)
+            } else {
+                dist.replacen('*', "block", 1)
+            };
+            format!("{head}{flipped}")
+        })
+        .collect()
+}
+
+/// Appends one full-section assignment to the first declared array,
+/// inserted just before the unit's final `end` line. In bounds for any
+/// `n >= 5` and conformable trivially (a constant RHS).
+fn append_stmt_unit(unit: &str, rng: &mut TestRng) -> String {
+    // First declaration names the target array and fixes its rank.
+    let mut target: Option<(String, usize)> = None;
+    for line in unit.lines() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with("real ") || !trimmed.contains("distribute") {
+            continue;
+        }
+        let rest = &trimmed[5..];
+        let open = rest.find('(');
+        let close = rest.find(')');
+        if let (Some(open), Some(close)) = (open, close) {
+            let name = rest[..open].trim().to_string();
+            let rank = rest[open + 1..close].split(',').count();
+            target = Some((name, rank));
+            break;
+        }
+    }
+    let Some((name, rank)) = target else {
+        return unit.to_string(); // no distributed arrays: nothing to append
+    };
+    let subs = (0..rank).map(|_| "1:n").collect::<Vec<_>>().join(", ");
+    let stmt = format!("{name}({subs}) = {}\n", 1 + rng.below(4));
+    // Insert before the last `end` line.
+    let mut lines: Vec<&str> = unit.split_inclusive('\n').collect();
+    let end_at = lines
+        .iter()
+        .rposition(|l| {
+            let t = l.trim_start();
+            let w = t
+                .bytes()
+                .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                .count();
+            t[..w].eq_ignore_ascii_case("end")
+        })
+        .expect("every unit ends with an end line");
+    let mut out = String::with_capacity(unit.len() + stmt.len());
+    for l in lines.drain(..end_at) {
+        out.push_str(l);
+    }
+    out.push_str(&stmt);
+    for l in lines {
+        out.push_str(l);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +558,54 @@ mod tests {
             assert!(p.contains("param n, nsteps"), "{p}");
             assert!(p.contains("distribute"), "{p}");
             assert!(p.trim_end().ends_with("end"), "{p}");
+        }
+    }
+
+    #[test]
+    fn modules_concatenate_distinct_routines() {
+        let m = generate_module(7, 4);
+        let units = split_units(&m);
+        assert_eq!(units.len(), 4);
+        assert_eq!(units.concat(), m);
+        let names: std::collections::HashSet<&str> = m
+            .lines()
+            .filter_map(|l| l.strip_prefix("program "))
+            .collect();
+        assert_eq!(names.len(), 4, "routine names are distinct");
+    }
+
+    #[test]
+    fn edits_are_deterministic_and_touch_one_routine() {
+        let m = generate_module(11, 3);
+        for seed in 0..40 {
+            let (e1, i1) = apply_edit(&m, seed);
+            let (e2, i2) = apply_edit(&m, seed);
+            assert_eq!((e1.clone(), i1), (e2, i2), "seed {seed}");
+            assert_ne!(e1, m, "seed {seed}: an edit must change the text");
+            let before = split_units(&m);
+            let after = split_units(&e1);
+            if i1.kind == EditKind::DeleteRoutine {
+                assert_eq!(after.len(), before.len() - 1);
+                continue;
+            }
+            assert_eq!(after.len(), before.len());
+            for (j, (b, a)) in before.iter().zip(&after).enumerate() {
+                if j == i1.routine {
+                    assert_ne!(b, a, "seed {seed}: routine {j} must change");
+                } else {
+                    assert_eq!(b, a, "seed {seed}: routine {j} must not change");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_routine_modules_never_delete() {
+        let m = generate(3);
+        for seed in 0..20 {
+            let (e, info) = apply_edit(&m, seed);
+            assert_ne!(info.kind, EditKind::DeleteRoutine);
+            assert_eq!(split_units(&e).len(), 1);
         }
     }
 }

@@ -1,0 +1,478 @@
+//! # gcomm-query — a hand-rolled incremental query engine
+//!
+//! Salsa-style incrementality without the framework: every pass of the
+//! pipeline becomes a *query* — a pure function memoized under a
+//! content-addressed key — and invalidation falls out of the keying
+//! instead of a revision counter. If the fingerprint of a query's input
+//! is unchanged, the key is unchanged, the memo hits, and nothing
+//! downstream recomputes. If an upstream pass *does* recompute but
+//! produces output with the same fingerprint as before, downstream keys
+//! are again unchanged and the recomputation stops there — that is the
+//! early-cutoff rule, and it is a property of the key derivation rather
+//! than bookkeeping in the engine (DESIGN.md §14).
+//!
+//! The engine therefore only needs three things:
+//!
+//! * [`QueryEngine::memo`] — probe/compute/insert for a `(query, key)`
+//!   pair, values stored as `Arc<dyn Any>` so one byte-capped LRU serves
+//!   every query kind. The closure runs *outside* the engine lock:
+//!   duplicate concurrent computes of the same key are benign (queries
+//!   are pure), and the first inserted value wins so all callers share
+//!   one `Arc`.
+//! * [`QueryEngine::note_input`] — records the latest fingerprint seen
+//!   for a named input slot (e.g. a routine's source chunk) so the
+//!   driver can report `query.invalidate` when an edit actually changed
+//!   a chunk, as opposed to merely re-presenting it.
+//! * [`QueryEngine::count_cutoff`] — bumped by the driver when a
+//!   downstream memo hit despite an upstream recompute (the cutoff
+//!   observably fired).
+//!
+//! Two soundness rules are inherited from the rest of the workspace:
+//! results computed under an exhausted budget (degraded) are **never
+//! cached** — same rule as the subsumption memo in
+//! `crates/sections/src/intern.rs` — and keys are 64-bit FNV-1a
+//! fingerprints of the complete input, so collisions alias. That risk
+//! (~2⁻⁶⁴ per key pair) is accepted deliberately, as the serve cache's
+//! documentation discusses; unlike the serve LRU there is no full-key
+//! guard here because the "key" *is* the content.
+
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Fingerprinting
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over `bytes` — the same content-addressing primitive as the
+/// serve cache (`crates/serve/src/cache.rs`).
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    extend(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a hash over more bytes, so multi-part keys can be
+/// built without intermediate allocation.
+pub fn extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Folds a 64-bit value (typically another fingerprint) into a hash.
+/// Length-prefixed framing is unnecessary: every `mix` operand is a
+/// fixed 8 bytes.
+pub fn mix(hash: u64, value: u64) -> u64 {
+    extend(hash, &value.to_be_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// What the fingerprint recorded for an input slot did on this
+/// presentation. `Changed` means a previously-seen slot arrived with a
+/// different fingerprint — the definition of an invalidating edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputChange {
+    /// First time this slot has been seen.
+    Fresh,
+    /// Same fingerprint as last time; everything keyed on it will hit.
+    Unchanged,
+    /// Fingerprint differs from the previous presentation.
+    Changed,
+}
+
+/// The result of a query computation, as returned by the closure passed
+/// to [`QueryEngine::memo`].
+pub struct Computed<T> {
+    /// The value to return (and possibly cache).
+    pub value: T,
+    /// Approximate heap footprint, charged against the engine's byte cap.
+    pub bytes: u64,
+    /// `false` for results that must not be reused — e.g. anything
+    /// produced under an exhausted budget (degraded). Uncacheable
+    /// results are returned to the caller but leave the memo untouched.
+    pub cacheable: bool,
+}
+
+/// Monotonic engine totals, independent of any `gcomm-obs` registry so
+/// property tests can observe the engine without installing one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub cutoffs: u64,
+    pub invalidations: u64,
+    pub evictions: u64,
+}
+
+struct Slot {
+    value: Arc<dyn Any + Send + Sync>,
+    bytes: u64,
+    tick: u64,
+}
+
+struct Inner {
+    /// Memoized values keyed by (query name, content fingerprint).
+    slots: HashMap<(&'static str, u64), Slot>,
+    /// Recency order: tick → slot key. BTreeMap so the oldest entry is
+    /// `first_key_value`, mirroring the serve LRU.
+    order: BTreeMap<u64, (&'static str, u64)>,
+    /// Last fingerprint presented per input slot.
+    inputs: HashMap<u64, u64>,
+    used_bytes: u64,
+    tick: u64,
+}
+
+/// Fixed per-entry overhead charged on top of the caller-reported value
+/// footprint (map entries, Arc headers, recency bookkeeping).
+const ENTRY_OVERHEAD: u64 = 96;
+
+/// A byte-capped, thread-safe memo table for content-addressed queries.
+pub struct QueryEngine {
+    inner: Mutex<Inner>,
+    cap_bytes: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    cutoffs: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("QueryEngine")
+            .field("cap_bytes", &self.cap_bytes)
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl QueryEngine {
+    /// Creates an engine holding at most `cap_bytes` of memoized values
+    /// (as reported by each query's own footprint estimate).
+    pub fn new(cap_bytes: u64) -> Self {
+        QueryEngine {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                order: BTreeMap::new(),
+                inputs: HashMap::new(),
+                used_bytes: 0,
+                tick: 0,
+            }),
+            cap_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cutoffs: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `(query, key)`; on a miss, runs `compute` *outside* the
+    /// engine lock and inserts the result if it is cacheable. Returns
+    /// the value and whether this call was a hit. Queries must be pure:
+    /// two threads racing on the same key may both compute, and the
+    /// first to insert wins (the loser adopts the winner's value so all
+    /// callers alias one `Arc`).
+    pub fn memo<T, F>(&self, query: &'static str, key: u64, compute: F) -> (Arc<T>, bool)
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> Computed<T>,
+    {
+        if let Some(value) = self.probe::<T>(query, key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            gcomm_obs::count("query.hit", 1);
+            return (value, true);
+        }
+
+        let computed = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        gcomm_obs::count("query.miss", 1);
+        let value = Arc::new(computed.value);
+
+        if computed.cacheable {
+            let stored = self.insert(query, key, value.clone(), computed.bytes);
+            (stored, false)
+        } else {
+            (value, false)
+        }
+    }
+
+    /// A hit-only probe: returns the memoized value without computing.
+    pub fn probe<T>(&self, query: &'static str, key: u64) -> Option<Arc<T>>
+    where
+        T: Send + Sync + 'static,
+    {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = inner.slots.get_mut(&(query, key))?;
+        let value = Arc::clone(&slot.value).downcast::<T>().ok()?;
+        let old_tick = std::mem::replace(&mut slot.tick, tick);
+        inner.order.remove(&old_tick);
+        inner.order.insert(tick, (query, key));
+        Some(value)
+    }
+
+    fn insert<T>(&self, query: &'static str, key: u64, value: Arc<T>, bytes: u64) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+    {
+        let charged = bytes.saturating_add(ENTRY_OVERHEAD);
+        if charged > self.cap_bytes {
+            return value; // larger than the whole cache: serve uncached
+        }
+        let mut inner = self.inner.lock().unwrap();
+        // A racing compute may have inserted first; adopt its value so
+        // every caller shares one allocation.
+        if let Some(slot) = inner.slots.get(&(query, key)) {
+            if let Ok(existing) = Arc::clone(&slot.value).downcast::<T>() {
+                return existing;
+            }
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.slots.insert(
+            (query, key),
+            Slot {
+                value: value.clone() as Arc<dyn Any + Send + Sync>,
+                bytes: charged,
+                tick,
+            },
+        );
+        inner.order.insert(tick, (query, key));
+        inner.used_bytes += charged;
+        let mut evicted = 0u64;
+        while inner.used_bytes > self.cap_bytes {
+            let Some((&oldest, &victim)) = inner.order.first_key_value() else {
+                break;
+            };
+            inner.order.remove(&oldest);
+            if let Some(slot) = inner.slots.remove(&victim) {
+                inner.used_bytes -= slot.bytes;
+                evicted += 1;
+            }
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Records the fingerprint presented for input slot `slot` (itself a
+    /// fingerprint of the slot's identity, e.g. a routine name). Returns
+    /// what changed; a `Changed` result bumps `query.invalidate`.
+    pub fn note_input(&self, slot: u64, fp: u64) -> InputChange {
+        let mut inner = self.inner.lock().unwrap();
+        let change = match inner.inputs.insert(slot, fp) {
+            None => InputChange::Fresh,
+            Some(prev) if prev == fp => InputChange::Unchanged,
+            Some(_) => InputChange::Changed,
+        };
+        drop(inner);
+        if change == InputChange::Changed {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            gcomm_obs::count("query.invalidate", 1);
+        }
+        change
+    }
+
+    /// Records that early cutoff observably fired: an upstream pass
+    /// recomputed but a downstream memo still hit because the upstream
+    /// output's fingerprint was unchanged.
+    pub fn count_cutoff(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.cutoffs.fetch_add(n, Ordering::Relaxed);
+        gcomm_obs::count("query.cutoff", n);
+    }
+
+    /// Monotonic totals since construction.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            cutoffs: self.cutoffs.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bytes currently charged against the cap.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().used_bytes
+    }
+
+    /// Number of live memo entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().slots.len()
+    }
+
+    /// True when the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn fingerprint_matches_serve_fnv() {
+        // Same constants as crates/serve/src/cache.rs; spot-check a
+        // known vector (FNV-1a 64 of "a").
+        assert_eq!(fingerprint(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fingerprint(b""), FNV_OFFSET);
+        assert_ne!(fingerprint(b"ab"), fingerprint(b"ba"));
+    }
+
+    #[test]
+    fn mix_is_order_sensitive() {
+        let a = mix(mix(fingerprint(b"x"), 1), 2);
+        let b = mix(mix(fingerprint(b"x"), 2), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn memo_hits_second_time() {
+        let eng = QueryEngine::new(1 << 20);
+        let calls = AtomicUsize::new(0);
+        let f = || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Computed {
+                value: 42u64,
+                bytes: 8,
+                cacheable: true,
+            }
+        };
+        let (v1, hit1) = eng.memo("t.answer", 7, f);
+        let (v2, hit2) = eng.memo::<u64, _>("t.answer", 7, || unreachable!());
+        assert_eq!((*v1, hit1), (42, false));
+        assert_eq!((*v2, hit2), (42, true));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            eng.stats(),
+            EngineStats {
+                hits: 1,
+                misses: 1,
+                ..EngineStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_queries_do_not_alias() {
+        let eng = QueryEngine::new(1 << 20);
+        let mk = |v: u64| {
+            move || Computed {
+                value: v,
+                bytes: 8,
+                cacheable: true,
+            }
+        };
+        eng.memo("t.a", 1, mk(10));
+        eng.memo("t.b", 1, mk(20));
+        let (a, _) = eng.memo::<u64, _>("t.a", 1, || unreachable!());
+        let (b, _) = eng.memo::<u64, _>("t.b", 1, || unreachable!());
+        assert_eq!((*a, *b), (10, 20));
+    }
+
+    #[test]
+    fn uncacheable_results_never_stored() {
+        let eng = QueryEngine::new(1 << 20);
+        let (_, hit) = eng.memo("t.degraded", 9, || Computed {
+            value: 1u32,
+            bytes: 4,
+            cacheable: false,
+        });
+        assert!(!hit);
+        assert!(eng.is_empty());
+        let (_, hit) = eng.memo("t.degraded", 9, || Computed {
+            value: 1u32,
+            bytes: 4,
+            cacheable: false,
+        });
+        assert!(!hit, "uncacheable result must recompute every time");
+    }
+
+    #[test]
+    fn lru_evicts_oldest_under_byte_cap() {
+        // Cap fits exactly two entries (bytes + ENTRY_OVERHEAD each).
+        let per = 100 + ENTRY_OVERHEAD;
+        let eng = QueryEngine::new(2 * per);
+        let mk = |v: u64| {
+            move || Computed {
+                value: v,
+                bytes: 100,
+                cacheable: true,
+            }
+        };
+        eng.memo("t.k", 1, mk(1));
+        eng.memo("t.k", 2, mk(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(eng.probe::<u64>("t.k", 1).is_some());
+        eng.memo("t.k", 3, mk(3));
+        assert_eq!(eng.stats().evictions, 1);
+        assert!(eng.probe::<u64>("t.k", 1).is_some());
+        assert!(eng.probe::<u64>("t.k", 2).is_none());
+        assert!(eng.probe::<u64>("t.k", 3).is_some());
+        assert!(eng.used_bytes() <= 2 * per);
+    }
+
+    #[test]
+    fn oversized_value_served_uncached() {
+        let eng = QueryEngine::new(64);
+        let (v, hit) = eng.memo("t.big", 1, || Computed {
+            value: 7u8,
+            bytes: 1 << 20,
+            cacheable: true,
+        });
+        assert_eq!((*v, hit), (7, false));
+        assert!(eng.is_empty());
+    }
+
+    #[test]
+    fn note_input_tracks_changes() {
+        let eng = QueryEngine::new(1 << 20);
+        let slot = fingerprint(b"routine:main");
+        assert_eq!(eng.note_input(slot, 11), InputChange::Fresh);
+        assert_eq!(eng.note_input(slot, 11), InputChange::Unchanged);
+        assert_eq!(eng.note_input(slot, 12), InputChange::Changed);
+        assert_eq!(eng.note_input(slot, 12), InputChange::Unchanged);
+        assert_eq!(eng.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn racing_computes_share_one_value() {
+        let eng = Arc::new(QueryEngine::new(1 << 20));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let eng = Arc::clone(&eng);
+            handles.push(std::thread::spawn(move || {
+                let (v, _) = eng.memo("t.race", 5, || Computed {
+                    value: 99u64,
+                    bytes: 8,
+                    cacheable: true,
+                });
+                Arc::as_ptr(&v) as usize
+            }));
+        }
+        let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // All callers that arrived after the first insert alias it; the
+        // value itself is identical for everyone by purity.
+        assert!(ptrs.iter().all(|&p| p != 0));
+        assert_eq!(eng.len(), 1);
+    }
+}

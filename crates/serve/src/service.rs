@@ -19,10 +19,12 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use gcomm_core::{compile_diagnostics_budgeted, lower_to_sim, Compiled, SimConfig, Strategy};
-use gcomm_guard::{Budget, BudgetSpec};
+use gcomm_core::incr::{self, IncrCompiler, ModuleOutcome, RoutineArtifacts, RoutineOutcome};
+use gcomm_core::{lower_to_sim, Compiled, SimConfig, Strategy};
+use gcomm_guard::BudgetSpec;
 use gcomm_machine::{simulate_with_faults, FaultPlan, NetworkModel, ProcGrid};
 use gcomm_obs::{Registry, StatsReport};
+use gcomm_query::{fingerprint, mix, Computed, QueryEngine};
 
 use crate::cache::LruCache;
 use crate::frame::DEFAULT_MAX_FRAME;
@@ -43,6 +45,10 @@ pub struct ServiceConfig {
     pub default_budget: BudgetSpec,
     /// Maximum accepted frame/line payload in bytes.
     pub max_frame: usize,
+    /// Byte capacity of the incremental query engine's memo
+    /// (`--query-cache-bytes`; `0` disables incremental compilation and
+    /// every payload-cache miss compiles from scratch).
+    pub query_cache_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -53,6 +59,7 @@ impl Default for ServiceConfig {
             cache_bytes: 32 * 1024 * 1024,
             default_budget: BudgetSpec::default(),
             max_frame: DEFAULT_MAX_FRAME,
+            query_cache_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -69,6 +76,7 @@ struct Absorber {
 pub struct Service {
     config: ServiceConfig,
     cache: Mutex<LruCache>,
+    incr: Option<IncrCompiler>,
     lifetime: Registry,
     absorber: Mutex<Absorber>,
     next_seq: AtomicU64,
@@ -78,13 +86,21 @@ impl Service {
     /// A fresh service with an empty cache and zeroed lifetime stats.
     pub fn new(config: ServiceConfig) -> Service {
         let cache = Mutex::new(LruCache::new(config.cache_bytes));
+        let incr =
+            (config.query_cache_bytes > 0).then(|| IncrCompiler::new(config.query_cache_bytes));
         Service {
             config,
             cache,
+            incr,
             lifetime: Registry::new(),
             absorber: Mutex::new(Absorber::default()),
             next_seq: AtomicU64::new(0),
         }
+    }
+
+    /// The incremental query engine, when enabled (for stats and tests).
+    pub fn query_engine(&self) -> Option<&QueryEngine> {
+        self.incr.as_ref().map(IncrCompiler::engine)
     }
 
     /// The configuration this service was built with.
@@ -166,7 +182,14 @@ impl Service {
         }
         gcomm_obs::count("cache.miss", 1);
         gcomm_obs::count("serve.compiles", 1);
-        let payload = cold_compile_payload(req, &effective);
+        // The warm-edit path: with the query engine enabled, a near-miss
+        // (an edited source) recomputes only the pipeline stages whose
+        // input fingerprints actually changed; everything else is reused
+        // bit-identically (DESIGN.md §14).
+        let payload = match &self.incr {
+            Some(ic) => incremental_payload(ic, req, &effective),
+            None => cold_compile_payload(req, &effective),
+        };
         let evicted = self.cache.lock().unwrap().insert(key, payload.clone());
         if evicted > 0 {
             gcomm_obs::count("cache.evict", evicted);
@@ -204,44 +227,272 @@ impl Service {
 /// response payload. Pure in the content-addressing sense: for a fixed
 /// `(req minus id, effective)` the returned bytes are identical across
 /// invocations, which is the property the cache relies on (and the
-/// bit-identity property test checks).
+/// bit-identity property test checks). Runs the same stage functions as
+/// the incremental path with no memoization, so the two paths agree
+/// byte for byte (tests/incremental_differential.rs).
 pub fn cold_compile_payload(req: &CompileReq, effective: &BudgetSpec) -> String {
-    let budget = Budget::from_spec(effective);
-    match compile_diagnostics_budgeted(&req.source, req.strategy, budget.clone()) {
-        Ok(compiled) => {
-            let degraded = budget.exhausted();
-            if degraded {
-                gcomm_obs::count("serve.degraded", 1);
-            }
-            let mut p = format!(
-                "\"ok\":true,\"strategy\":{},\"degraded\":{degraded},\"report\":{}",
-                escape(req.strategy.name()),
-                escape(&compiled.report())
-            );
-            if let Some(sim) = &req.sim {
-                p.push_str(",\"sim\":");
-                p.push_str(&sim_json(&compiled, sim));
-            }
-            p
-        }
-        Err(errs) => {
-            gcomm_obs::count("serve.errors", 1);
-            let mut p = String::from("\"ok\":false,\"error\":\"compile_error\",\"errors\":[");
-            for (i, e) in errs.iter().enumerate() {
-                if i > 0 {
-                    p.push(',');
-                }
-                let _ = write!(
-                    p,
-                    "{{\"line\":{},\"message\":{}}}",
-                    e.line,
-                    escape(&e.message)
-                );
-            }
-            p.push(']');
-            p
-        }
+    let outcome = incr::compile_module_cold(&req.source, req.strategy, effective);
+    render_outcome(&outcome, req, None)
+}
+
+/// Renders a compile outcome as a response payload, memoizing successful
+/// per-routine renders in the query engine when one is supplied. A
+/// single-routine source keeps the exact classic payload shape (PR 5);
+/// a multi-routine module gets `"module":true` with a per-routine array.
+fn render_outcome(
+    outcome: &ModuleOutcome,
+    req: &CompileReq,
+    engine: Option<&QueryEngine>,
+) -> String {
+    if !outcome.all_ok() {
+        gcomm_obs::count("serve.errors", 1);
     }
+    if outcome.any_degraded() {
+        gcomm_obs::count("serve.degraded", 1);
+    }
+    if let [routine] = outcome.routines.as_slice() {
+        return match &routine.result {
+            Ok(a) => render_ok(a, req, engine, RenderShape::Single),
+            Err(_) => single_error_payload(&routine.module_errors()),
+        };
+    }
+    let mut p = module_header(outcome.all_ok(), req, outcome.any_degraded());
+    for (i, routine) in outcome.routines.iter().enumerate() {
+        if i > 0 {
+            p.push(',');
+        }
+        p.push_str(&routine_fragment(routine, req, engine));
+    }
+    p.push(']');
+    p
+}
+
+/// The classic single-routine error payload.
+fn single_error_payload(errs: &[gcomm_core::CoreError]) -> String {
+    format!(
+        "\"ok\":false,\"error\":\"compile_error\",\"errors\":{}",
+        errors_json(errs)
+    )
+}
+
+/// The opening of a module payload, up to the `routines` array.
+fn module_header(all_ok: bool, req: &CompileReq, any_degraded: bool) -> String {
+    format!(
+        "\"ok\":{},\"module\":true,\"strategy\":{},\"degraded\":{},\"routines\":[",
+        all_ok,
+        escape(req.strategy.name()),
+        any_degraded
+    )
+}
+
+/// Fingerprint of a render frame shape (part of every render key).
+fn shape_tag(shape: RenderShape) -> u64 {
+    match shape {
+        RenderShape::Single => fingerprint(b"single"),
+        RenderShape::Fragment => fingerprint(b"frag"),
+    }
+}
+
+/// Fingerprint of the request's sim spec (part of every render key).
+fn sim_fp(req: &CompileReq) -> u64 {
+    match &req.sim {
+        None => fingerprint(b"-"),
+        Some(s) => fingerprint(format!("{}:{}", s.profile, s.n).as_bytes()),
+    }
+}
+
+/// A fully rendered routine plus the flags the module frame needs — the
+/// value of the routine-level render memo.
+#[derive(Debug)]
+struct RoutineRender {
+    payload: String,
+    ok: bool,
+    degraded: bool,
+}
+
+/// The warm-edit path (DESIGN.md §14): chunks the source and serves each
+/// byte-unchanged routine's finished render from a single routine-level
+/// memo probe. Only changed chunks descend into the pass-level queries
+/// (parse → lower → place → render), where early cutoff still applies.
+/// Byte-identical to [`cold_compile_payload`]: the compute path runs the
+/// same stage functions and the same framing helpers.
+fn incremental_payload(ic: &IncrCompiler, req: &CompileReq, effective: &BudgetSpec) -> String {
+    let eng = ic.engine();
+    let chunks = incr::split_routines(&req.source);
+    let shape = if chunks.len() == 1 {
+        RenderShape::Single
+    } else {
+        RenderShape::Fragment
+    };
+    let frame_fp = mix(
+        mix(shape_tag(shape), sim_fp(req)),
+        fingerprint(format!("{effective}").as_bytes()),
+    );
+    let strat_fp = fingerprint(req.strategy.name().as_bytes());
+    let rendered: Vec<std::sync::Arc<RoutineRender>> = chunks
+        .iter()
+        .map(|chunk| {
+            eng.note_input(fingerprint(chunk.name.as_bytes()), chunk.fp);
+            let key = mix(mix(chunk.fp, strat_fp), frame_fp);
+            let (r, _) = eng.memo("query.routine", key, || {
+                let routine = ic.compile_routine(chunk, req.strategy, effective);
+                let (payload, ok, degraded) = match &routine.result {
+                    Ok(a) => (render_ok(a, req, Some(eng), shape), true, a.degraded),
+                    Err(_) => (render_error(&routine, shape), false, false),
+                };
+                Computed {
+                    bytes: payload.len() as u64 + 2,
+                    // Error payloads embed module-level line numbers (they
+                    // depend on where the chunk sits, not just its bytes);
+                    // degraded ones depend on budget progress. Neither is a
+                    // pure function of this key.
+                    cacheable: ok && !degraded,
+                    value: RoutineRender {
+                        payload,
+                        ok,
+                        degraded,
+                    },
+                }
+            });
+            r
+        })
+        .collect();
+    let all_ok = rendered.iter().all(|r| r.ok);
+    let any_degraded = rendered.iter().any(|r| r.degraded);
+    if !all_ok {
+        gcomm_obs::count("serve.errors", 1);
+    }
+    if any_degraded {
+        gcomm_obs::count("serve.degraded", 1);
+    }
+    if let [r] = rendered.as_slice() {
+        return r.payload.clone();
+    }
+    let mut p = module_header(all_ok, req, any_degraded);
+    for (i, r) in rendered.iter().enumerate() {
+        if i > 0 {
+            p.push(',');
+        }
+        p.push_str(&r.payload);
+    }
+    p.push(']');
+    p
+}
+
+/// Renders an error routine in the given frame shape (shared by the
+/// routine-level memo's compute path; the cold path goes through
+/// [`render_outcome`]'s equivalent branches).
+fn render_error(routine: &RoutineOutcome, shape: RenderShape) -> String {
+    match shape {
+        RenderShape::Single => single_error_payload(&routine.module_errors()),
+        RenderShape::Fragment => format!(
+            "{{\"name\":{},\"ok\":false,\"errors\":{}}}",
+            escape(&routine.name),
+            errors_json(&routine.module_errors())
+        ),
+    }
+}
+
+/// How a successful routine render is framed: the classic single-routine
+/// payload, or one element of a module's `"routines"` array.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RenderShape {
+    Single,
+    Fragment,
+}
+
+/// One element of a module payload's `"routines"` array.
+fn routine_fragment(
+    routine: &RoutineOutcome,
+    req: &CompileReq,
+    engine: Option<&QueryEngine>,
+) -> String {
+    match &routine.result {
+        Ok(a) => render_ok(a, req, engine, RenderShape::Fragment),
+        // Error fragments embed module-level line numbers, which depend
+        // on where the chunk sits — cheap to render, never memoized.
+        Err(_) => format!(
+            "{{\"name\":{},\"ok\":false,\"errors\":{}}}",
+            escape(&routine.name),
+            errors_json(&routine.module_errors())
+        ),
+    }
+}
+
+/// Renders a successful routine, through the render memo when an engine
+/// is available. The key extends the place key (already ir × strategy ×
+/// budget) with the sim spec and the frame shape; degraded renders are
+/// never cached, matching the place stage's rule.
+fn render_ok(
+    a: &RoutineArtifacts,
+    req: &CompileReq,
+    engine: Option<&QueryEngine>,
+    shape: RenderShape,
+) -> String {
+    let Some(eng) = engine else {
+        return render_ok_fresh(a, req, shape);
+    };
+    let key = mix(mix(a.place_key, sim_fp(req)), shape_tag(shape));
+    let (payload, _) = eng.memo("query.render", key, || {
+        let p = render_ok_fresh(a, req, shape);
+        Computed {
+            bytes: p.len() as u64,
+            cacheable: !a.degraded,
+            value: p,
+        }
+    });
+    (*payload).clone()
+}
+
+fn render_ok_fresh(a: &RoutineArtifacts, req: &CompileReq, shape: RenderShape) -> String {
+    let report = a.schedule.report(&a.prog);
+    let mut p = match shape {
+        RenderShape::Single => format!(
+            "\"ok\":true,\"strategy\":{},\"degraded\":{},\"report\":{}",
+            escape(req.strategy.name()),
+            a.degraded,
+            escape(&report)
+        ),
+        RenderShape::Fragment => format!(
+            "{{\"name\":{},\"ok\":true,\"degraded\":{},\"report\":{}",
+            escape(&a.prog.name),
+            a.degraded,
+            escape(&report)
+        ),
+    };
+    if let Some(sim) = &req.sim {
+        // The simulator wants a `Compiled`; only the sim path pays for
+        // the owned clones.
+        let compiled = Compiled {
+            prog: (*a.prog).clone(),
+            schedule: (*a.schedule).clone(),
+            stats: Default::default(),
+        };
+        p.push_str(",\"sim\":");
+        p.push_str(&sim_json(&compiled, sim));
+    }
+    if shape == RenderShape::Fragment {
+        p.push('}');
+    }
+    p
+}
+
+/// Renders a diagnostics list as a JSON array.
+fn errors_json(errs: &[gcomm_core::CoreError]) -> String {
+    let mut p = String::from("[");
+    for (i, e) in errs.iter().enumerate() {
+        if i > 0 {
+            p.push(',');
+        }
+        let _ = write!(
+            p,
+            "{{\"line\":{},\"message\":{}}}",
+            e.line,
+            escape(&e.message)
+        );
+    }
+    p.push(']');
+    p
 }
 
 /// Runs the machine simulation of a compiled schedule on the requested

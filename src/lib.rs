@@ -23,6 +23,7 @@
 //! | [`guard`] | resource budgets + graceful degradation (DESIGN.md §10) |
 //! | [`par`] | deterministic scoped worker pool for the drivers (DESIGN.md §11) |
 //! | [`serve`] | persistent compile service: caching, batching, backpressure (DESIGN.md §12) |
+//! | [`query`] | incremental query engine: content-addressed memoization (DESIGN.md §14) |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use gcomm_lang as lang;
 pub use gcomm_machine as machine;
 pub use gcomm_obs as obs;
 pub use gcomm_par as par;
+pub use gcomm_query as query;
 pub use gcomm_sections as sections;
 pub use gcomm_serve as serve;
 pub use gcomm_ssa as ssa;

@@ -5,7 +5,11 @@
 //! * a stats-enabled compile is bit-identical in program and schedule to a
 //!   stats-disabled compile (collection never influences placement),
 //! * every canonical taxonomy counter — including the serve/cluster
-//!   robustness counters — is zero-filled in every emitted report.
+//!   robustness counters and the incremental-query counters — is
+//!   zero-filled in every emitted report,
+//! * the incremental path (DESIGN.md §14) produces programs and
+//!   schedules bit-identical to a stats-enabled cold compile — memo
+//!   reuse, like stats collection, never influences placement.
 
 use proptest::prelude::*;
 
@@ -37,6 +41,10 @@ fn canonical_taxonomy_is_zero_filled_in_every_report() {
         "cluster.conn_lost",
         "cluster.marked_down",
         "cluster.marked_up",
+        "query.hit",
+        "query.miss",
+        "query.cutoff",
+        "query.invalidate",
     ] {
         assert!(
             gcomm::obs::CANONICAL_COUNTERS.contains(&required),
@@ -111,5 +119,38 @@ proptest! {
             plain.report(), stats.report(),
             "{}/{:?}: placement reports differ", name, strategy
         );
+    }
+
+    /// The incremental path must be observationally free too: compiling
+    /// through a warm `IncrCompiler` (twice, so the second pass is pure
+    /// memo reuse) yields the same program and schedule as a
+    /// stats-enabled cold compile. Equality ignores stats — the work
+    /// *done* is exactly what incrementality changes.
+    #[test]
+    fn incremental_run_is_bit_identical_to_stats_run(
+        kernel in any_kernel(),
+        strategy in any_strategy(),
+    ) {
+        let (name, src) = kernel;
+        let stats = compile_stats(src, strategy)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let ic = gcomm::core::incr::IncrCompiler::new(16 * 1024 * 1024);
+        let spec = gcomm::guard::BudgetSpec::default();
+        for pass in 0..2 {
+            let out = ic.compile_module(src, strategy, &spec);
+            prop_assert_eq!(out.routines.len(), 1, "{}: kernels are single-routine", name);
+            let art = out.routines[0].result.as_ref()
+                .unwrap_or_else(|e| panic!("{name}/{strategy:?}: {e:?}"));
+            let warm = gcomm::core::Compiled {
+                prog: (*art.prog).clone(),
+                schedule: (*art.schedule).clone(),
+                stats: Default::default(),
+            };
+            // `Compiled` equality covers program + schedule, not stats.
+            prop_assert_eq!(
+                &warm, &stats,
+                "{}/{:?} pass {}: incremental diverged from cold", name, strategy, pass
+            );
+        }
     }
 }
