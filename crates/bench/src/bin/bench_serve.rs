@@ -21,9 +21,19 @@
 //! own `query.*` counters, and the differential mismatch count (which
 //! must be zero).
 //!
-//! Usage: `bench_serve [--mode classic|edit-storm] [--threads <n>]
-//! [--requests <m>] [--hit-ratio <f>] [--jobs <n>] [--storm-cases <n>]
-//! [--storm-edits <n>] [--storm-hits <n>] [--out <path>]`
+//! `--mode restart` appends a persistence phase (DESIGN.md §15): a
+//! `--persist`-backed server is filled cold, stopped, and reopened on
+//! the same directory; the phase reports the recovery outcome, the
+//! warm-restart hit rate (every refilled key must hit, zero recompiles),
+//! restart-to-first-hit latency, and the post-restart hit distribution.
+//!
+//! `--mode` accumulates, so `--mode edit-storm --mode restart` emits
+//! both extra blocks in one artifact.
+//!
+//! Usage: `bench_serve [--mode classic|edit-storm|restart]...
+//! [--threads <n>] [--requests <m>] [--hit-ratio <f>] [--jobs <n>]
+//! [--storm-cases <n>] [--storm-edits <n>] [--storm-hits <n>]
+//! [--restart-entries <n>] [--out <path>]`
 //! (4 × 250 at 0.5, classic, stdout without `--out`).
 
 use std::time::Instant;
@@ -232,6 +242,89 @@ fn run_storm(jobs: usize, cases: usize, edits: usize, hits: usize, routines: usi
     )
 }
 
+/// The restart phase (DESIGN.md §15). Returns the `restart` JSON block.
+fn run_restart(jobs: usize, entries: usize) -> String {
+    let dir = std::env::temp_dir().join(format!("gcomm-bench-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create persist dir");
+    let persist_cfg = || ServiceConfig {
+        jobs,
+        persist: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+
+    // Fill: cold compiles write through to the segment log (default
+    // fsync policy: every append synced before the response).
+    let mut errors = 0u64;
+    let mut cold_us: Vec<f64> = Vec::new();
+    let first = gcomm_serve::spawn("127.0.0.1:0", persist_cfg()).expect("bind persisting server");
+    {
+        let mut client = Client::connect(first.addr()).expect("connect fill client");
+        for v in 0..entries {
+            let r = compile_request((v + 1) as u64, &source(v + 1), Strategy::Global, None, None);
+            let start = Instant::now();
+            let resp = client.request(&r).expect("fill response");
+            if resp.contains("\"ok\":true") {
+                cold_us.push(start.elapsed().as_secs_f64() * 1e6);
+            } else {
+                errors += 1;
+            }
+        }
+    }
+    let fill_stats = fetch_stats(first.addr());
+    let appends = counter(&fill_stats, "store.append");
+    let fsyncs = counter(&fill_stats, "store.fsync");
+    first.stop().expect("clean fill drain");
+
+    // Restart: binding runs the recovery scan and warms the cache before
+    // the server accepts, so open time is the whole restart cost.
+    let t_open = Instant::now();
+    let second =
+        gcomm_serve::spawn("127.0.0.1:0", persist_cfg()).expect("reopen persisting server");
+    let open_us = t_open.elapsed().as_secs_f64() * 1e6;
+    let mut warm_us: Vec<f64> = Vec::new();
+    let mut first_hit_us = 0.0;
+    {
+        let mut client = Client::connect(second.addr()).expect("connect warm client");
+        for v in 0..entries {
+            let r = compile_request((v + 1) as u64, &source(v + 1), Strategy::Global, None, None);
+            let start = Instant::now();
+            let resp = client.request(&r).expect("warm response");
+            if resp.contains("\"ok\":true") {
+                let us = start.elapsed().as_secs_f64() * 1e6;
+                if warm_us.is_empty() {
+                    first_hit_us = open_us + us;
+                }
+                warm_us.push(us);
+            } else {
+                errors += 1;
+            }
+        }
+    }
+    let stats = fetch_stats(second.addr());
+    let hits = counter(&stats, "cache.hit");
+    let misses = counter(&stats, "cache.miss");
+    let rec_ok = counter(&stats, "store.recover_ok");
+    let rec_torn = counter(&stats, "store.recover_torn");
+    let rec_quarantined = counter(&stats, "store.quarantined");
+    second.stop().expect("clean warm drain");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    format!(
+        "{{\"entries\":{entries},\"errors\":{errors},\
+         \"fsync_policy\":\"always\",\"cold_fill\":{cold},\
+         \"restart_open_us\":{open_us},\
+         \"restart_to_first_hit_us\":{first_hit_us},\"warm\":{warm},\
+         \"warm_restart_hit_rate\":{rate},\
+         \"recovered\":{{\"ok\":{rec_ok},\"torn\":{rec_torn},\
+         \"quarantined\":{rec_quarantined}}},\
+         \"store\":{{\"append\":{appends},\"fsync\":{fsyncs}}}}}",
+        cold = latency_block(cold_us),
+        warm = latency_block(warm_us),
+        rate = hits as f64 / ((hits + misses) as f64).max(1.0),
+    )
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if cli::take_version_flag(&mut args) {
@@ -243,10 +336,12 @@ fn main() {
     let mut requests = 250usize;
     let mut hit_ratio = 0.5f64;
     let mut storm = false;
+    let mut restart = false;
     let mut storm_cases = 40usize;
     let mut storm_edits = 5usize;
     let mut storm_hits = 200usize;
     let mut storm_routines = 64usize;
+    let mut restart_entries = 64usize;
     let mut out_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -258,9 +353,16 @@ fn main() {
         };
         match a.as_str() {
             "--mode" => match value("--mode").as_str() {
-                "classic" => storm = false,
+                "classic" => {
+                    storm = false;
+                    restart = false;
+                }
                 "edit-storm" => storm = true,
-                _ => cli::or_exit2::<()>(BIN, Err("--mode expects classic|edit-storm".into())),
+                "restart" => restart = true,
+                _ => cli::or_exit2::<()>(
+                    BIN,
+                    Err("--mode expects classic|edit-storm|restart".into()),
+                ),
             },
             "--threads" => match value("--threads").parse() {
                 Ok(n) if n >= 1 => threads = n,
@@ -290,15 +392,19 @@ fn main() {
                 Ok(n) if n >= 2 => storm_routines = n,
                 _ => cli::or_exit2::<()>(BIN, Err("--storm-routines expects a count >= 2".into())),
             },
+            "--restart-entries" => match value("--restart-entries").parse() {
+                Ok(n) if n >= 1 => restart_entries = n,
+                _ => cli::or_exit2::<()>(BIN, Err("--restart-entries expects a count >= 1".into())),
+            },
             "--out" => out_path = Some(value("--out")),
             _ => cli::or_exit2::<()>(
                 BIN,
                 Err(format!(
                     "unrecognized argument '{a}' \
-                     (usage: bench_serve [--mode classic|edit-storm] [--threads <n>] \
+                     (usage: bench_serve [--mode classic|edit-storm|restart]... [--threads <n>] \
                      [--requests <m>] [--hit-ratio <f>] [--jobs <n>] [--storm-cases <n>] \
                      [--storm-edits <n>] [--storm-hits <n>] [--storm-routines <n>] \
-                     [--out <path>])"
+                     [--restart-entries <n>] [--out <path>])"
                 )),
             ),
         }
@@ -404,15 +510,20 @@ fn main() {
     } else {
         String::new()
     };
+    let restart_block = if restart {
+        format!(",\"restart\":{}", run_restart(jobs, restart_entries))
+    } else {
+        String::new()
+    };
 
     let doc = format!(
-        "{{\"schema\":\"gcomm-bench-serve/v2\",\"threads\":{threads},\
+        "{{\"schema\":\"gcomm-bench-serve/v3\",\"threads\":{threads},\
          \"requests_per_thread\":{requests},\"total_requests\":{total},\
          \"hit_ratio_target\":{hit_ratio},\"jobs\":{jobs},\
          \"elapsed_s\":{elapsed},\"throughput_rps\":{rps},\
          \"errors\":{errors},\"hit_rate\":{hit_rate},\
          \"cache\":{{\"hit\":{hits},\"miss\":{misses},\"evict\":{evicts}}},\
-         \"warm\":{warm},\"cold\":{cold}{edit_storm}}}",
+         \"warm\":{warm},\"cold\":{cold}{edit_storm}{restart_block}}}",
         rps = total as f64 / elapsed.max(1e-9),
         warm = latency_block(warm_us),
         cold = latency_block(cold_us),

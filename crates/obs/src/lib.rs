@@ -126,6 +126,17 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     "cluster.conn_lost",
     "cluster.marked_down",
     "cluster.marked_up",
+    "cluster.respawn",
+    // store: the crash-safe persistent cache (DESIGN.md §15) — appends
+    // and fsyncs on the write path, recovery-scan outcomes on open
+    // (clean records warmed, torn tails truncated, checksum failures
+    // quarantined and never served), and segment compactions.
+    "store.append",
+    "store.fsync",
+    "store.compact",
+    "store.recover_ok",
+    "store.recover_torn",
+    "store.quarantined",
     // query: the incremental query engine (DESIGN.md §14) — memo
     // hits/misses across all pass-level queries, early-cutoff events
     // (upstream recomputed, downstream still hit), and input-slot

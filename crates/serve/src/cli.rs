@@ -118,6 +118,37 @@ pub fn take_cache_bytes_flag(args: &mut Vec<String>) -> Result<Option<u64>, Stri
     }
 }
 
+/// Extracts `--persist <dir>`, the persistent compile-cache directory
+/// (DESIGN.md §15). The directory is created on service start; `None`
+/// keeps the cache in memory only.
+///
+/// # Errors
+///
+/// On a missing value.
+pub fn take_persist_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    take_value_flag(args, "--persist").map_err(|_| "--persist expects a directory path".to_string())
+}
+
+/// Extracts `--persist-fsync always|off|interval:N`, the durability
+/// policy of the persistent cache log.
+///
+/// # Errors
+///
+/// On a missing value or a policy [`gcomm_store::FsyncPolicy::parse`]
+/// rejects.
+pub fn take_persist_fsync_flag(
+    args: &mut Vec<String>,
+) -> Result<Option<gcomm_store::FsyncPolicy>, String> {
+    match take_value_flag(args, "--persist-fsync")
+        .map_err(|_| "--persist-fsync expects always, off, or interval:N".to_string())?
+    {
+        None => Ok(None),
+        Some(spec) => gcomm_store::FsyncPolicy::parse(&spec)
+            .map(Some)
+            .map_err(|e| format!("--persist-fsync: {e}")),
+    }
+}
+
 /// Extracts a repeatable-count flag like `--shards <n>` (n ≥ 1).
 ///
 /// # Errors
@@ -297,6 +328,33 @@ mod tests {
         assert!(take_addr_flag(&mut bad).is_err());
         let mut bad = argv(&["--cache-bytes", "lots"]);
         assert!(take_cache_bytes_flag(&mut bad).is_err());
+    }
+
+    #[test]
+    fn persist_flags() {
+        let mut args = argv(&[
+            "--persist",
+            "/tmp/cache",
+            "--persist-fsync",
+            "interval:8",
+            "x",
+        ]);
+        assert_eq!(
+            take_persist_flag(&mut args).unwrap().as_deref(),
+            Some("/tmp/cache")
+        );
+        assert_eq!(
+            take_persist_fsync_flag(&mut args).unwrap(),
+            Some(gcomm_store::FsyncPolicy::Interval(8))
+        );
+        assert_eq!(args, argv(&["x"]));
+        let mut none = argv(&["x"]);
+        assert_eq!(take_persist_flag(&mut none).unwrap(), None);
+        assert_eq!(take_persist_fsync_flag(&mut none).unwrap(), None);
+        let mut bad = argv(&["--persist"]);
+        assert!(take_persist_flag(&mut bad).is_err());
+        let mut bad = argv(&["--persist-fsync", "sometimes"]);
+        assert!(take_persist_fsync_flag(&mut bad).is_err());
     }
 
     #[test]

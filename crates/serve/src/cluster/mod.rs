@@ -27,7 +27,11 @@
 //!   sockets), failover to replicas, and a structured `unavailable`
 //!   error when everything failed — never a hang, never a partial frame.
 //! * [`proc`] — shard child-process management for `gcommc cluster`
-//!   (spawn, address handshake, graceful shutdown, kill).
+//!   (spawn, address handshake, graceful shutdown, kill, respawn).
+//! * [`supervise`] — the respawn loop (DESIGN.md §15): a dead child is
+//!   relaunched with backoff on its original command line (same
+//!   `--persist` directory, so it warms from its own log), probed, and
+//!   readmitted to its ring slot via [`router::Admission`].
 
 use std::time::Duration;
 
@@ -42,13 +46,15 @@ pub mod proc;
 pub mod ring;
 pub mod router;
 pub mod shard;
+pub mod supervise;
 
 pub use health::{HealthCell, HealthPolicy, Transition};
 pub use hotkey::HotKeys;
 pub use proc::ShardProc;
 pub use ring::Ring;
-pub use router::{spawn_router, Router, RouterHandle};
+pub use router::{spawn_router, Admission, Router, RouterHandle};
 pub use shard::{ForwardError, Shard};
+pub use supervise::{supervise, SupervisePolicy, SupervisorHandle};
 
 /// Tuning knobs of a cluster router.
 #[derive(Debug, Clone)]

@@ -10,11 +10,15 @@ use std::time::Duration;
 
 use crate::client::Client;
 
-/// One spawned shard process and its serve address.
+/// One spawned shard process and its serve address. The spawn command
+/// line is retained so a supervisor can [`ShardProc::respawn`] the same
+/// shard — same flags, same `--persist` directory — after a crash.
 #[derive(Debug)]
 pub struct ShardProc {
     child: Child,
     addr: SocketAddr,
+    program: String,
+    args: Vec<String>,
 }
 
 impl ShardProc {
@@ -23,36 +27,23 @@ impl ShardProc {
     /// child's stderr is drained by a detached thread so the pipe can
     /// never fill up and stall the shard.
     ///
+    /// The banner is printed only after the service is fully open — in
+    /// particular after a `--persist` recovery scan has completed — so a
+    /// returned `ShardProc` is already past recovery.
+    ///
     /// # Errors
     ///
     /// Propagates the spawn failure; fails with `InvalidData` when the
     /// child exits (or closes stderr) before announcing an address.
     pub fn spawn(program: &str, extra_args: &[&str]) -> io::Result<ShardProc> {
-        let mut child = Command::new(program)
-            .arg("serve")
-            .arg("--addr")
-            .arg("127.0.0.1:0")
-            .args(extra_args)
-            .stdin(Stdio::null())
-            .stdout(Stdio::null())
-            .stderr(Stdio::piped())
-            .spawn()?;
-        let stderr = child.stderr.take().expect("stderr was piped");
-        let mut reader = BufReader::new(stderr);
-        let addr = match read_banner_addr(&mut reader) {
-            Ok(addr) => addr,
-            Err(e) => {
-                let _ = child.kill();
-                let _ = child.wait();
-                return Err(e);
-            }
-        };
-        // Keep draining so the shard never blocks writing diagnostics.
-        std::thread::spawn(move || {
-            let mut sink = io::sink();
-            let _ = io::copy(&mut reader, &mut sink);
-        });
-        Ok(ShardProc { child, addr })
+        let args: Vec<String> = extra_args.iter().map(|s| (*s).to_string()).collect();
+        let (child, addr) = spawn_child(program, &args)?;
+        Ok(ShardProc {
+            child,
+            addr,
+            program: program.to_string(),
+            args,
+        })
     }
 
     /// The shard's serve address.
@@ -63,6 +54,30 @@ impl ShardProc {
     /// The shard's process id (for external signalling in tests).
     pub fn pid(&self) -> u32 {
         self.child.id()
+    }
+
+    /// Whether the child has exited (crashed, was killed, or shut down).
+    /// Non-blocking; a wait error is treated as exited.
+    pub fn has_exited(&mut self) -> bool {
+        !matches!(self.child.try_wait(), Ok(None))
+    }
+
+    /// Replaces a dead child with a fresh process running the same
+    /// command line, and returns the new serve address (the replacement
+    /// binds its own ephemeral port). Any still-running old child is
+    /// killed and reaped first, so this never leaks a process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the spawn/banner failure; `self` keeps its old (dead)
+    /// child so the caller can simply retry.
+    pub fn respawn(&mut self) -> io::Result<SocketAddr> {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let (child, addr) = spawn_child(&self.program, &self.args)?;
+        self.child = child;
+        self.addr = addr;
+        Ok(addr)
     }
 
     /// Hard-kills the shard (SIGKILL) and reaps it. Idempotent enough for
@@ -111,6 +126,35 @@ impl Drop for ShardProc {
         let _ = self.child.kill();
         let _ = self.child.wait();
     }
+}
+
+/// Spawns one serve child and performs the banner handshake.
+fn spawn_child(program: &str, args: &[String]) -> io::Result<(Child, SocketAddr)> {
+    let mut child = Command::new(program)
+        .arg("serve")
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()?;
+    let stderr = child.stderr.take().expect("stderr was piped");
+    let mut reader = BufReader::new(stderr);
+    let addr = match read_banner_addr(&mut reader) {
+        Ok(addr) => addr,
+        Err(e) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(e);
+        }
+    };
+    // Keep draining so the shard never blocks writing diagnostics.
+    std::thread::spawn(move || {
+        let mut sink = io::sink();
+        let _ = io::copy(&mut reader, &mut sink);
+    });
+    Ok((child, addr))
 }
 
 /// Reads stderr lines until the `serving on <addr>` banner appears.

@@ -165,6 +165,51 @@ impl Core {
     }
 }
 
+/// A clonable readmission handle for shard supervisors: when a dead
+/// shard process has been respawned (on a fresh ephemeral port) and its
+/// recovery scan and health probe have passed, [`Admission::readmit`]
+/// re-points the shard's ring slot at the new address.
+///
+/// Readmission does **not** force the health state to up — the slot stays
+/// down until the router's own prober has seen `up_threshold` consecutive
+/// successes against the new address, so a respawn that immediately
+/// wedges never attracts primary traffic.
+#[derive(Clone)]
+pub struct Admission {
+    core: Arc<Core>,
+}
+
+impl Admission {
+    /// Number of shard slots in the ring (slot indices are `0..count`).
+    pub fn shard_count(&self) -> usize {
+        self.core.shards.len()
+    }
+
+    /// The current address of slot `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn shard_addr(&self, shard: usize) -> SocketAddr {
+        self.core.shards[shard].addr()
+    }
+
+    /// Re-points slot `shard` at `addr`, drops its stale connection pool,
+    /// counts `cluster.respawn`, and records a structured
+    /// `cluster.respawn` event in the router's lifetime registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn readmit(&self, shard: usize, addr: SocketAddr) {
+        self.core.shards[shard].set_addr(addr);
+        self.core.count("cluster.respawn", 1);
+        self.core
+            .lifetime
+            .push_event("cluster.respawn", &format!("shard {shard} -> {addr}"));
+    }
+}
+
 /// Mutex-serialized framed response sink (worker and reader writes must
 /// never interleave bytes). Write failures mean the client went away; the
 /// reader notices on its next read.
@@ -373,6 +418,14 @@ impl Router {
         self.core.lifetime.clone()
     }
 
+    /// A readmission handle for a shard supervisor (see
+    /// [`super::supervise`]).
+    pub fn admission(&self) -> Admission {
+        Admission {
+            core: Arc::clone(&self.core),
+        }
+    }
+
     /// Accepts and serves connections until shutdown, then drains: every
     /// accepted request is answered (forwarded or failed structurally)
     /// before `run` returns; the prober and replication worker are joined
@@ -470,6 +523,7 @@ pub struct RouterHandle {
     addr: SocketAddr,
     lifetime: Registry,
     shutdown: ShutdownFlag,
+    admission: Admission,
     thread: JoinHandle<io::Result<()>>,
 }
 
@@ -482,6 +536,17 @@ impl RouterHandle {
     /// The router's lifetime stats registry.
     pub fn registry(&self) -> &Registry {
         &self.lifetime
+    }
+
+    /// A readmission handle for a shard supervisor.
+    pub fn admission(&self) -> Admission {
+        self.admission.clone()
+    }
+
+    /// The router's shutdown flag (shared with supervisors so both wind
+    /// down together).
+    pub fn shutdown_flag(&self) -> ShutdownFlag {
+        self.shutdown.clone()
     }
 
     /// Requests shutdown and waits for the full drain.
@@ -513,11 +578,13 @@ pub fn spawn_router(
     let addr = router.local_addr()?;
     let lifetime = router.registry();
     let shutdown = router.shutdown_flag();
+    let admission = router.admission();
     let thread = std::thread::spawn(move || router.run());
     Ok(RouterHandle {
         addr,
         lifetime,
         shutdown,
+        admission,
         thread,
     })
 }

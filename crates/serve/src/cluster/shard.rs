@@ -58,10 +58,15 @@ fn classify(e: io::Error) -> ForwardError {
 }
 
 /// Router-side handle to one shard process.
+///
+/// The address is interior-mutable: when a supervisor respawns a dead
+/// shard process, the replacement binds a fresh ephemeral port and the
+/// router re-points this slot at it ([`Shard::set_addr`]) without
+/// touching the ring — slot index, not address, is the ring identity.
 #[derive(Debug)]
 pub struct Shard {
-    /// The shard's serve address.
-    pub addr: SocketAddr,
+    /// The shard's serve address (swapped on respawn).
+    addr: Mutex<SocketAddr>,
     /// Shared up/down state (probe + forward outcomes feed it).
     pub health: HealthCell,
     /// Idle framed connections, deadline-armed, reused across requests.
@@ -76,10 +81,22 @@ impl Shard {
     /// A shard handle with an empty connection pool.
     pub fn new(addr: SocketAddr) -> Shard {
         Shard {
-            addr,
+            addr: Mutex::new(addr),
             health: HealthCell::default(),
             idle: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The shard's current serve address.
+    pub fn addr(&self) -> SocketAddr {
+        *self.addr.lock().unwrap()
+    }
+
+    /// Re-points this slot at a respawned process. Pooled connections to
+    /// the old address are stale by definition and dropped.
+    pub fn set_addr(&self, addr: SocketAddr) {
+        *self.addr.lock().unwrap() = addr;
+        self.drop_idle();
     }
 
     fn connect(
@@ -87,8 +104,9 @@ impl Shard {
         connect_timeout: Duration,
         io_timeout: Duration,
     ) -> Result<Client, ForwardError> {
+        let addr = self.addr();
         let mut c =
-            Client::connect_timeout(&self.addr, connect_timeout).map_err(ForwardError::Connect)?;
+            Client::connect_timeout(&addr, connect_timeout).map_err(ForwardError::Connect)?;
         c.set_io_timeout(Some(io_timeout))
             .map_err(ForwardError::Io)?;
         Ok(c)

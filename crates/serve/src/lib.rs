@@ -29,6 +29,11 @@
 //!   keys over N shard processes, health-checks them, retries with real
 //!   wall-clock backoff, fails over to ring replicas, and replicates hot
 //!   keys — while responses stay bit-identical to a single-node server.
+//! * **Crash-safe persistence** (`--persist`, DESIGN.md §15): cache
+//!   inserts write through to a `gcomm-store` segmented log; a restarted
+//!   service (or a supervisor-respawned shard) recovers it — truncating
+//!   torn records, quarantining anything failing its checksum — and
+//!   warms the in-memory cache before accepting its first request.
 //!
 //! Everything here is `std`-only, like the rest of the workspace.
 

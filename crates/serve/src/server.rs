@@ -277,18 +277,20 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:7070`, port 0 for ephemeral).
+    /// Binds `addr` (e.g. `127.0.0.1:7070`, port 0 for ephemeral). When
+    /// the config persists, the recovery scan runs here — a server that
+    /// reached its `serving on` banner has finished warming from disk.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure or a persistent-cache recovery error.
     pub fn bind(addr: &str, config: ServiceConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let shutdown = ShutdownFlag::new();
         shutdown.set_wake_addr(listener.local_addr()?);
         Ok(Server {
             listener,
-            svc: Arc::new(Service::new(config)),
+            svc: Arc::new(Service::open(config)?),
             shutdown,
         })
     }

@@ -16,6 +16,8 @@
 //!   is identical whether the pool ran 1 worker or 8.
 
 use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -25,6 +27,7 @@ use gcomm_guard::BudgetSpec;
 use gcomm_machine::{simulate_with_faults, FaultPlan, NetworkModel, ProcGrid};
 use gcomm_obs::{Registry, StatsReport};
 use gcomm_query::{fingerprint, mix, Computed, QueryEngine};
+use gcomm_store::{FsyncPolicy, Store, StoreConfig};
 
 use crate::cache::LruCache;
 use crate::frame::DEFAULT_MAX_FRAME;
@@ -49,6 +52,15 @@ pub struct ServiceConfig {
     /// (`--query-cache-bytes`; `0` disables incremental compilation and
     /// every payload-cache miss compiles from scratch).
     pub query_cache_bytes: u64,
+    /// Directory of the persistent compile cache (`--persist`); `None`
+    /// keeps the cache purely in memory. With a directory, cache inserts
+    /// are written through to a crash-safe segmented log
+    /// ([`gcomm_store::Store`]) and a restarted service warms from it —
+    /// recovered hits are bit-identical to cold compiles because the
+    /// stored value *is* the rendered payload (DESIGN.md §15).
+    pub persist: Option<PathBuf>,
+    /// fsync policy of the persistent log (`--persist-fsync`).
+    pub persist_fsync: FsyncPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +72,8 @@ impl Default for ServiceConfig {
             default_budget: BudgetSpec::default(),
             max_frame: DEFAULT_MAX_FRAME,
             query_cache_bytes: 64 * 1024 * 1024,
+            persist: None,
+            persist_fsync: FsyncPolicy::Always,
         }
     }
 }
@@ -76,6 +90,8 @@ struct Absorber {
 pub struct Service {
     config: ServiceConfig,
     cache: Mutex<LruCache>,
+    /// Write-through persistent log shadowing the cache (DESIGN.md §15).
+    store: Option<Mutex<Store>>,
     incr: Option<IncrCompiler>,
     lifetime: Registry,
     absorber: Mutex<Absorber>,
@@ -83,19 +99,71 @@ pub struct Service {
 }
 
 impl Service {
-    /// A fresh service with an empty cache and zeroed lifetime stats.
+    /// A fresh in-memory service with an empty cache and zeroed lifetime
+    /// stats.
+    ///
+    /// # Panics
+    ///
+    /// When the config carries a `persist` directory that cannot be
+    /// opened — prefer [`Service::open`] for persistent services, which
+    /// surfaces the error.
     pub fn new(config: ServiceConfig) -> Service {
-        let cache = Mutex::new(LruCache::new(config.cache_bytes));
+        Service::open(config).expect("opening the persistent cache failed")
+    }
+
+    /// Opens a service, recovering the persistent compile cache first
+    /// when `config.persist` names a directory: the segmented log's
+    /// recovery scan runs (truncating torn records, quarantining corrupt
+    /// ones — see [`gcomm_store::Store::open`]), surviving entries warm
+    /// the in-memory LRU in last-write order, and the
+    /// `store.recover_ok`/`store.recover_torn`/`store.quarantined`
+    /// counters land in the lifetime registry. By the time `open`
+    /// returns, every recovered entry is servable and bit-identical to
+    /// the cold compile that produced it.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating, scanning, or repairing the persist
+    /// directory. Infallible when `config.persist` is `None`.
+    pub fn open(config: ServiceConfig) -> io::Result<Service> {
+        let lifetime = Registry::new();
+        let mut cache = LruCache::new(config.cache_bytes);
+        let store = match &config.persist {
+            None => None,
+            Some(dir) => {
+                let store_cfg = StoreConfig {
+                    fsync: config.persist_fsync,
+                    ..StoreConfig::default()
+                };
+                let (store, recovery) = Store::open(dir, store_cfg)?;
+                lifetime.add("store.recover_ok", recovery.records_ok);
+                lifetime.add("store.recover_torn", recovery.torn);
+                lifetime.add("store.quarantined", recovery.quarantined);
+                for (key, value) in recovery.entries {
+                    // The log stores opaque bytes, but every record we
+                    // write is UTF-8 (key material and JSON payloads). A
+                    // non-UTF-8 record is foreign — quarantine it too.
+                    match (String::from_utf8(key), String::from_utf8(value)) {
+                        (Ok(k), Ok(v)) => {
+                            cache.insert(k, v);
+                        }
+                        _ => lifetime.add("store.quarantined", 1),
+                    }
+                }
+                Some(Mutex::new(store))
+            }
+        };
         let incr =
             (config.query_cache_bytes > 0).then(|| IncrCompiler::new(config.query_cache_bytes));
-        Service {
+        Ok(Service {
             config,
-            cache,
+            cache: Mutex::new(cache),
+            store,
             incr,
-            lifetime: Registry::new(),
+            lifetime,
             absorber: Mutex::new(Absorber::default()),
             next_seq: AtomicU64::new(0),
-        }
+        })
     }
 
     /// The incremental query engine, when enabled (for stats and tests).
@@ -190,11 +258,37 @@ impl Service {
             Some(ic) => incremental_payload(ic, req, &effective),
             None => cold_compile_payload(req, &effective),
         };
+        self.persist_entry(&key, &payload);
         let evicted = self.cache.lock().unwrap().insert(key, payload.clone());
         if evicted > 0 {
             gcomm_obs::count("cache.evict", evicted);
         }
         payload
+    }
+
+    /// Write-through to the persistent log (when configured): the exact
+    /// key material and payload the in-memory cache holds, so recovery
+    /// re-creates cache entries byte for byte. An append failure degrades
+    /// the service to in-memory caching for that entry — compiles must
+    /// keep flowing on a full or failing disk.
+    fn persist_entry(&self, key: &str, payload: &str) {
+        let Some(store) = &self.store else { return };
+        match store
+            .lock()
+            .unwrap()
+            .append(key.as_bytes(), payload.as_bytes())
+        {
+            Ok(a) => {
+                gcomm_obs::count("store.append", 1);
+                if a.fsynced {
+                    gcomm_obs::count("store.fsync", 1);
+                }
+                if a.compacted {
+                    gcomm_obs::count("store.compact", 1);
+                }
+            }
+            Err(e) => eprintln!("gcomm-serve: persist append failed: {e}"),
+        }
     }
 
     /// Inline cache probe for the transports: on a hit the reader thread

@@ -307,6 +307,85 @@ fn hot_keys_replicate_to_the_ring_successor() {
     replica.stop().unwrap();
 }
 
+/// Polls a router counter until it reaches `want` or the deadline hits.
+fn wait_for_counter(router: &RouterHandle, name: &str, want: u64) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let got = counter(router, name);
+        if got >= want || Instant::now() >= deadline {
+            return got;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The restart gap (DESIGN.md §15): before `Admission`, a dead shard was
+/// marked down forever and its keyspace lived on replicas for the rest
+/// of the router's life. This covers the full down → respawn → re-Up
+/// transition: the replacement (on a *new* ephemeral port) is readmitted
+/// to the dead shard's ring slot, the prober marks it up again, and the
+/// primary path serves bit-identical bytes with no further failover.
+#[test]
+fn respawned_shard_rejoins_the_ring_and_serves_again() {
+    let (mut shards, addrs) = spawn_shards(2);
+    let router = spawn_router("127.0.0.1:0", &addrs, cluster_config()).unwrap();
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    let srcs = sources(8);
+    let mut healthy: Vec<String> = Vec::new();
+    for (i, src) in srcs.iter().enumerate() {
+        let req = compile_request(i as u64, src, Strategy::Global, None, None);
+        healthy.push(client.request(&req).unwrap());
+    }
+
+    // Shard 0 "crashes"; the prober marks it down and its keyspace fails
+    // over to shard 1 (zero dropped requests, as ever).
+    shards.remove(0).stop().unwrap();
+    assert!(
+        wait_for_counter(&router, "cluster.marked_down", 1) >= 1,
+        "prober never marked the dead shard down"
+    );
+    for (i, src) in srcs.iter().enumerate() {
+        let req = compile_request(i as u64, src, Strategy::Global, None, None);
+        assert_eq!(client.request(&req).unwrap(), healthy[i]);
+    }
+    assert!(counter(&router, "cluster.failover") > 0);
+
+    // "Respawn": a fresh shard on a fresh port takes over slot 0. The
+    // readmission is counted and evented; the health machine keeps the
+    // last word and re-ups the slot only after consecutive probe passes.
+    let replacement = gcomm_serve::spawn("127.0.0.1:0", shard_config()).unwrap();
+    router.admission().readmit(0, replacement.addr());
+    assert_eq!(counter(&router, "cluster.respawn"), 1);
+    assert!(
+        wait_for_counter(&router, "cluster.marked_up", 1) >= 1,
+        "respawned shard was never marked up again"
+    );
+
+    // With slot 0 up again, its keyspace is served on the primary path:
+    // same bytes as the healthy run, no further failover.
+    let failovers = counter(&router, "cluster.failover");
+    for (i, src) in srcs.iter().enumerate() {
+        let req = compile_request(i as u64, src, Strategy::Global, None, None);
+        assert_eq!(
+            client.request(&req).unwrap(),
+            healthy[i],
+            "request {i}: respawn changed bytes"
+        );
+    }
+    assert_eq!(
+        counter(&router, "cluster.failover"),
+        failovers,
+        "a readmitted shard should serve its keyspace without failover"
+    );
+    assert_eq!(counter(&router, "serve.unavailable"), 0);
+
+    drop(client);
+    router.stop().unwrap();
+    replacement.stop().unwrap();
+    shards.remove(0).stop().unwrap();
+}
+
 #[test]
 fn router_stop_drains_in_flight_requests() {
     let (shards, addrs) = spawn_shards(2);

@@ -30,6 +30,11 @@
 //!   --jobs <n>                   worker threads (default: GCOMM_JOBS or cores)
 //!   --cache-bytes <size>         compile-cache capacity, e.g. 32m
 //!   --budget <spec>              default budget for requests without one
+//!   --persist <dir>              crash-safe persistent compile cache
+//!                                (DESIGN.md §15): cache inserts write through
+//!                                to a checksummed segment log and a restart
+//!                                warms from it
+//!   --persist-fsync <policy>     always | off | interval:N (default: always)
 //!
 //! Cluster options (DESIGN.md §13):
 //!   --addr <host:port>           router listen address (required)
@@ -42,6 +47,11 @@
 //!   --cache-bytes <size>         per-shard compile-cache capacity
 //!   --budget <spec>              default budget — forwarded to shards and
 //!                                used for router-side key hashing
+//!   --persist <dir>              per-shard persistent caches: spawned shard
+//!                                N gets --persist <dir>/shard-N, and a
+//!                                crashed shard is respawned by a supervisor
+//!                                and readmitted to the ring warm
+//!   --persist-fsync <policy>     forwarded to spawned shards
 //!
 //! Client options:
 //!   --addr <host:port>           the server to talk to (required)
@@ -95,9 +105,10 @@ fn usage() -> ! {
          [--verify] [--sim <n>] [--faults <spec>] [--budget <spec>] [--entries] [--stats] \
          [--stats-json <path>] <file | ->\n\
          \x20      gcommc serve [--addr <host:port>] [--jobs <n>] [--cache-bytes <size>] \
-         [--budget <spec>]\n\
+         [--budget <spec>] [--persist <dir>] [--persist-fsync <policy>]\n\
          \x20      gcommc cluster --addr <host:port> [--shards <n>] [--replicas <n>] \
-         [--attach <host:port>]... [--jobs <n>] [--cache-bytes <size>] [--budget <spec>]\n\
+         [--attach <host:port>]... [--jobs <n>] [--cache-bytes <size>] [--budget <spec>] \
+         [--persist <dir>] [--persist-fsync <policy>]\n\
          \x20      gcommc client --addr <host:port> [--op ping|version|stats|shutdown|compile] \
          [--strategy <s>] [--budget <spec>] [--sim <profile[:n]>] [--stable] [<file | ->]\n\
          \x20      gcommc --version"
@@ -216,14 +227,20 @@ fn serve_main(mut args: Vec<String>) -> ExitCode {
     let addr = cli::or_exit2("gcommc", cli::take_addr_flag(&mut args));
     let cache_bytes = cli::or_exit2("gcommc", cli::take_cache_bytes_flag(&mut args));
     let default_budget = cli::or_exit2("gcommc", cli::take_budget_flag(&mut args));
+    let persist = cli::or_exit2("gcommc", cli::take_persist_flag(&mut args));
+    let persist_fsync = cli::or_exit2("gcommc", cli::take_persist_fsync_flag(&mut args));
     if let Some(extra) = args.first() {
         bad_args(format_args!("serve: unexpected argument '{extra}'"));
     }
     let mut config = ServiceConfig {
         jobs,
         default_budget,
+        persist: persist.map(std::path::PathBuf::from),
         ..ServiceConfig::default()
     };
+    if let Some(policy) = persist_fsync {
+        config.persist_fsync = policy;
+    }
     if let Some(bytes) = cache_bytes {
         config.cache_bytes = bytes;
     }
@@ -250,7 +267,13 @@ fn serve_main(mut args: Vec<String>) -> ExitCode {
             }
         }
         None => {
-            let svc = Arc::new(gcomm::serve::Service::new(config));
+            let svc = match gcomm::serve::Service::open(config) {
+                Ok(s) => Arc::new(s),
+                Err(e) => {
+                    eprintln!("gcommc: serve: opening persistent cache: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let shutdown = gcomm::serve::ShutdownFlag::new();
             #[cfg(unix)]
             {
@@ -285,12 +308,17 @@ fn cluster_main(mut args: Vec<String>) -> ExitCode {
     let replicas =
         cli::or_exit2("gcommc", cli::take_count_flag(&mut args, "--replicas")).unwrap_or(1);
     let attach = cli::or_exit2("gcommc", cli::take_repeated_flag(&mut args, "--attach"));
+    let persist = cli::or_exit2("gcommc", cli::take_persist_flag(&mut args));
+    let persist_fsync = cli::or_exit2("gcommc", cli::take_persist_fsync_flag(&mut args));
     if let Some(extra) = args.first() {
         bad_args(format_args!("cluster: unexpected argument '{extra}'"));
     }
     let Some(addr) = addr else {
         bad_args("cluster: --addr <host:port> is required");
     };
+    if persist.is_some() && !attach.is_empty() {
+        bad_args("cluster: --persist applies to spawned shards, not --attach'ed ones");
+    }
 
     // Attached shards are trusted as-is; otherwise spawn our own children
     // running the same binary, so the cluster needs no external setup.
@@ -313,9 +341,24 @@ fn cluster_main(mut args: Vec<String>) -> ExitCode {
             extra.push("--budget".into());
             extra.push(default_budget.to_string());
         }
-        let extra_refs: Vec<&str> = extra.iter().map(String::as_str).collect();
+        if let Some(policy) = persist_fsync {
+            extra.push("--persist-fsync".into());
+            extra.push(match policy {
+                gcomm::store::FsyncPolicy::Always => "always".into(),
+                gcomm::store::FsyncPolicy::Off => "off".into(),
+                gcomm::store::FsyncPolicy::Interval(n) => format!("interval:{n}"),
+            });
+        }
         for i in 0..shards {
-            match gcomm::serve::cluster::ShardProc::spawn(&exe.to_string_lossy(), &extra_refs) {
+            // Each spawned shard gets its own persistence directory, so a
+            // respawned shard i always recovers shard i's cache.
+            let mut shard_args = extra.clone();
+            if let Some(dir) = &persist {
+                shard_args.push("--persist".into());
+                shard_args.push(format!("{dir}/shard-{i}"));
+            }
+            let refs: Vec<&str> = shard_args.iter().map(String::as_str).collect();
+            match gcomm::serve::cluster::ShardProc::spawn(&exe.to_string_lossy(), &refs) {
                 Ok(p) => procs.push(p),
                 Err(e) => {
                     eprintln!("gcommc: cluster: spawning shard {i}: {e}");
@@ -365,7 +408,23 @@ fn cluster_main(mut args: Vec<String>) -> ExitCode {
             replicas
         );
     }
+    // Spawned children are supervised: a crashed shard is respawned on
+    // its original command line (same --persist directory), probed, and
+    // readmitted to its ring slot. The supervisor shares the router's
+    // shutdown flag, so the router's exit winds it down and hands the
+    // children back for the graceful drain below.
+    let supervisor = (!procs.is_empty()).then(|| {
+        gcomm::serve::cluster::supervise(
+            std::mem::take(&mut procs),
+            router.admission(),
+            gcomm::serve::cluster::SupervisePolicy::default(),
+            router.shutdown_flag(),
+        )
+    });
     let result = router.run();
+    if let Some(s) = supervisor {
+        procs = s.join();
+    }
     // The router drained first, so the shards see no more forwards; now
     // drain and stop the children we own (attached shards stay up).
     for (i, p) in procs.iter_mut().enumerate() {

@@ -49,6 +49,7 @@ pub use gcomm_query as query;
 pub use gcomm_sections as sections;
 pub use gcomm_serve as serve;
 pub use gcomm_ssa as ssa;
+pub use gcomm_store as store;
 
 pub use gcomm_core::{
     compile, compile_budgeted, compile_diagnostics, compile_stats, CommKind, Strategy,

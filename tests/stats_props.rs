@@ -5,8 +5,8 @@
 //! * a stats-enabled compile is bit-identical in program and schedule to a
 //!   stats-disabled compile (collection never influences placement),
 //! * every canonical taxonomy counter — including the serve/cluster
-//!   robustness counters and the incremental-query counters — is
-//!   zero-filled in every emitted report,
+//!   robustness counters, the incremental-query counters, and the
+//!   persistent-store counters — is zero-filled in every emitted report,
 //! * the incremental path (DESIGN.md §14) produces programs and
 //!   schedules bit-identical to a stats-enabled cold compile — memo
 //!   reuse, like stats collection, never influences placement.
@@ -41,10 +41,17 @@ fn canonical_taxonomy_is_zero_filled_in_every_report() {
         "cluster.conn_lost",
         "cluster.marked_down",
         "cluster.marked_up",
+        "cluster.respawn",
         "query.hit",
         "query.miss",
         "query.cutoff",
         "query.invalidate",
+        "store.append",
+        "store.fsync",
+        "store.compact",
+        "store.recover_ok",
+        "store.recover_torn",
+        "store.quarantined",
     ] {
         assert!(
             gcomm::obs::CANONICAL_COUNTERS.contains(&required),
