@@ -308,10 +308,13 @@ pub mod reports {
         out
     }
 
-    /// Default enumeration budget for [`compare_optimal_text`]: small
-    /// enough to regenerate in a debug-build test run, large enough to
-    /// exhaust every kernel but the two biggest (those report truncated
-    /// searches, seeded with the greedy schedule so the gap stays ≥ 0).
+    /// Default search budget for [`compare_optimal_text`], in **nodes
+    /// expanded** (entry bindings), the branch-and-bound budget unit.
+    /// Before the branch-and-bound search this same number bounded
+    /// *assignments scored*; a node is strictly cheaper than an
+    /// assignment (pruned subtrees never reach the simulator), so the
+    /// same numeric budget now certifies far larger programs. Small
+    /// enough to regenerate in a debug-build test run.
     pub const DEFAULT_OPTIMAL_BUDGET: u64 = 20_000;
 
     /// The static message count table (Figure 10, top; `-v` appends the
@@ -368,29 +371,46 @@ pub mod reports {
         out
     }
 
-    /// The greedy-vs-optimal comparison table (§6.1 extension) under an
-    /// enumeration budget. The exhaustive search inside each case fans out
-    /// over `jobs` workers; the table is bit-identical for any `jobs`.
-    pub fn compare_optimal_text(budget: u64, jobs: usize) -> String {
-        let cases: Vec<(&str, &str, usize)> = vec![
+    /// The kernel cases `compare_optimal` measures (name, source, grid
+    /// axes for the canonical scoring configuration).
+    fn compare_optimal_cases() -> Vec<(&'static str, &'static str, usize)> {
+        vec![
             ("fig3-f90", gcomm_kernels::FIG3_F90, 2),
             ("fig3-scalarized", gcomm_kernels::FIG3_SCALARIZED, 2),
             ("fig4-running", gcomm_kernels::FIG4_RUNNING, 2),
             ("trimesh-gauss", gcomm_kernels::TRIMESH_GAUSS, 2),
             ("hydflo-hydro", gcomm_kernels::HYDFLO_HYDRO, 3),
-        ];
+        ]
+    }
+
+    /// The greedy-vs-optimal comparison table (§6.1 extension) under a
+    /// **node** budget (`--budget <n>` bounds search-tree nodes expanded,
+    /// not assignments scored — one node is one entry binding, and pruned
+    /// subtrees never reach the simulator). The branch-and-bound search
+    /// inside each case fans out over `jobs` workers; the table —
+    /// including the node and prune counts — is bit-identical for any
+    /// `jobs` (DESIGN.md §16 determinism contract).
+    pub fn compare_optimal_text(budget: u64, jobs: usize) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<16} {:>10} {:>10} {:>8} {:>9} {:>10}",
-            "kernel", "greedy us", "best us", "gap", "tried", "exhausted"
+            "{:<16} {:>10} {:>10} {:>8} {:>8} {:>7} {:>8} {:>7} {:>10}",
+            "kernel",
+            "greedy us",
+            "best us",
+            "gap",
+            "nodes",
+            "leaves",
+            "pr_bnd",
+            "pr_dom",
+            "certified"
         );
-        for (name, src, axes) in cases {
+        for (name, src, axes) in compare_optimal_cases() {
             let c = compile(src, Strategy::Global).expect("compiles");
             let cfg = SimConfig::uniform(&c, ProcGrid::balanced(8, axes), 48).with("nsteps", 4);
             let net = NetworkModel::sp2();
             let greedy = comm_cost(&c, &cfg, &net);
-            // Fresh step budget per kernel: each enumeration gets the full
+            // Fresh node budget per kernel: each search gets the full
             // allowance, matching the historical per-call cap.
             let b = gcomm_guard::Budget::steps(budget);
             let Some(opt) =
@@ -402,20 +422,91 @@ pub mod reports {
             let gap = (greedy - opt.comm_us) / opt.comm_us * 100.0;
             let _ = writeln!(
                 out,
-                "{:<16} {:>10.1} {:>10.1} {:>+7.2}% {:>9} {:>10}",
+                "{:<16} {:>10.1} {:>10.1} {:>+7.2}% {:>8} {:>7} {:>8} {:>7} {:>10}",
                 name,
                 greedy,
                 opt.comm_us,
                 gap,
-                opt.tried,
+                opt.nodes,
+                opt.leaves,
+                opt.pruned_bound,
+                opt.pruned_dominance,
                 if opt.truncated { "no" } else { "yes" }
             );
         }
         let _ = writeln!(
             out,
-            "\ngap = greedy communication time above the best assignment found"
+            "\ngap = greedy communication time above the best assignment found\n\
+             certified = the branch-and-bound search covered the whole space \
+             within the node budget"
         );
         out
+    }
+
+    /// `BENCH_optimal.json`: the branch-and-bound search vs. the retained
+    /// exhaustive enumeration at the **same** budget, with wall times —
+    /// the measured evidence behind the README's certified-size frontier.
+    /// Wall times vary run to run; everything else is deterministic.
+    pub fn compare_optimal_json(budget: u64, jobs: usize) -> String {
+        let mut rows = Vec::new();
+        for (name, src, axes) in compare_optimal_cases() {
+            let c = compile(src, Strategy::Global).expect("compiles");
+            let cfg = SimConfig::uniform(&c, ProcGrid::balanced(8, axes), 48).with("nsteps", 4);
+            let net = NetworkModel::sp2();
+            let policy = CombinePolicy::default();
+            let greedy = comm_cost(&c, &cfg, &net);
+
+            let t0 = std::time::Instant::now();
+            let bb = optimal_placement_jobs(
+                &c,
+                &policy,
+                &cfg,
+                &net,
+                &gcomm_guard::Budget::steps(budget),
+                jobs,
+            );
+            let bb_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let Some(bb) = bb else { continue };
+
+            let t1 = std::time::Instant::now();
+            let ex = gcomm_core::exhaustive_placement_jobs(
+                &c,
+                &policy,
+                &cfg,
+                &net,
+                &gcomm_guard::Budget::steps(budget),
+                jobs,
+            )
+            .expect("same front half");
+            let ex_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+            rows.push(format!(
+                "{{\"kernel\":\"{name}\",\"greedy_us\":{greedy:.3},\
+                 \"space\":{space},\
+                 \"bnb\":{{\"best_us\":{bb_us:.3},\"nodes\":{bb_nodes},\
+                 \"leaves\":{bb_leaves},\"pruned_bound\":{pb},\
+                 \"pruned_dominance\":{pd},\"certified\":{bb_cert},\
+                 \"wall_ms\":{bb_ms:.2}}},\
+                 \"enumeration\":{{\"best_us\":{ex_us:.3},\
+                 \"assignments\":{ex_nodes},\"certified\":{ex_cert},\
+                 \"wall_ms\":{ex_ms:.2}}}}}",
+                space = bb.space,
+                bb_us = bb.comm_us,
+                bb_nodes = bb.nodes,
+                bb_leaves = bb.leaves,
+                pb = bb.pruned_bound,
+                pd = bb.pruned_dominance,
+                bb_cert = !bb.truncated,
+                ex_us = ex.comm_us,
+                ex_nodes = ex.nodes,
+                ex_cert = !ex.truncated,
+            ));
+        }
+        format!(
+            "{{\"schema\":\"gcomm-bench-optimal/v1\",\
+             \"budget_nodes\":{budget},\"jobs\":{jobs},\"kernels\":[{}]}}\n",
+            rows.join(",")
+        )
     }
 }
 

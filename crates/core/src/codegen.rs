@@ -68,9 +68,23 @@ pub fn lower_to_sim_with(
 ) -> CommProgram {
     let prog = &compiled.prog;
     let p_total = cfg.grid.nproc().max(1);
+    let (mid, trips) = loop_bindings(compiled, cfg);
+    let items = build_items(compiled, cfg, ctx, &mid, &trips, None, p_total);
+    CommProgram {
+        name: prog.name.clone(),
+        items,
+    }
+}
 
-    // Loop-variable midpoints for size evaluation (parents come first in
-    // LoopId order, so bindings resolve transitively).
+/// Loop-variable midpoints and trip counts at the configured size (parents
+/// come first in `LoopId` order, so bindings resolve transitively). Shared
+/// between lowering and the branch-and-bound cost model so both evaluate
+/// sizes with bit-identical arithmetic.
+pub(crate) fn loop_bindings(
+    compiled: &Compiled,
+    cfg: &SimConfig,
+) -> (HashMap<LoopId, i64>, HashMap<LoopId, u64>) {
+    let prog = &compiled.prog;
     let mut mid: HashMap<LoopId, i64> = HashMap::new();
     let mut trips: HashMap<LoopId, u64> = HashMap::new();
     for (i, li) in prog.loops.iter().enumerate() {
@@ -89,12 +103,7 @@ pub fn lower_to_sim_with(
         trips.insert(l, t as u64);
         mid.insert(l, (lo + hi) / 2);
     }
-
-    let items = build_items(compiled, cfg, ctx, &mid, &trips, None, p_total);
-    CommProgram {
-        name: prog.name.clone(),
-        items,
-    }
+    (mid, trips)
 }
 
 fn build_items(
@@ -220,66 +229,119 @@ fn group_msg(
     g: &PlacedGroup,
     p_total: u64,
 ) -> Msg {
-    let prog = &compiled.prog;
-    let level = g.pos.level(prog);
-    let bind = bind_exact(compiled, cfg, mid);
-    let log_p = (64 - (p_total.max(1) - 1).leading_zeros()) as u64;
-
     let mut bytes = 0.0f64;
     for &eid in &g.entries {
-        let e = compiled.schedule.entry(eid);
-        let shared;
-        let sect = match compiled.schedule.section_override(eid) {
-            Some(s) => s,
-            None => {
-                shared = ctx.asd_shared(e, level).0;
-                &shared.section
-            }
-        };
-        let total = sect.count(&bind).unwrap_or(1).max(1) as f64;
-        match (&g.mapping, g.kind) {
-            (_, CommKind::Reduction) => {
-                bytes += cfg.elem_bytes; // one partial result per reduction
-            }
-            (Mapping::Shift { offsets }, _) => {
-                let local = (total / p_total as f64).max(1.0);
-                let arr = prog.array(e.array);
-                let ddims = arr.distributed_dims();
-                let mut ghost = local;
-                for (axis, &off) in offsets.iter().enumerate() {
-                    if off == 0 {
-                        continue;
-                    }
-                    let dim = ddims.get(axis).copied().unwrap_or(0);
-                    let ext = sect
-                        .dims
-                        .get(dim)
-                        .and_then(|d| d.count(&bind))
-                        .unwrap_or(1)
-                        .max(1) as f64;
-                    let local_ext =
-                        (ext / cfg.grid.axis(axis.min(cfg.grid.rank() - 1)) as f64).max(1.0);
-                    let cyclic = arr.dist.get(dim) == Some(&gcomm_lang::Dist::Cyclic);
-                    ghost = if cyclic {
-                        local
-                    } else {
-                        (local / local_ext * off.unsigned_abs() as f64).max(1.0)
-                    };
-                }
-                bytes += ghost * cfg.elem_bytes;
-            }
-            (Mapping::Broadcast, _) => bytes += total * cfg.elem_bytes,
-            _ => bytes += total * cfg.elem_bytes / p_total as f64,
-        }
+        bytes += entry_msg_bytes(
+            compiled, cfg, ctx, mid, eid, &g.mapping, g.kind, g.pos, p_total,
+        );
     }
+    let (rounds, kind) = group_rounds(
+        compiled,
+        cfg,
+        ctx,
+        mid,
+        g.entries[0],
+        g.kind,
+        g.pos,
+        p_total,
+    );
+    Msg {
+        bytes,
+        rounds,
+        kind,
+        pieces: g.entries.len() as u64,
+    }
+}
 
-    let (rounds, kind) = match g.kind {
+/// One member's contribution to its group's message bytes (§6.1 cost
+/// model). The contributions are exactly additive: `group_msg` sums one
+/// per member, in member order, so the branch-and-bound search can
+/// precompute them per `(entry, candidate position)` and rebuild any
+/// group's byte count without re-walking sections.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn entry_msg_bytes(
+    compiled: &Compiled,
+    cfg: &SimConfig,
+    ctx: &AnalysisCtx<'_>,
+    mid: &HashMap<LoopId, i64>,
+    eid: crate::entry::EntryId,
+    mapping: &Mapping,
+    kind: CommKind,
+    pos: gcomm_ir::Pos,
+    p_total: u64,
+) -> f64 {
+    let prog = &compiled.prog;
+    let level = pos.level(prog);
+    let bind = bind_exact(compiled, cfg, mid);
+    let e = compiled.schedule.entry(eid);
+    let shared;
+    let sect = match compiled.schedule.section_override(eid) {
+        Some(s) => s,
+        None => {
+            shared = ctx.asd_shared(e, level).0;
+            &shared.section
+        }
+    };
+    let total = sect.count(&bind).unwrap_or(1).max(1) as f64;
+    match (mapping, kind) {
+        (_, CommKind::Reduction) => cfg.elem_bytes, // one partial result per reduction
+        (Mapping::Shift { offsets }, _) => {
+            let local = (total / p_total as f64).max(1.0);
+            let arr = prog.array(e.array);
+            let ddims = arr.distributed_dims();
+            let mut ghost = local;
+            for (axis, &off) in offsets.iter().enumerate() {
+                if off == 0 {
+                    continue;
+                }
+                let dim = ddims.get(axis).copied().unwrap_or(0);
+                let ext = sect
+                    .dims
+                    .get(dim)
+                    .and_then(|d| d.count(&bind))
+                    .unwrap_or(1)
+                    .max(1) as f64;
+                let local_ext =
+                    (ext / cfg.grid.axis(axis.min(cfg.grid.rank() - 1)) as f64).max(1.0);
+                let cyclic = arr.dist.get(dim) == Some(&gcomm_lang::Dist::Cyclic);
+                ghost = if cyclic {
+                    local
+                } else {
+                    (local / local_ext * off.unsigned_abs() as f64).max(1.0)
+                };
+            }
+            ghost * cfg.elem_bytes
+        }
+        (Mapping::Broadcast, _) => total * cfg.elem_bytes,
+        _ => total * cfg.elem_bytes / p_total as f64,
+    }
+}
+
+/// Round count and message kind of a group led by `head` (the first
+/// member). Depends only on the head entry, the group kind, and the
+/// placement position — shared with the branch-and-bound cost model.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn group_rounds(
+    compiled: &Compiled,
+    cfg: &SimConfig,
+    ctx: &AnalysisCtx<'_>,
+    mid: &HashMap<LoopId, i64>,
+    head: crate::entry::EntryId,
+    kind: CommKind,
+    pos: gcomm_ir::Pos,
+    p_total: u64,
+) -> (u64, MsgKind) {
+    let prog = &compiled.prog;
+    let level = pos.level(prog);
+    let bind = bind_exact(compiled, cfg, mid);
+    let log_p = (64 - (p_total.max(1) - 1).leading_zeros()) as u64;
+    match kind {
         CommKind::Nnc => (1, MsgKind::PointToPoint),
         CommKind::Reduction => {
             // The reduction tree spans only the owners of the reduced
             // section: a row section of a (BLOCK, BLOCK) array lives on one
             // grid row, so the combine runs over that axis subset.
-            let e = compiled.schedule.entry(g.entries[0]);
+            let e = compiled.schedule.entry(head);
             let asd = ctx.asd_shared(e, level).0;
             let sect = &asd.section;
             let arr = prog.array(e.array);
@@ -299,13 +361,6 @@ fn group_msg(
         }
         CommKind::Broadcast | CommKind::Gather => (log_p.max(1), MsgKind::Collective),
         CommKind::General => (log_p.max(1), MsgKind::Collective),
-    };
-
-    Msg {
-        bytes,
-        rounds,
-        kind,
-        pieces: g.entries.len() as u64,
     }
 }
 

@@ -217,9 +217,13 @@ fn run_place(prog: &IrProgram, strategy: Strategy, spec: &BudgetSpec) -> PlaceOu
     let budget = Budget::from_spec(spec);
     let schedule =
         compile_program_budgeted(prog, strategy, &CombinePolicy::default(), budget.clone());
+    // A truncated optimal search is degraded even when the compile budget
+    // itself survived: the schedule is the greedy seed or better but not
+    // certified, so it must not be cached (`cacheable: !degraded`).
+    let truncated_search = schedule.search.as_ref().is_some_and(|s| s.truncated);
     PlaceOut {
         schedule: Arc::new(schedule),
-        degraded: budget.exhausted(),
+        degraded: budget.exhausted() || truncated_search,
     }
 }
 

@@ -1,42 +1,104 @@
-//! Exhaustive optimal placement (extension; paper §6.1).
+//! Optimal placement by branch-and-bound (extension; paper §6.1).
 //!
 //! Picking one candidate position per reference to minimize total
 //! communication cost is NP-hard (Claim 6.1, reduction from chromatic
-//! number), which justifies the paper's greedy heuristic. For *small*
-//! procedures the optimum is computable by enumeration; this module does
-//! exactly that, scoring every candidate assignment with the machine
-//! simulator (startup + bandwidth + packing — a concrete instance of the
-//! §6.1 model), so the greedy's quality can be measured.
+//! number), which justifies the paper's greedy heuristic. For small
+//! procedures the optimum used to be computed here by odometer
+//! enumeration; this module now runs a **branch-and-bound search** over
+//! entries ordered by the dominator tree (DESIGN.md §16):
+//!
+//! * **Admissible lower bounds.** Every entry's byte contribution to its
+//!   group is additive ([`crate::codegen::entry_msg_bytes`]), and the
+//!   network model's bandwidth term is affine in bytes, so an entry placed
+//!   at position `p` always adds at least `mult(p) · bytes(p) / peak_bw`
+//!   microseconds no matter how it is grouped. Suffix sums of the
+//!   per-entry minima give an admissible remaining-cost bound `h[d]`.
+//! * **Incremental partial cost.** A partial assignment's groups are
+//!   maintained incrementally with the same first-fit rule as the final
+//!   grouping, and costed analytically with the exact lowering arithmetic
+//!   — a pruned subtree never touches the simulator.
+//! * **Dominance pruning.** Two partial assignments at the same depth
+//!   that agree on every entry placed at a position still reachable by
+//!   the remaining entries have identical completion deltas; the later,
+//!   strictly costlier one is cut.
+//! * **Determinism contract (DESIGN.md §11/§16).** The subtree split,
+//!   per-subtree node allowances, and every pruning decision depend only
+//!   on the program and the budget — never on worker scheduling. The
+//!   shared [`gcomm_par::MinF64`] best-cost cell is only a *recording
+//!   gate* (a cost strictly above it can never win); the final merge
+//!   picks the minimum by `(cost, assignment index)` with the seed
+//!   schedule winning cost ties. `jobs = 1` and `jobs = 8` are
+//!   bit-identical, including the node and prune counts.
+//!
+//! Surviving complete assignments are scored with the machine simulator,
+//! exactly like the retained exhaustive reference
+//! ([`exhaustive_placement_jobs`]), so the two return bit-identical
+//! results whenever both complete — the differential property the test
+//! suite enforces. The budget charges **nodes expanded** (one per entry
+//! binding); on exhaustion the search truncates and returns the seeded
+//! schedule or better.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
 
-use gcomm_ir::Pos;
-use gcomm_machine::{simulate, NetworkModel};
+use gcomm_ir::{IrProgram, LoopId, Pos};
+use gcomm_machine::{simulate, Msg, MsgKind, NetworkModel, ProcGrid};
+use gcomm_par::MinF64;
 
 use crate::candidates::candidates;
-use crate::codegen::{lower_to_sim, lower_to_sim_with, SimConfig};
+use crate::codegen::{
+    entry_msg_bytes, group_rounds, loop_bindings, lower_to_sim, lower_to_sim_with, SimConfig,
+};
 use crate::ctx::AnalysisCtx;
 use crate::earliest::earliest_pos;
-use crate::entry::EntryId;
+use crate::entry::{CommEntry, EntryId};
 use crate::greedy::{compatible, CombinePolicy};
 use crate::latest::latest;
 use crate::pipeline::Compiled;
-use crate::redundancy;
-use crate::schedule::{PlacedGroup, Schedule};
+use crate::redundancy::{self, Absorption};
+use crate::schedule::{PlacedGroup, Schedule, SearchOutcome};
 use crate::strategy::Strategy;
 use crate::subset::CandidateTable;
 
-/// Result of an exhaustive placement search.
+/// Node budget for `--strategy optimal` when the caller's compile budget
+/// has no step cap of its own (matches the `compare_optimal` default).
+pub const DEFAULT_SEARCH_NODES: u64 = 20_000;
+
+/// The subtree split stops growing once this many prefixes exist…
+const SPLIT_TARGET: u64 = 256;
+/// …and never exceeds this many (the next level is not split if it would).
+const SPLIT_CAP: u64 = 4096;
+/// Dominance-memo entries per subtree (inserts stop at the cap; lookups
+/// and in-place improvements continue).
+const DOM_CAP: usize = 65_536;
+
+/// Floating-point safety margin for pruning decisions: the analytic cost
+/// model and the simulator sum the same terms in different orders, so a
+/// subtree is only cut when it is worse by more than accumulated rounding
+/// could explain. Keeps the true optimum — and every exact tie — alive.
+fn slack(x: f64) -> f64 {
+    1e-9 * x.abs() + 1e-6
+}
+
+/// Result of an optimal placement search.
 #[derive(Debug, Clone)]
 pub struct OptimalResult {
     /// The best schedule found.
     pub schedule: Schedule,
     /// Its simulated communication time (µs).
     pub comm_us: f64,
-    /// Number of complete assignments evaluated.
-    pub tried: u64,
-    /// True when the search space exceeded the budget and the result is
-    /// only a lower-effort scan.
+    /// Search-tree nodes expanded (one per entry binding; the budget
+    /// unit). The exhaustive reference reports assignments scored here.
+    pub nodes: u64,
+    /// Complete assignments scored with the simulator.
+    pub leaves: u64,
+    /// Subtrees cut by the admissible lower bound.
+    pub pruned_bound: u64,
+    /// Subtrees cut by frontier dominance.
+    pub pruned_dominance: u64,
+    /// Total assignments in the search space (saturating at `u64::MAX`).
+    pub space: u64,
+    /// True when the search space exceeded the budget: the result is the
+    /// seed or better, but not certified optimal.
     pub truncated: bool,
 }
 
@@ -45,8 +107,453 @@ pub fn comm_cost(compiled: &Compiled, cfg: &SimConfig, net: &NetworkModel) -> f6
     simulate(&lower_to_sim(compiled, cfg), net).comm_us
 }
 
-/// Exhaustively searches candidate assignments for the cheapest schedule
-/// (serial reference path — [`optimal_placement_jobs`] with one worker).
+// ---------------------------------------------------------------------------
+// Shared front half: entries, candidate windows, dominator-ordered space
+// ---------------------------------------------------------------------------
+
+/// The candidate-assignment space both searches explore: one choice of
+/// position per surviving entry, entries in dominator-tree order (outer
+/// and earlier program points first), so a depth-`d` prefix decides the
+/// outermost placements before the inner ones and prefix grouping matches
+/// the final first-fit grouping exactly.
+struct SearchSpace {
+    entries: Vec<CommEntry>,
+    absorptions: Vec<Absorption>,
+    /// Surviving entries in search order.
+    ids: Vec<EntryId>,
+    /// Candidate positions per entry, parallel to `ids`.
+    choice_sets: Vec<Vec<Pos>>,
+    /// Product of the choice-set sizes (saturating).
+    space: u64,
+}
+
+fn front_half(compiled: &Compiled) -> Option<(AnalysisCtx<'_>, SearchSpace)> {
+    let prog = &compiled.prog;
+    let entries = crate::commgen::number(crate::commgen::generate(prog));
+    if entries.is_empty() {
+        return None;
+    }
+    let ctx = AnalysisCtx::new(prog);
+    let mut table = CandidateTable::default();
+    let mut earliest_of: HashMap<EntryId, Pos> = HashMap::new();
+    for e in &entries {
+        let ep = earliest_pos(&ctx, e);
+        let lp = latest(&ctx, e);
+        earliest_of.insert(e.id, ep);
+        table.cands.insert(e.id, candidates(&ctx, e, ep, lp));
+    }
+    let absorptions = redundancy::eliminate(&ctx, &entries, &mut table);
+
+    // Dominator-tree order: sort by (dominator depth of the earliest
+    // point, slot, id) — the same key the heuristics scan in.
+    let mut ids: Vec<EntryId> = table.cands.keys().copied().collect();
+    ids.sort_by_key(|id| {
+        let ep = earliest_of[id];
+        (ctx.dt.depth(ep.node), ep.slot, *id)
+    });
+    let choice_sets: Vec<Vec<Pos>> = ids
+        .iter()
+        .map(|e| table.cands[e].iter().copied().collect())
+        .collect();
+    let space: u64 = choice_sets
+        .iter()
+        .map(|c| c.len() as u64)
+        .try_fold(1u64, |a, b| a.checked_mul(b))
+        .unwrap_or(u64::MAX);
+    Some((
+        ctx,
+        SearchSpace {
+            entries,
+            absorptions,
+            ids,
+            choice_sets,
+            space,
+        },
+    ))
+}
+
+/// Leaf-index strides under the canonical enumeration order: entry 0 (the
+/// outermost) varies slowest, the last entry fastest, so a depth-first
+/// walk visits leaves in increasing index and every subtree is a
+/// contiguous index range. Saturating — ties at the saturation point are
+/// astronomically beyond any budget.
+fn strides(choice_sets: &[Vec<Pos>]) -> Vec<u64> {
+    let n = choice_sets.len();
+    let mut s = vec![1u64; n];
+    for i in (0..n.saturating_sub(1)).rev() {
+        s[i] = s[i + 1].saturating_mul(choice_sets[i + 1].len() as u64);
+    }
+    s
+}
+
+/// An empty scratch compile the searches mutate and score: the seed's
+/// program with the shared entry table but no groups or overrides.
+fn base_scratch(compiled: &Compiled, space: &SearchSpace) -> Compiled {
+    Compiled {
+        prog: compiled.prog.clone(),
+        schedule: Schedule {
+            strategy: Strategy::Global,
+            entries: space.entries.clone(),
+            groups: Vec::new(),
+            absorptions: space.absorptions.clone(),
+            section_overrides: Vec::new(),
+            search: None,
+        },
+        stats: Default::default(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analytic cost model (precomputed once per search)
+// ---------------------------------------------------------------------------
+
+/// Per-`(entry, choice)` cost tables, precomputed once per search with the
+/// exact lowering arithmetic (`entry_msg_bytes`/`group_rounds` — the same
+/// functions `group_msg` sums), plus the admissible suffix bounds.
+struct CostModel {
+    /// Message-byte contribution of entry `i` placed at choice `j`.
+    bytes: Vec<Vec<f64>>,
+    /// Loop multiplicity of choice `j` (product of enclosing trip counts).
+    mult: Vec<Vec<f64>>,
+    /// Rounds and message kind if entry `i` at choice `j` heads its group.
+    head_rounds: Vec<Vec<(u64, MsgKind)>>,
+    /// Loop level of each choice (for compatibility tests).
+    level: Vec<Vec<u32>>,
+    /// Encoded position of each choice (for grouping and dominance keys).
+    pos_enc: Vec<Vec<u64>>,
+    /// `h[d]` = admissible lower bound on the cost the entries `d..` must
+    /// still add, for any completion: suffix sums of per-entry minima of
+    /// `mult · bytes / peak_bw`.
+    h: Vec<f64>,
+    /// `rc[d]` = encoded positions still reachable by entries `d..` (the
+    /// dominance frontier filter).
+    rc: Vec<HashSet<u64>>,
+}
+
+fn pos_encode(pos: Pos) -> u64 {
+    ((pos.node.0 as u64) << 32) | pos.slot as u64
+}
+
+/// Product of enclosing-loop trip counts at a position — the factor the
+/// simulator multiplies a message placed there by.
+fn position_mult(prog: &IrProgram, trips: &HashMap<LoopId, u64>, pos: Pos) -> f64 {
+    let mut m: u64 = 1;
+    let mut enclosing = prog.cfg.node(pos.node).enclosing;
+    while let Some(l) = enclosing {
+        m = m.saturating_mul(trips[&l]);
+        enclosing = prog.loops[l.0 as usize].parent;
+    }
+    m as f64
+}
+
+fn build_cost_model(
+    base: &Compiled,
+    cfg: &SimConfig,
+    net: &NetworkModel,
+    ctx: &AnalysisCtx<'_>,
+    space: &SearchSpace,
+) -> CostModel {
+    let prog = &base.prog;
+    let p_total = cfg.grid.nproc().max(1);
+    let (mid, trips) = loop_bindings(base, cfg);
+    let n = space.ids.len();
+    let peak = net.peak_bw_mb.max(1e-9);
+
+    let mut bytes = Vec::with_capacity(n);
+    let mut mult = Vec::with_capacity(n);
+    let mut head_rounds = Vec::with_capacity(n);
+    let mut level = Vec::with_capacity(n);
+    let mut pos_enc = Vec::with_capacity(n);
+    let mut floor_min = Vec::with_capacity(n);
+    for (&id, cands) in space.ids.iter().zip(&space.choice_sets) {
+        let e = &space.entries[id.0 as usize];
+        let mut b_row = Vec::with_capacity(cands.len());
+        let mut m_row = Vec::with_capacity(cands.len());
+        let mut r_row = Vec::with_capacity(cands.len());
+        let mut l_row = Vec::with_capacity(cands.len());
+        let mut p_row = Vec::with_capacity(cands.len());
+        let mut fmin = f64::INFINITY;
+        for &pos in cands {
+            let b = entry_msg_bytes(base, cfg, ctx, &mid, id, &e.mapping, e.kind, pos, p_total);
+            let m = position_mult(prog, &trips, pos);
+            fmin = fmin.min(m * (b / peak));
+            b_row.push(b);
+            m_row.push(m);
+            r_row.push(group_rounds(base, cfg, ctx, &mid, id, e.kind, pos, p_total));
+            l_row.push(pos.level(prog));
+            p_row.push(pos_encode(pos));
+        }
+        bytes.push(b_row);
+        mult.push(m_row);
+        head_rounds.push(r_row);
+        level.push(l_row);
+        pos_enc.push(p_row);
+        floor_min.push(fmin);
+    }
+
+    let mut h = vec![0.0f64; n + 1];
+    for d in (0..n).rev() {
+        h[d] = h[d + 1] + floor_min[d];
+    }
+    let mut rc: Vec<HashSet<u64>> = vec![HashSet::new(); n + 1];
+    for d in (0..n).rev() {
+        let mut set = rc[d + 1].clone();
+        set.extend(pos_enc[d].iter().copied());
+        rc[d] = set;
+    }
+
+    CostModel {
+        bytes,
+        mult,
+        head_rounds,
+        level,
+        pos_enc,
+        h,
+        rc,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Branch-and-bound search
+// ---------------------------------------------------------------------------
+
+/// A live group in a partial assignment: members as `(order index,
+/// choice index)` pairs in binding order (first member is the head).
+struct LiveGroup {
+    pos_enc: u64,
+    members: Vec<(usize, usize)>,
+}
+
+struct Searcher<'a, 'p> {
+    ctx: &'a AnalysisCtx<'p>,
+    space: &'a SearchSpace,
+    cm: &'a CostModel,
+    policy: &'a CombinePolicy,
+    cfg: &'a SimConfig,
+    net: &'a NetworkModel,
+    gate: &'a MinF64,
+    base: &'a Compiled,
+    strides: &'a [u64],
+    /// Forced digits below the split depth.
+    prefix: &'a [usize],
+    k: usize,
+    allowance: u64,
+    /// Deterministic per-subtree prune bound: min(seed cost, cheapest
+    /// leaf simulated so far *in this subtree*). Never reads the shared
+    /// gate — worker scheduling must not change pruning decisions.
+    bound: f64,
+    digits: Vec<usize>,
+    groups: Vec<LiveGroup>,
+    /// Group index each depth bound into (for undo).
+    bind_log: Vec<usize>,
+    dom: HashMap<Vec<u64>, f64>,
+    scratch: Option<Compiled>,
+    nodes: u64,
+    leaves: u64,
+    pruned_bound: u64,
+    pruned_dominance: u64,
+    truncated: bool,
+    stopped: bool,
+    best: Option<(f64, u64, Vec<usize>)>,
+}
+
+impl<'a, 'p> Searcher<'a, 'p> {
+    fn entry(&self, i: usize) -> &'a CommEntry {
+        &self.space.entries[self.space.ids[i].0 as usize]
+    }
+
+    /// Joins entry `i` at choice `j` into the partial grouping with the
+    /// same first-fit rule as [`group_assignment`] (groups at the
+    /// position in creation order; a member must be compatible with every
+    /// existing member). Binding in `ids` order makes the two identical.
+    fn bind(&mut self, i: usize, j: usize) {
+        let enc = self.cm.pos_enc[i][j];
+        let level = self.cm.level[i][j];
+        let e = self.entry(i);
+        let slot = self.groups.iter().position(|g| {
+            g.pos_enc == enc
+                && g.members
+                    .iter()
+                    .all(|&(m, _)| compatible(self.ctx, e, self.entry(m), level, self.policy))
+        });
+        match slot {
+            Some(gi) => {
+                self.groups[gi].members.push((i, j));
+                self.bind_log.push(gi);
+            }
+            None => {
+                self.groups.push(LiveGroup {
+                    pos_enc: enc,
+                    members: vec![(i, j)],
+                });
+                self.bind_log.push(self.groups.len() - 1);
+            }
+        }
+    }
+
+    fn unbind(&mut self) {
+        let gi = self.bind_log.pop().expect("unbind under bind");
+        self.groups[gi].members.pop();
+        if self.groups[gi].members.is_empty() {
+            // A group emptied by undo is necessarily the newest one.
+            self.groups.remove(gi);
+        }
+    }
+
+    /// Analytic cost of the current partial assignment: every live group
+    /// costed with the exact lowering arithmetic, summed fresh in
+    /// creation order (no incremental float drift).
+    fn partial_cost(&self) -> f64 {
+        let mut total = 0.0f64;
+        for g in &self.groups {
+            let (i0, j0) = g.members[0];
+            let mut bytes = 0.0f64;
+            for &(i, j) in &g.members {
+                bytes += self.cm.bytes[i][j];
+            }
+            let (rounds, kind) = self.cm.head_rounds[i0][j0];
+            let msg = Msg {
+                bytes,
+                rounds,
+                kind,
+                pieces: g.members.len() as u64,
+            };
+            total += self.cm.mult[i0][j0] * msg.time_us(self.net);
+        }
+        total
+    }
+
+    /// True when an earlier partial assignment reached the same frontier
+    /// strictly cheaper: same depth, same placements among the positions
+    /// the remaining entries can still reach. The frozen remainder then
+    /// costs strictly more for any completion. Strict margin only — exact
+    /// ties both survive, preserving the lex-min index tie-break.
+    fn dominated(&mut self, d: usize, g: f64) -> bool {
+        let rc = &self.cm.rc[d];
+        let mut key: Vec<u64> = Vec::with_capacity(2 * d + 1);
+        key.push(d as u64);
+        for i in 0..d {
+            let enc = self.cm.pos_enc[i][self.digits[i]];
+            if rc.contains(&enc) {
+                key.push(i as u64);
+                key.push(enc);
+            }
+        }
+        match self.dom.get_mut(&key) {
+            Some(prev) => {
+                if g > *prev + slack(*prev) {
+                    return true;
+                }
+                if g < *prev {
+                    *prev = g;
+                }
+                false
+            }
+            None => {
+                if self.dom.len() < DOM_CAP {
+                    self.dom.insert(key, g);
+                }
+                false
+            }
+        }
+    }
+
+    fn leaf_index(&self) -> u64 {
+        let mut idx = 0u64;
+        for (i, &j) in self.digits.iter().enumerate() {
+            idx = idx.saturating_add(self.strides[i].saturating_mul(j as u64));
+        }
+        idx
+    }
+
+    /// Scores a surviving complete assignment with the simulator — the
+    /// same arithmetic as the exhaustive reference, so costs (and the
+    /// recorded winner) are bit-identical between the two searches.
+    fn score_leaf(&mut self) {
+        let idx = self.leaf_index();
+        let assignment: Vec<Pos> = self
+            .digits
+            .iter()
+            .zip(&self.space.choice_sets)
+            .map(|(&j, set)| set[j])
+            .collect();
+        let (ctx, policy, cfg, net, space) =
+            (self.ctx, self.policy, self.cfg, self.net, self.space);
+        if self.scratch.is_none() {
+            self.scratch = Some(self.base.clone());
+        }
+        let scratch = self.scratch.as_mut().expect("scratch just set");
+        scratch.schedule.groups =
+            group_assignment(ctx, &space.entries, &space.ids, &assignment, policy);
+        let cost = simulate(&lower_to_sim_with(scratch, cfg, ctx), net).comm_us;
+        self.leaves += 1;
+        if cost < self.bound {
+            self.bound = cost;
+        }
+        // The shared gate is only a recording filter: a cost strictly
+        // above it can never be the global minimum, so skipping the
+        // bookkeeping is safe for any interleaving.
+        if cost <= self.gate.get() {
+            let improves = match &self.best {
+                None => true,
+                Some((c, i, _)) => cost < *c || (cost == *c && idx < *i),
+            };
+            if improves {
+                self.best = Some((cost, idx, self.digits.clone()));
+            }
+            self.gate.record(cost);
+        }
+    }
+
+    fn dfs(&mut self, depth: usize) {
+        if self.stopped {
+            return;
+        }
+        let n = self.space.ids.len();
+        if depth == n {
+            self.score_leaf();
+            return;
+        }
+        let (jlo, jhi) = if depth < self.k {
+            (self.prefix[depth], self.prefix[depth] + 1)
+        } else {
+            (0, self.space.choice_sets[depth].len())
+        };
+        // Only branching decisions below the shared prefix are charged:
+        // the prefix tree is charged once globally (not once per subtree),
+        // and forced moves (single-candidate entries) expand nothing.
+        let charged = depth >= self.k && self.space.choice_sets[depth].len() > 1;
+        for j in jlo..jhi {
+            if charged {
+                if self.nodes >= self.allowance {
+                    self.truncated = true;
+                    self.stopped = true;
+                    return;
+                }
+                self.nodes += 1;
+            }
+            self.digits[depth] = j;
+            self.bind(depth, j);
+            let g = self.partial_cost();
+            let d = depth + 1;
+            let lb = g + self.cm.h[d];
+            if lb > self.bound + slack(self.bound) {
+                self.pruned_bound += 1;
+            } else if d < n && d > self.k && self.dominated(d, g) {
+                self.pruned_dominance += 1;
+            } else {
+                self.dfs(d);
+            }
+            self.unbind();
+            if self.stopped {
+                return;
+            }
+        }
+    }
+}
+
+/// Branch-and-bound optimal placement (serial reference path —
+/// [`optimal_placement_jobs`] with one worker).
 ///
 /// # Errors / `None`
 ///
@@ -61,27 +568,21 @@ pub fn optimal_placement(
     optimal_placement_jobs(compiled, policy, cfg, net, budget, 1)
 }
 
-/// Exhaustively searches candidate assignments for the cheapest schedule,
-/// fanning the enumeration across `jobs` workers.
+/// Branch-and-bound search for the cheapest candidate assignment, fanned
+/// across `jobs` workers by work-stealing over subtree ranges.
 ///
 /// Runs the same front half as the global strategy (entries, candidate
-/// windows, redundancy elimination), then enumerates every choice of one
-/// candidate per surviving entry, groups compatibly, and scores with the
-/// simulator. Returns `None` when the program has no communication.
-///
-/// The `budget` bounds only the enumeration (one step per assignment
-/// scored; workers charge the shared atomic counter as they score); the
-/// front half runs unbudgeted so the search space itself is identical to
-/// the global strategy's. An exhausted budget truncates the scan — the
+/// windows, redundancy elimination), then searches one choice of position
+/// per surviving entry. The `budget` charges one step per **node
+/// expanded** (entry binding, including each subtree's prefix bindings);
+/// the node window is fixed up front from the budget's remaining steps,
+/// split across subtrees proportionally, so every worker count expands
+/// exactly the same nodes. An exhausted window truncates the search — the
 /// seeded input schedule guarantees the result is never worse than what
-/// the caller already had.
+/// the caller already had. See the module docs for the full determinism
+/// contract.
 ///
-/// **Determinism contract (DESIGN.md §11):** every worker count scores the
-/// same fixed index range `[0, tried)` of the assignment odometer, workers
-/// share an atomic best-cost bound used only for *pruning* (a cost
-/// strictly above the bound can never win), and the final merge picks the
-/// minimum by `(cost, assignment index)` with the seed schedule winning
-/// cost ties — bit-identical results for any `jobs`.
+/// Returns `None` when the program has no communication.
 pub fn optimal_placement_jobs(
     compiled: &Compiled,
     policy: &CombinePolicy,
@@ -90,85 +591,285 @@ pub fn optimal_placement_jobs(
     budget: &gcomm_guard::Budget,
     jobs: usize,
 ) -> Option<OptimalResult> {
-    let prog = &compiled.prog;
-    let entries = crate::commgen::number(crate::commgen::generate(prog));
-    if entries.is_empty() {
-        return None;
-    }
-    let ctx = AnalysisCtx::new(prog);
-    let mut table = CandidateTable::default();
-    for e in &entries {
-        let ep = earliest_pos(&ctx, e);
-        let lp = latest(&ctx, e);
-        table.cands.insert(e.id, candidates(&ctx, e, ep, lp));
-    }
-    let absorptions = redundancy::eliminate(&ctx, &entries, &mut table);
+    let (ctx, space) = front_half(compiled)?;
+    let n = space.ids.len();
+    let base = base_scratch(compiled, &space);
+    let cm = build_cost_model(&base, cfg, net, &ctx, &space);
+    let strides = strides(&space.choice_sets);
 
-    let ids: Vec<EntryId> = table.cands.keys().copied().collect();
-    let choice_sets: Vec<Vec<Pos>> = ids
-        .iter()
-        .map(|e| table.cands[e].iter().copied().collect())
+    // Seed the search with the input schedule so the result is never worse
+    // than what the caller already has, even under truncation. Every
+    // scoring call shares `ctx`, so SSA/dominators build once and each
+    // `(entry, level)` section widens once for the whole search.
+    let seed_cost = simulate(&lower_to_sim_with(compiled, cfg, &ctx), net).comm_us;
+    let gate = MinF64::new(seed_cost);
+    let reg = gcomm_obs::current();
+
+    // The node window is fixed up front from the budget's remaining steps
+    // (at least one node), so every worker count expands exactly the same
+    // nodes no matter how charges interleave.
+    let window = budget
+        .step_cap()
+        .map_or(u64::MAX, |cap| cap.saturating_sub(budget.steps_used()))
+        .max(1);
+
+    // Jobs-independent subtree split: fix the first `k` digits, smallest
+    // `k` reaching SPLIT_TARGET prefixes without exceeding SPLIT_CAP —
+    // both capped by the window, so a near-exhausted budget is not spent
+    // duplicating prefix bindings across subtrees it could never explore.
+    let mut k = 0usize;
+    let mut prefixes: u64 = 1;
+    while k < n && prefixes < SPLIT_TARGET.min(window) {
+        let len = space.choice_sets[k].len() as u64;
+        if prefixes.saturating_mul(len) > SPLIT_CAP.min(window) {
+            break;
+        }
+        prefixes *= len;
+        k += 1;
+    }
+
+    // The shared prefix tree's branching nodes are charged once, up
+    // front — every subtree re-binds the same prefix digits, and charging
+    // them per subtree would multiply the bill by the subtree count.
+    let mut prefix_charged = 0u64;
+    let mut width = 1u64;
+    for cs in space.choice_sets.iter().take(k) {
+        let len = cs.len() as u64;
+        width = width.saturating_mul(len);
+        if len > 1 {
+            prefix_charged = prefix_charged.saturating_add(width);
+        }
+    }
+    let subtree_window = window.saturating_sub(prefix_charged);
+
+    // Runs one subtree under a node allowance. Reruns are from scratch:
+    // a subtree's result depends only on its prefix and allowance, never
+    // on worker scheduling.
+    let run_task = |t: u64, allowance: u64| {
+        // Workers inherit the coordinator's stats registry (counter sums
+        // are scheduling-independent) and explore one subtree each.
+        let _obs = reg.clone().map(gcomm_obs::install);
+        let mut rem = t;
+        let mut prefix = vec![0usize; k];
+        for i in (0..k).rev() {
+            let len = space.choice_sets[i].len() as u64;
+            prefix[i] = (rem % len) as usize;
+            rem /= len;
+        }
+        let mut s = Searcher {
+            ctx: &ctx,
+            space: &space,
+            cm: &cm,
+            policy,
+            cfg,
+            net,
+            gate: &gate,
+            base: &base,
+            strides: &strides,
+            prefix: &prefix,
+            k,
+            allowance,
+            bound: seed_cost,
+            digits: vec![0usize; n],
+            groups: Vec::new(),
+            bind_log: Vec::new(),
+            dom: HashMap::new(),
+            scratch: None,
+            nodes: 0,
+            leaves: 0,
+            pruned_bound: 0,
+            pruned_dominance: 0,
+            truncated: false,
+            stopped: false,
+            best: None,
+        };
+        s.dfs(0);
+        (
+            s.best,
+            s.nodes,
+            s.leaves,
+            s.pruned_bound,
+            s.pruned_dominance,
+            s.truncated,
+        )
+    };
+
+    // Deterministic node allowances with barrier-round redistribution:
+    // every subtree starts with a near-equal share of the window; after
+    // each round, the window the completed subtrees left unused is
+    // re-shared among the still-truncated ones, which rerun from scratch
+    // with the larger allowance. Rounds are barriers and every share is
+    // computed from per-subtree results, so coverage never depends on
+    // worker scheduling — only the round count bounds the rerun waste.
+    let share = |total: u64, count: u64, i: u64| total / count + u64::from(i < total % count);
+    let p = prefixes as usize;
+    let mut allowance: Vec<u64> = (0..prefixes)
+        .map(|t| {
+            if window == u64::MAX {
+                u64::MAX
+            } else {
+                share(subtree_window, prefixes, t)
+            }
+        })
         .collect();
+    type WorkerOut = (Option<(f64, u64, Vec<usize>)>, u64, u64, u64, u64, bool);
+    let mut outs: Vec<Option<WorkerOut>> = (0..p).map(|_| None).collect();
+    let mut pending: Vec<u64> = (0..prefixes).collect();
+    const MAX_ROUNDS: usize = 32;
+    for _round in 0..MAX_ROUNDS {
+        let batch: Vec<(u64, u64)> = pending
+            .iter()
+            .map(|&t| (t, allowance[t as usize]))
+            .collect();
+        let round_outs = gcomm_par::map(jobs, &batch, |_, &(t, a)| run_task(t, a));
+        for (&(t, _), out) in batch.iter().zip(round_outs) {
+            outs[t as usize] = Some(out);
+        }
+        if window == u64::MAX {
+            break;
+        }
+        // A truncated subtree consumed exactly its allowance; a complete
+        // one consumed its node count — the difference is redistributable.
+        let used: u64 = outs.iter().flatten().map(|o| o.1).sum();
+        let leftover = subtree_window.saturating_sub(used);
+        pending = outs
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.as_ref().is_some_and(|o| o.5))
+            .map(|(t, _)| t as u64)
+            .collect();
+        if pending.is_empty() || leftover == 0 {
+            break;
+        }
+        // Regrants at least double a subtree's allowance (a subtree whose
+        // demand is D reaches it in O(log D) rounds), bounded by the
+        // leftover pool; later subtrees starve first when the pool runs
+        // dry — a deterministic order, never a scheduling-dependent one.
+        let t_count = pending.len() as u64;
+        let mut pool = leftover;
+        for (i, &t) in pending.iter().enumerate() {
+            let fair = share(leftover, t_count, i as u64);
+            let grant = fair.max(allowance[t as usize]).min(pool);
+            if grant == 0 {
+                break;
+            }
+            allowance[t as usize] += grant;
+            pool -= grant;
+        }
+    }
 
-    let space: u64 = choice_sets
-        .iter()
-        .map(|c| c.len() as u64)
-        .try_fold(1u64, |a, b| a.checked_mul(b))
-        .unwrap_or(u64::MAX);
-    // The enumeration window is fixed up front from the budget's remaining
-    // steps (at least one assignment, mirroring the historical
-    // score-then-charge order), so every worker count scores exactly the
-    // same assignments no matter how charges interleave.
+    let mut nodes = prefix_charged;
+    let mut leaves = 0u64;
+    let mut pruned_bound = 0u64;
+    let mut pruned_dominance = 0u64;
+    let mut truncated = false;
+    // Deterministic merge: lexicographic minimum over (cost, index); the
+    // seed wins ties against any searched assignment (strict `<` below).
+    let mut best: Option<(f64, u64, Vec<usize>)> = None;
+    for (cand, n_, l, pb, pd, t) in outs.into_iter().flatten() {
+        nodes += n_;
+        leaves += l;
+        pruned_bound += pb;
+        pruned_dominance += pd;
+        truncated |= t;
+        if let Some(cand) = cand {
+            best = Some(match best {
+                None => cand,
+                Some(b) => {
+                    if cand.0 < b.0 || (cand.0 == b.0 && cand.1 < b.1) {
+                        cand
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+    }
+    budget.charge(nodes);
+    gcomm_obs::count("search.nodes", nodes);
+    gcomm_obs::count("search.pruned_bound", pruned_bound);
+    gcomm_obs::count("search.pruned_dominance", pruned_dominance);
+    if !truncated {
+        gcomm_obs::count("search.complete", 1);
+    }
+
+    let (comm_us, schedule) = match best {
+        Some((cost, _, digits)) if cost < seed_cost => {
+            let assignment: Vec<Pos> = digits
+                .iter()
+                .zip(&space.choice_sets)
+                .map(|(&j, set)| set[j])
+                .collect();
+            let mut sched = base.schedule.clone();
+            sched.groups = group_assignment(&ctx, &space.entries, &space.ids, &assignment, policy);
+            (cost, sched)
+        }
+        _ => (seed_cost, compiled.schedule.clone()),
+    };
+    Some(OptimalResult {
+        schedule,
+        comm_us,
+        nodes,
+        leaves,
+        pruned_bound,
+        pruned_dominance,
+        space: space.space,
+        truncated,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Retained exhaustive reference
+// ---------------------------------------------------------------------------
+
+/// Exhaustively enumerates and scores candidate assignments — the
+/// retained reference the branch-and-bound search is differentially
+/// tested against, and the baseline `BENCH_optimal.json` measures the
+/// speedup over. Same front half, same enumeration order (entry 0
+/// slowest), same `(cost, index)` merge; the `budget` charges one step
+/// per assignment scored, window fixed up front.
+///
+/// Returns `None` when the program has no communication.
+pub fn exhaustive_placement_jobs(
+    compiled: &Compiled,
+    policy: &CombinePolicy,
+    cfg: &SimConfig,
+    net: &NetworkModel,
+    budget: &gcomm_guard::Budget,
+    jobs: usize,
+) -> Option<OptimalResult> {
+    let (ctx, space) = front_half(compiled)?;
+    let base = base_scratch(compiled, &space);
     let remaining = budget
         .step_cap()
         .map_or(u64::MAX, |cap| cap.saturating_sub(budget.steps_used()));
-    let limit = space.min(remaining.max(1));
-    let truncated = space > limit;
+    let limit = space.space.min(remaining.max(1));
+    let truncated = space.space > limit;
 
-    // Seed the search with the input schedule so the result is never worse
-    // than what the caller already has, even when the budget truncates the
-    // enumeration (guarantees optimal ≤ greedy for differential tests).
-    // Every scoring call shares `ctx`, so SSA/dominators build once and
-    // each `(entry, level)` section widens once for the whole search.
     let seed_cost = simulate(&lower_to_sim_with(compiled, cfg, &ctx), net).comm_us;
-    // Shared branch-and-bound bound: the cheapest cost seen so far, as
-    // f64 bits (nonnegative IEEE floats order identically to their bit
-    // patterns). Monotonically decreasing via `fetch_min`.
-    let best_bits = AtomicU64::new(seed_cost.to_bits());
+    let gate = MinF64::new(seed_cost);
     let reg = gcomm_obs::current();
 
     let ranges = gcomm_par::split_range(limit, jobs);
     let worker_best = gcomm_par::map(jobs, &ranges, |_, &(lo, hi)| {
-        // Workers inherit the coordinator's stats registry (counter sums
-        // are scheduling-independent) and score a contiguous index slice.
         let _obs = reg.clone().map(gcomm_obs::install);
-        let mut counters = decode_odometer(lo, &choice_sets);
-        let mut scratch = Compiled {
-            prog: compiled.prog.clone(),
-            schedule: Schedule {
-                strategy: Strategy::Global,
-                entries: entries.clone(),
-                groups: Vec::new(),
-                absorptions: absorptions.clone(),
-                section_overrides: Vec::new(),
-            },
-            stats: Default::default(),
-        };
+        let mut counters = decode_odometer(lo, &space.choice_sets);
+        let mut scratch = base.clone();
         let mut local: Option<(f64, u64, Schedule)> = None;
         for idx in lo..hi {
             let assignment: Vec<Pos> = counters
                 .iter()
-                .zip(&choice_sets)
+                .zip(&space.choice_sets)
                 .map(|(&c, set)| set[c])
                 .collect();
-            scratch.schedule.groups = group_assignment(&ctx, &entries, &ids, &assignment, policy);
+            scratch.schedule.groups =
+                group_assignment(&ctx, &space.entries, &space.ids, &assignment, policy);
             let cost = simulate(&lower_to_sim_with(&scratch, cfg, &ctx), net).comm_us;
             budget.charge(1);
-            // Prune on the shared bound: a cost strictly above it can
-            // never be the global minimum. Equal costs must still be
-            // recorded — a lower index elsewhere may win the tie.
-            let bound = f64::from_bits(best_bits.load(Ordering::Relaxed));
-            if cost <= bound {
+            // Record through the shared gate: a cost strictly above it can
+            // never win. Equal costs must still be recorded — a lower
+            // index elsewhere may win the tie.
+            if cost <= gate.get() {
                 let improves = match &local {
                     None => true,
                     Some((lc, li, _)) => cost < *lc || (cost == *lc && idx < *li),
@@ -176,25 +877,22 @@ pub fn optimal_placement_jobs(
                 if improves {
                     local = Some((cost, idx, scratch.schedule.clone()));
                 }
-                best_bits.fetch_min(cost.to_bits(), Ordering::Relaxed);
+                gate.record(cost);
             }
-            // Advance the odometer.
-            let mut i = 0;
-            while i < counters.len() {
+            // Advance the odometer (last digit fastest).
+            let mut i = counters.len();
+            while i > 0 {
+                i -= 1;
                 counters[i] += 1;
-                if counters[i] < choice_sets[i].len() {
+                if counters[i] < space.choice_sets[i].len() {
                     break;
                 }
                 counters[i] = 0;
-                i += 1;
             }
         }
         local
     });
 
-    // Deterministic merge: lexicographic minimum over (cost, index); the
-    // seed wins ties against any enumerated assignment (strict `<`), just
-    // like the serial scan that replaced `best` only on improvement.
     let mut best: Option<(f64, u64, Schedule)> = None;
     for cand in worker_best.into_iter().flatten() {
         best = Some(match best {
@@ -215,23 +913,27 @@ pub fn optimal_placement_jobs(
     Some(OptimalResult {
         schedule,
         comm_us,
-        tried: limit,
+        nodes: limit,
+        leaves: limit,
+        pruned_bound: 0,
+        pruned_dominance: 0,
+        space: space.space,
         truncated,
     })
 }
 
-/// Decodes a linear assignment index into odometer counters (index 0 of
-/// `choice_sets` advances fastest, matching the enumeration order).
-fn decode_odometer(mut idx: u64, choice_sets: &[Vec<Pos>]) -> Vec<usize> {
-    choice_sets
-        .iter()
-        .map(|set| {
-            let len = set.len() as u64;
-            let c = (idx % len) as usize;
-            idx /= len;
-            c
-        })
-        .collect()
+/// Decodes a linear assignment index into odometer digits (entry 0
+/// slowest, the last entry fastest — the canonical enumeration order both
+/// searches share).
+fn decode_odometer(idx: u64, choice_sets: &[Vec<Pos>]) -> Vec<usize> {
+    let mut rem = idx;
+    let mut out = vec![0usize; choice_sets.len()];
+    for i in (0..choice_sets.len()).rev() {
+        let len = choice_sets[i].len() as u64;
+        out[i] = (rem % len) as usize;
+        rem /= len;
+    }
+    out
 }
 
 /// Partitions an assignment into compatibility groups (same first-fit rule
@@ -276,6 +978,73 @@ fn group_assignment(
     groups
 }
 
+// ---------------------------------------------------------------------------
+// `--strategy optimal`
+// ---------------------------------------------------------------------------
+
+/// The `Strategy::Optimal` pipeline arm: run the global strategy, then
+/// refine its schedule by branch-and-bound under the canonical scoring
+/// model (SP2 network, balanced 8-processor grid, n = 64, nsteps = 4 —
+/// the `compare_optimal` configuration). The search budget is the
+/// caller's compile budget when it has a step cap, else a fresh
+/// [`DEFAULT_SEARCH_NODES`] window; a truncated search is recorded in
+/// [`Schedule::search`] so drivers and caches can treat the result as
+/// degraded (never worse than `comb`, but not certified optimal).
+pub(crate) fn optimal_strategy(
+    ctx: &AnalysisCtx<'_>,
+    entries: Vec<CommEntry>,
+    policy: &CombinePolicy,
+) -> Schedule {
+    let seed = crate::strategy::global(ctx, entries, policy, true);
+    let scratch = Compiled {
+        prog: ctx.prog.clone(),
+        schedule: seed,
+        stats: Default::default(),
+    };
+    let rank = scratch
+        .prog
+        .arrays
+        .iter()
+        .map(|a| a.distributed_dims().len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let cfg = SimConfig::uniform(&scratch, ProcGrid::balanced(8, rank), 64).with("nsteps", 4);
+    let net = NetworkModel::sp2();
+    let budget = if ctx.budget.step_cap().is_some() {
+        ctx.budget.clone()
+    } else {
+        gcomm_guard::Budget::steps(DEFAULT_SEARCH_NODES)
+    };
+    match optimal_placement_jobs(
+        &scratch,
+        policy,
+        &cfg,
+        &net,
+        &budget,
+        gcomm_par::default_jobs(),
+    ) {
+        Some(r) => {
+            let mut s = r.schedule;
+            s.strategy = Strategy::Optimal;
+            s.search = Some(SearchOutcome {
+                nodes: r.nodes,
+                leaves: r.leaves,
+                pruned_bound: r.pruned_bound,
+                pruned_dominance: r.pruned_dominance,
+                space: r.space,
+                truncated: r.truncated,
+            });
+            s
+        }
+        None => {
+            let mut s = scratch.schedule;
+            s.strategy = Strategy::Optimal;
+            s
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,18 +1074,7 @@ mod tests {
 
     #[test]
     fn greedy_matches_optimal_on_two_reads() {
-        let (c, cfg, net) = setup(
-            "
-program t
-param n, nsteps
-real a(n,n), b(n,n), c(n,n) distribute (block,block)
-do t = 1, nsteps
-  b(2:n, 1:n) = a(1:n-1, 1:n)
-  c(2:n, 1:n) = a(1:n-1, 1:n)
-  a(1:n, 1:n) = b(1:n, 1:n) + c(1:n, 1:n)
-enddo
-end",
-        );
+        let (c, cfg, net) = setup(gcomm_kernels_src::TWO_READS);
         let greedy_cost = comm_cost(&c, &cfg, &net);
         let budget = gcomm_guard::Budget::steps(100_000);
         let opt = optimal_placement(&c, &CombinePolicy::default(), &cfg, &net, &budget).unwrap();
@@ -334,11 +1092,152 @@ end",
         // The greedy must be within 10% of the best assignment found.
         assert!(
             greedy_cost <= opt.comm_us * 1.10,
-            "greedy {greedy_cost} vs optimal {} (tried {}, truncated {})",
+            "greedy {greedy_cost} vs optimal {} (nodes {}, truncated {})",
             opt.comm_us,
-            opt.tried,
+            opt.nodes,
             opt.truncated
         );
+    }
+
+    /// Branch-and-bound must return bit-identical results to the retained
+    /// exhaustive reference when both complete (same cost bits, same
+    /// schedule, same winner under the lex-min tie-break).
+    #[test]
+    fn bnb_matches_exhaustive_on_kernels() {
+        for src in [
+            gcomm_kernels_src::FIG4,
+            gcomm_kernels_src::TWO_READS,
+            gcomm_kernels_src::GAUSS,
+        ] {
+            let (c, cfg, net) = setup(src);
+            let policy = CombinePolicy::default();
+            let ex = exhaustive_placement_jobs(
+                &c,
+                &policy,
+                &cfg,
+                &net,
+                &gcomm_guard::Budget::steps(2_000_000),
+                1,
+            )
+            .unwrap();
+            if ex.truncated {
+                continue; // space too large for the reference; covered by fuzz suite
+            }
+            for jobs in [1usize, 8] {
+                let bb = optimal_placement_jobs(
+                    &c,
+                    &policy,
+                    &cfg,
+                    &net,
+                    &gcomm_guard::Budget::steps(2_000_000),
+                    jobs,
+                )
+                .unwrap();
+                assert!(!bb.truncated);
+                assert_eq!(
+                    bb.comm_us.to_bits(),
+                    ex.comm_us.to_bits(),
+                    "cost mismatch on kernel (jobs {jobs})"
+                );
+                assert_eq!(bb.schedule, ex.schedule, "schedule mismatch (jobs {jobs})");
+            }
+        }
+    }
+
+    /// Regression pin for admissibility: for every prefix of every
+    /// complete assignment, the analytic bound `g + h[d]` must not exceed
+    /// the cheapest simulated completion — pruning can never discard the
+    /// true optimum.
+    #[test]
+    fn lower_bound_is_admissible_on_enumerated_subtrees() {
+        for src in [gcomm_kernels_src::FIG4, gcomm_kernels_src::TWO_READS] {
+            let (c, cfg, net) = setup(src);
+            let policy = CombinePolicy::default();
+            let (ctx, space) = front_half(&c).unwrap();
+            let n = space.ids.len();
+            let base = base_scratch(&c, &space);
+            let cm = build_cost_model(&base, &cfg, &net, &ctx, &space);
+            let st = strides(&space.choice_sets);
+            assert!(space.space <= 4096, "kernel meant to be enumerable");
+
+            // Simulated cost of every leaf, by index.
+            let mut leaf_cost = vec![0.0f64; space.space as usize];
+            let mut scratch = base.clone();
+            for idx in 0..space.space {
+                let digits = decode_odometer(idx, &space.choice_sets);
+                let assignment: Vec<Pos> = digits
+                    .iter()
+                    .zip(&space.choice_sets)
+                    .map(|(&j, set)| set[j])
+                    .collect();
+                scratch.schedule.groups =
+                    group_assignment(&ctx, &space.entries, &space.ids, &assignment, &policy);
+                leaf_cost[idx as usize] =
+                    simulate(&lower_to_sim_with(&scratch, &cfg, &ctx), &net).comm_us;
+            }
+
+            // Every prefix: analytic g via the searcher's own incremental
+            // grouping, then compare g + h[d] against the subtree minimum.
+            let gate = MinF64::new(f64::INFINITY);
+            let mut s = Searcher {
+                ctx: &ctx,
+                space: &space,
+                cm: &cm,
+                policy: &policy,
+                cfg: &cfg,
+                net: &net,
+                gate: &gate,
+                base: &base,
+                strides: &st,
+                prefix: &[],
+                k: 0,
+                allowance: u64::MAX,
+                bound: f64::INFINITY,
+                digits: vec![0usize; n],
+                groups: Vec::new(),
+                bind_log: Vec::new(),
+                dom: HashMap::new(),
+                scratch: None,
+                nodes: 0,
+                leaves: 0,
+                pruned_bound: 0,
+                pruned_dominance: 0,
+                truncated: false,
+                stopped: false,
+                best: None,
+            };
+            for idx in 0..space.space {
+                let digits = decode_odometer(idx, &space.choice_sets);
+                for d in 1..=n {
+                    // Prefix of depth d starting a subtree at this index
+                    // only when the tail digits are all zero.
+                    if digits[d..].iter().any(|&x| x != 0) {
+                        continue;
+                    }
+                    for (i, &j) in digits[..d].iter().enumerate() {
+                        s.digits[i] = j;
+                        s.bind(i, j);
+                    }
+                    let g = s.partial_cost();
+                    for _ in 0..d {
+                        s.unbind();
+                    }
+                    let sub = st[d - 1]; // leaves under the depth-d prefix
+                    let lo = idx as usize;
+                    let hi = (idx + sub).min(space.space) as usize;
+                    let min_completion = leaf_cost[lo..hi]
+                        .iter()
+                        .copied()
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(
+                        g + cm.h[d] <= min_completion + slack(min_completion),
+                        "inadmissible bound at depth {d} idx {idx}: \
+                         g+h = {} vs min completion {min_completion}",
+                        g + cm.h[d]
+                    );
+                }
+            }
+        }
     }
 
     /// Kernel sources for tests (kept local to avoid a dev-dependency
@@ -363,6 +1262,16 @@ do i = 2, n
   do j = 1, n
     c(i, j) = a(i-1, j) + b(i-1, j)
   enddo
+enddo
+end";
+        pub const TWO_READS: &str = "
+program t
+param n, nsteps
+real a(n,n), b(n,n), c(n,n) distribute (block,block)
+do t = 1, nsteps
+  b(2:n, 1:n) = a(1:n-1, 1:n)
+  c(2:n, 1:n) = a(1:n-1, 1:n)
+  a(1:n, 1:n) = b(1:n, 1:n) + c(1:n, 1:n)
 enddo
 end";
         pub const GAUSS: &str = "

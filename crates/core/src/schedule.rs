@@ -23,6 +23,27 @@ pub struct PlacedGroup {
     pub kind: CommKind,
 }
 
+/// Provenance of a schedule produced by the branch-and-bound optimal
+/// search (`Strategy::Optimal`): how much of the assignment space was
+/// certified. `None` for every heuristic strategy. Deterministic for a
+/// given program and budget, so schedule equality stays meaningful.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Search-tree nodes expanded (one per entry binding).
+    pub nodes: u64,
+    /// Complete assignments scored with the machine simulator.
+    pub leaves: u64,
+    /// Subtrees cut by the admissible lower bound.
+    pub pruned_bound: u64,
+    /// Subtrees cut by frontier dominance.
+    pub pruned_dominance: u64,
+    /// Total assignments in the search space (saturating).
+    pub space: u64,
+    /// True when the node budget exhausted before the space was covered —
+    /// the schedule is still the seed or better, but not certified optimal.
+    pub truncated: bool,
+}
+
 /// The result of communication placement under one strategy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
@@ -39,6 +60,8 @@ pub struct Schedule {
     /// elimination: the entry ships only the listed residual section
     /// instead of its full vectorized section.
     pub section_overrides: Vec<(EntryId, gcomm_sections::Section)>,
+    /// Optimal-search provenance (`Strategy::Optimal` only).
+    pub search: Option<SearchOutcome>,
 }
 
 impl Schedule {

@@ -34,18 +34,25 @@ pub enum Strategy {
     EarliestPartialRE,
     /// The paper's global algorithm (the `comb` bars).
     Global,
+    /// The global algorithm refined by branch-and-bound optimal search
+    /// (extension; paper §6.1): starts from the `comb` schedule, then
+    /// searches candidate assignments under a node budget for a cheaper
+    /// one under the canonical scoring model. Never worse than `comb`;
+    /// certified optimal when the search completes within budget.
+    Optimal,
 }
 
 impl Strategy {
     /// Parses the canonical CLI/protocol name (`orig`, `nored`, `partial`,
-    /// `comb`) — the single source of truth for every driver and for the
-    /// compile-service protocol.
+    /// `comb`, `optimal`) — the single source of truth for every driver
+    /// and for the compile-service protocol.
     pub fn parse(s: &str) -> Option<Strategy> {
         match s {
             "orig" => Some(Strategy::Original),
             "nored" => Some(Strategy::EarliestRE),
             "partial" => Some(Strategy::EarliestPartialRE),
             "comb" => Some(Strategy::Global),
+            "optimal" => Some(Strategy::Optimal),
             _ => None,
         }
     }
@@ -57,6 +64,7 @@ impl Strategy {
             Strategy::EarliestRE => "nored",
             Strategy::EarliestPartialRE => "partial",
             Strategy::Global => "comb",
+            Strategy::Optimal => "optimal",
         }
     }
 }
@@ -78,6 +86,7 @@ pub fn run_with_policy(
         Strategy::EarliestRE => earliest_re(ctx, entries),
         Strategy::EarliestPartialRE => earliest_partial_re(ctx, entries),
         Strategy::Global => global(ctx, entries, policy, true),
+        Strategy::Optimal => crate::optimal::optimal_strategy(ctx, entries, policy),
     }
 }
 
@@ -112,6 +121,7 @@ fn original(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
         groups,
         absorptions: Vec::new(),
         section_overrides: Vec::new(),
+        search: None,
     }
 }
 
@@ -219,6 +229,7 @@ fn earliest_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedule {
         groups,
         absorptions,
         section_overrides: Vec::new(),
+        search: None,
     }
 }
 
@@ -290,7 +301,7 @@ fn earliest_partial_re(ctx: &AnalysisCtx<'_>, entries: Vec<CommEntry>) -> Schedu
     }
 }
 
-fn global(
+pub(crate) fn global(
     ctx: &AnalysisCtx<'_>,
     entries: Vec<CommEntry>,
     policy: &CombinePolicy,
@@ -325,5 +336,6 @@ fn global(
         groups,
         absorptions,
         section_overrides: Vec::new(),
+        search: None,
     }
 }

@@ -94,6 +94,13 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     "core.degraded.subset",
     "core.degraded.redundancy",
     "core.degraded.greedy",
+    // search: the branch-and-bound optimal placement (DESIGN.md §16) —
+    // nodes expanded (the budget unit), subtrees cut by each pruning
+    // rule, and whether the space was fully certified.
+    "search.nodes",
+    "search.pruned_bound",
+    "search.pruned_dominance",
+    "search.complete",
     // machine: dynamic simulation volume and the fault/retry path.
     "machine.sim.runs",
     "machine.sim.messages",

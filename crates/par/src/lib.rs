@@ -311,6 +311,35 @@ fn worker_loop(shared: &PoolShared) {
     }
 }
 
+/// A shared, monotonically decreasing nonnegative-`f64` minimum, stored as
+/// IEEE-754 bits in one atomic word (nonnegative floats order identically
+/// to their bit patterns, so `fetch_min` over bits is `min` over values).
+///
+/// The branch-and-bound optimal search publishes the cheapest complete
+/// schedule cost seen by *any* worker here. The determinism contract
+/// (DESIGN.md §11) only allows it as a **recording gate** — a cost
+/// strictly above the cell can never be the global minimum, so a worker
+/// may skip bookkeeping for it — never as a pruning input, because the
+/// cell's momentary value depends on scheduling.
+pub struct MinF64(std::sync::atomic::AtomicU64);
+
+impl MinF64 {
+    /// A cell holding `init` (must be nonnegative and not NaN).
+    pub fn new(init: f64) -> MinF64 {
+        MinF64(std::sync::atomic::AtomicU64::new(init.to_bits()))
+    }
+
+    /// The current minimum.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Lowers the cell to `v` if `v` is smaller.
+    pub fn record(&self, v: f64) {
+        self.0.fetch_min(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
 /// Splits the index range `[0, total)` into at most `parts` contiguous,
 /// non-empty chunks of near-equal size (the leading chunks are one longer
 /// when `total` does not divide evenly). Used by the optimal-placement
@@ -380,6 +409,16 @@ mod tests {
                 assert!(chunks.len() <= parts.max(1));
             }
         }
+    }
+
+    #[test]
+    fn min_f64_converges_under_contention() {
+        let cell = MinF64::new(1e18);
+        let items: Vec<u64> = (0..1000).collect();
+        map(8, &items, |_, &x| cell.record(((x * 7919) % 997) as f64));
+        assert_eq!(cell.get(), 0.0);
+        cell.record(5.0);
+        assert_eq!(cell.get(), 0.0, "recording a larger value is a no-op");
     }
 
     #[test]

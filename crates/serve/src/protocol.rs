@@ -136,7 +136,8 @@ impl Request {
                         None => {
                             return Err((
                                 id,
-                                "compile: 'strategy' must be orig|nored|partial|comb".into(),
+                                "compile: 'strategy' must be orig|nored|partial|comb|optimal"
+                                    .into(),
                             ))
                         }
                     },

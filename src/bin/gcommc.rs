@@ -8,7 +8,11 @@
 //! gcommc --version                      print the toolchain version
 //!
 //! Compile options:
-//!   --strategy orig|nored|partial|comb   placement strategy (default: comb)
+//!   --strategy orig|nored|partial|comb|optimal
+//!                                placement strategy (default: comb); optimal
+//!                                runs the branch-and-bound certified search
+//!                                (node-budgeted; prints a warning and falls
+//!                                back to the greedy seed on truncation)
 //!   --counts                     print static message counts for all three
 //!   --dot-cfg                    print the augmented CFG as Graphviz DOT
 //!   --dot-dom                    print the dominator tree as DOT
@@ -101,7 +105,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gcommc [--strategy orig|nored|partial|comb] [--counts] [--dot-cfg] [--dot-dom] \
+        "usage: gcommc [--strategy orig|nored|partial|comb|optimal] [--counts] [--dot-cfg] [--dot-dom] \
          [--verify] [--sim <n>] [--faults <spec>] [--budget <spec>] [--entries] [--stats] \
          [--stats-json <path>] <file | ->\n\
          \x20      gcommc serve [--addr <host:port>] [--jobs <n>] [--cache-bytes <size>] \
@@ -148,10 +152,10 @@ fn parse_args(mut args: Vec<String>) -> Opts {
                 o.strategy = match args.next().as_deref() {
                     Some(name) => Strategy::parse(name).unwrap_or_else(|| {
                         bad_args(format_args!(
-                            "--strategy expects orig|nored|partial|comb, got '{name}'"
+                            "--strategy expects orig|nored|partial|comb|optimal, got '{name}'"
                         ))
                     }),
-                    None => bad_args("--strategy expects a value: orig|nored|partial|comb"),
+                    None => bad_args("--strategy expects a value: orig|nored|partial|comb|optimal"),
                 }
             }
             "--counts" => o.counts = true,
@@ -463,10 +467,10 @@ fn client_main(mut args: Vec<String>) -> ExitCode {
                 strategy = match it.next().as_deref() {
                     Some(name) => Strategy::parse(name).unwrap_or_else(|| {
                         bad_args(format_args!(
-                            "--strategy expects orig|nored|partial|comb, got '{name}'"
+                            "--strategy expects orig|nored|partial|comb|optimal, got '{name}'"
                         ))
                     }),
-                    None => bad_args("--strategy expects a value: orig|nored|partial|comb"),
+                    None => bad_args("--strategy expects a value: orig|nored|partial|comb|optimal"),
                 }
             }
             "--sim" => {
@@ -587,6 +591,23 @@ fn compile_main(args: Vec<String>) -> ExitCode {
              schedule degraded conservatively (see degraded.* under --stats)",
             budget.steps_used()
         );
+    }
+    // Structured truncation warning for --strategy optimal: the schedule
+    // is the greedy seed or better, but the space was not fully certified.
+    if let Some(search) = &compiled.schedule.search {
+        if search.truncated {
+            eprintln!(
+                "gcommc: optimal search truncated: nodes={} leaves={} \
+                 pruned_bound={} pruned_dominance={} space={}; \
+                 schedule is the greedy seed or better but NOT certified \
+                 optimal (raise --budget steps=N to certify)",
+                search.nodes,
+                search.leaves,
+                search.pruned_bound,
+                search.pruned_dominance,
+                search.space
+            );
+        }
     }
 
     if opts.dot_cfg {

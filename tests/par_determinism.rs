@@ -7,7 +7,7 @@
 //!   and per-item stats registries merged in item order produce the same
 //!   counters, as a serial loop;
 //! * the parallel exhaustive placement search returns the same schedule,
-//!   cost bits, `tried`, and `truncated` flag for any worker count — the
+//!   cost bits, node/prune counts, and `truncated` flag for any worker count — the
 //!   shared best-cost bound only prunes, and ties resolve by assignment
 //!   index;
 //! * the memoized section algebra answers exactly like the unmemoized
@@ -90,8 +90,9 @@ fn kernel_matrix_is_jobs_invariant() {
     );
 }
 
-/// The exhaustive search: same schedule, cost bits, tried, and truncated
-/// for any worker count, across exhausted and truncated budgets.
+/// The branch-and-bound search: same schedule, cost bits, node and prune
+/// counts, and truncated flag for any worker count, across complete and
+/// truncated budgets (DESIGN.md §16 determinism contract).
 #[test]
 fn optimal_search_is_jobs_invariant() {
     let cases: [(&str, usize, u64); 3] = [
@@ -121,7 +122,13 @@ fn optimal_search_is_jobs_invariant() {
                 many.comm_us.to_bits(),
                 "jobs {jobs}: cost diverged"
             );
-            assert_eq!(one.tried, many.tried, "jobs {jobs}: tried diverged");
+            assert_eq!(one.nodes, many.nodes, "jobs {jobs}: nodes diverged");
+            assert_eq!(one.leaves, many.leaves, "jobs {jobs}: leaves diverged");
+            assert_eq!(
+                (one.pruned_bound, one.pruned_dominance),
+                (many.pruned_bound, many.pruned_dominance),
+                "jobs {jobs}: prune counts diverged"
+            );
             assert_eq!(
                 one.truncated, many.truncated,
                 "jobs {jobs}: truncated flag diverged"

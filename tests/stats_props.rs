@@ -52,6 +52,10 @@ fn canonical_taxonomy_is_zero_filled_in_every_report() {
         "store.recover_ok",
         "store.recover_torn",
         "store.quarantined",
+        "search.nodes",
+        "search.pruned_bound",
+        "search.pruned_dominance",
+        "search.complete",
     ] {
         assert!(
             gcomm::obs::CANONICAL_COUNTERS.contains(&required),
