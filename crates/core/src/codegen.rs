@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use gcomm_coll::{CollConfig, PatternShape};
 use gcomm_ir::StmtKind;
 use gcomm_ir::{AccessRef, LoopId, SubscriptIr, Var};
 use gcomm_machine::{CommPhase, CommProgram, Msg, MsgKind, PhaseItem, ProcGrid};
@@ -27,6 +28,9 @@ pub struct SimConfig {
     pub params: HashMap<String, i64>,
     /// Bytes per element (8 for doubles).
     pub elem_bytes: f64,
+    /// Collective-backend configuration (`--machine`/`--coll`). `None`
+    /// prices every message on the legacy flat model.
+    pub coll: Option<CollConfig>,
 }
 
 impl SimConfig {
@@ -41,12 +45,19 @@ impl SimConfig {
                 .map(|p| (p.clone(), n))
                 .collect(),
             elem_bytes: 8.0,
+            coll: None,
         }
     }
 
     /// Binds one parameter to a different value (e.g. the timestep count).
     pub fn with(mut self, name: &str, v: i64) -> Self {
         self.params.insert(name.to_string(), v);
+        self
+    }
+
+    /// Routes combined messages through the collective backend.
+    pub fn with_coll(mut self, coll: CollConfig) -> Self {
+        self.coll = Some(coll);
         self
     }
 }
@@ -235,22 +246,70 @@ fn group_msg(
             compiled, cfg, ctx, mid, eid, &g.mapping, g.kind, g.pos, p_total,
         );
     }
-    let (rounds, kind) = group_rounds(
+    let (rounds, kind, shape) = group_pattern(
         compiled,
         cfg,
         ctx,
         mid,
         g.entries[0],
+        &g.mapping,
         g.kind,
         g.pos,
         p_total,
     );
-    Msg {
+    lowered_msg(
+        cfg.coll.as_ref(),
         bytes,
         rounds,
         kind,
-        pieces: g.entries.len() as u64,
+        shape,
+        g.entries.len() as u64,
+    )
+}
+
+/// Builds the group's [`Msg`]: the legacy flat pricing when no collective
+/// backend is configured, otherwise the backend's lowered step schedule
+/// (with `rounds` set to the schedule length so message counting follows
+/// the algorithm actually executed). Shared with the branch-and-bound
+/// cost model so both lower bit-identically.
+pub(crate) fn lowered_msg(
+    coll: Option<&CollConfig>,
+    bytes: f64,
+    rounds: u64,
+    kind: MsgKind,
+    shape: PatternShape,
+    pieces: u64,
+) -> Msg {
+    match coll {
+        None => Msg::flat(bytes, rounds, kind, pieces),
+        Some(cc) => {
+            let lowered = gcomm_coll::lower_msg(cc, shape, bytes);
+            Msg {
+                bytes,
+                rounds: (lowered.steps.len() as u64).max(1),
+                kind,
+                pieces,
+                steps: lowered.steps,
+            }
+        }
     }
+}
+
+/// Linearized rank distance of a template-space shift: per-axis offsets
+/// weighted by the row-major stride of each grid axis. Translation
+/// invariant — the topology tiers see only the magnitude.
+fn shift_distance(offsets: &[i64], grid: &ProcGrid) -> u64 {
+    let rank = grid.rank();
+    let mut dist: i64 = 0;
+    for (axis, &off) in offsets.iter().enumerate() {
+        let a = axis.min(rank.saturating_sub(1));
+        let mut stride: i64 = 1;
+        for b in (a + 1)..rank {
+            stride = stride.saturating_mul(grid.axis(b) as i64);
+        }
+        dist = dist.saturating_add(off.saturating_mul(stride));
+    }
+    dist.unsigned_abs().max(1)
 }
 
 /// One member's contribution to its group's message bytes (§6.1 cost
@@ -317,26 +376,34 @@ pub(crate) fn entry_msg_bytes(
     }
 }
 
-/// Round count and message kind of a group led by `head` (the first
-/// member). Depends only on the head entry, the group kind, and the
-/// placement position — shared with the branch-and-bound cost model.
+/// Round count, message kind, and pattern shape of a group led by `head`
+/// (the first member). Depends only on the head entry, the group's
+/// mapping and kind, and the placement position — shared with the
+/// branch-and-bound cost model.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn group_rounds(
+pub(crate) fn group_pattern(
     compiled: &Compiled,
     cfg: &SimConfig,
     ctx: &AnalysisCtx<'_>,
     mid: &HashMap<LoopId, i64>,
     head: crate::entry::EntryId,
+    mapping: &Mapping,
     kind: CommKind,
     pos: gcomm_ir::Pos,
     p_total: u64,
-) -> (u64, MsgKind) {
+) -> (u64, MsgKind, PatternShape) {
     let prog = &compiled.prog;
     let level = pos.level(prog);
     let bind = bind_exact(compiled, cfg, mid);
     let log_p = (64 - (p_total.max(1) - 1).leading_zeros()) as u64;
     match kind {
-        CommKind::Nnc => (1, MsgKind::PointToPoint),
+        CommKind::Nnc => {
+            let dist = match mapping {
+                Mapping::Shift { offsets } => shift_distance(offsets, &cfg.grid),
+                _ => 1,
+            };
+            (1, MsgKind::PointToPoint, PatternShape::Shift { dist })
+        }
         CommKind::Reduction => {
             // The reduction tree spans only the owners of the reduced
             // section: a row section of a (BLOCK, BLOCK) array lives on one
@@ -357,10 +424,24 @@ pub(crate) fn group_rounds(
                 }
             }
             let log_owners = (64 - (owners.max(1) - 1).leading_zeros()) as u64;
-            (log_owners.max(1), MsgKind::Collective)
+            (
+                log_owners.max(1),
+                MsgKind::Collective,
+                PatternShape::Tree {
+                    parts: owners.max(1),
+                },
+            )
         }
-        CommKind::Broadcast | CommKind::Gather => (log_p.max(1), MsgKind::Collective),
-        CommKind::General => (log_p.max(1), MsgKind::Collective),
+        CommKind::Broadcast | CommKind::Gather => (
+            log_p.max(1),
+            MsgKind::Collective,
+            PatternShape::Tree { parts: p_total },
+        ),
+        CommKind::General => (
+            log_p.max(1),
+            MsgKind::Collective,
+            PatternShape::Tree { parts: p_total },
+        ),
     }
 }
 

@@ -41,12 +41,13 @@
 use std::collections::{HashMap, HashSet};
 
 use gcomm_ir::{IrProgram, LoopId, Pos};
-use gcomm_machine::{simulate, Msg, MsgKind, NetworkModel, ProcGrid};
+use gcomm_machine::{simulate, MsgKind, NetworkModel, ProcGrid};
 use gcomm_par::MinF64;
 
 use crate::candidates::candidates;
 use crate::codegen::{
-    entry_msg_bytes, group_rounds, loop_bindings, lower_to_sim, lower_to_sim_with, SimConfig,
+    entry_msg_bytes, group_pattern, loop_bindings, lower_to_sim, lower_to_sim_with, lowered_msg,
+    SimConfig,
 };
 use crate::ctx::AnalysisCtx;
 use crate::earliest::earliest_pos;
@@ -208,15 +209,19 @@ fn base_scratch(compiled: &Compiled, space: &SearchSpace) -> Compiled {
 // ---------------------------------------------------------------------------
 
 /// Per-`(entry, choice)` cost tables, precomputed once per search with the
-/// exact lowering arithmetic (`entry_msg_bytes`/`group_rounds` — the same
+/// exact lowering arithmetic (`entry_msg_bytes`/`group_pattern` — the same
 /// functions `group_msg` sums), plus the admissible suffix bounds.
 struct CostModel {
     /// Message-byte contribution of entry `i` placed at choice `j`.
     bytes: Vec<Vec<f64>>,
     /// Loop multiplicity of choice `j` (product of enclosing trip counts).
     mult: Vec<Vec<f64>>,
-    /// Rounds and message kind if entry `i` at choice `j` heads its group.
-    head_rounds: Vec<Vec<(u64, MsgKind)>>,
+    /// Rounds, message kind, and pattern shape if entry `i` at choice `j`
+    /// heads its group.
+    head_rounds: Vec<Vec<(u64, MsgKind, gcomm_coll::PatternShape)>>,
+    /// Collective-backend configuration of the scoring `SimConfig`, so
+    /// partial costs lower exactly like `group_msg`.
+    coll: Option<gcomm_coll::CollConfig>,
     /// Loop level of each choice (for compatibility tests).
     level: Vec<Vec<u32>>,
     /// Encoded position of each choice (for grouping and dominance keys).
@@ -279,7 +284,9 @@ fn build_cost_model(
             fmin = fmin.min(m * (b / peak));
             b_row.push(b);
             m_row.push(m);
-            r_row.push(group_rounds(base, cfg, ctx, &mid, id, e.kind, pos, p_total));
+            r_row.push(group_pattern(
+                base, cfg, ctx, &mid, id, &e.mapping, e.kind, pos, p_total,
+            ));
             l_row.push(pos.level(prog));
             p_row.push(pos_encode(pos));
         }
@@ -306,6 +313,7 @@ fn build_cost_model(
         bytes,
         mult,
         head_rounds,
+        coll: cfg.coll.clone(),
         level,
         pos_enc,
         h,
@@ -411,13 +419,15 @@ impl<'a, 'p> Searcher<'a, 'p> {
             for &(i, j) in &g.members {
                 bytes += self.cm.bytes[i][j];
             }
-            let (rounds, kind) = self.cm.head_rounds[i0][j0];
-            let msg = Msg {
+            let (rounds, kind, shape) = self.cm.head_rounds[i0][j0];
+            let msg = lowered_msg(
+                self.cm.coll.as_ref(),
                 bytes,
                 rounds,
                 kind,
-                pieces: g.members.len() as u64,
-            };
+                shape,
+                g.members.len() as u64,
+            );
             total += self.cm.mult[i0][j0] * msg.time_us(self.net);
         }
         total

@@ -41,6 +41,17 @@ impl Pattern {
         }
     }
 
+    /// The §6.1 analytic load of a lowered collective schedule on `p`
+    /// processors: every [`crate::sim::SimStep`] is one partner exchange,
+    /// its volume weighted by the inverse of the link-tier bandwidth
+    /// multiplier (a half-speed link carries twice the inverse-bandwidth
+    /// volume). Lets ablations score topology-aware schedules with the
+    /// same `C × partners + volume` model the paper uses for flat ones.
+    pub fn from_steps(p: u64, steps: &[crate::sim::SimStep]) -> Self {
+        let volume: f64 = steps.iter().map(|s| s.bytes / s.bw_mult.max(1e-9)).sum();
+        Pattern::symmetric(p, steps.len() as u64, volume)
+    }
+
     /// Cost of the pattern: the maximum per-processor cost (bulk-synchronous
     /// execution waits for the slowest processor).
     pub fn cost(&self, startup_c: f64) -> f64 {
@@ -59,6 +70,29 @@ pub fn schedule_cost(patterns: &[Pattern], startup_c: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_steps_counts_partners_and_inverse_bandwidth_volume() {
+        use crate::sim::SimStep;
+        let steps = [
+            SimStep {
+                bytes: 100.0,
+                startup_mult: 1.0,
+                bw_mult: 1.0,
+            },
+            SimStep {
+                bytes: 100.0,
+                startup_mult: 1.6,
+                bw_mult: 0.5, // half-speed link: double inverse-bw volume
+            },
+        ];
+        let p = Pattern::from_steps(4, &steps);
+        assert_eq!(p.loads.len(), 4);
+        assert_eq!(p.loads[0].partners, 2);
+        assert!((p.loads[0].volume - 300.0).abs() < 1e-12);
+        // C = 10: cost = 10·2 + 300.
+        assert!((p.cost(10.0) - 320.0).abs() < 1e-12);
+    }
 
     #[test]
     fn symmetric_pattern_cost() {

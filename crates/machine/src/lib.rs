@@ -30,5 +30,5 @@ pub use grid::ProcGrid;
 pub use net::NetworkModel;
 pub use sim::{
     simulate, simulate_overlapped, simulate_with_faults, CommPhase, CommProgram, FaultStats, Msg,
-    MsgKind, OverlapResult, PhaseItem, SimReport, SimResult,
+    MsgKind, OverlapResult, PhaseItem, SimReport, SimResult, SimStep,
 };

@@ -21,26 +21,75 @@ pub enum MsgKind {
     Collective,
 }
 
+/// One point-to-point step of a lowered collective schedule.
+///
+/// A collective backend (gcomm-coll) resolves the topology into per-step
+/// link multipliers so the simulator stays topology-agnostic: a step of
+/// `bytes` costs `startup_us · startup_mult + bytes / (bw(bytes) · bw_mult)`.
+/// With both multipliers at 1.0 a step prices exactly like
+/// [`NetworkModel::msg_time_us`] on the flat model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimStep {
+    /// Wire bytes carried by this step.
+    pub bytes: f64,
+    /// Startup-cost multiplier of the link tier this step crosses.
+    pub startup_mult: f64,
+    /// Bandwidth multiplier of the link tier this step crosses.
+    pub bw_mult: f64,
+}
+
+impl SimStep {
+    /// Time of this step on `net`, in µs.
+    pub fn time_us(&self, net: &NetworkModel) -> f64 {
+        if self.bytes <= 0.0 {
+            return net.startup_us * self.startup_mult;
+        }
+        net.startup_us * self.startup_mult
+            + self.bytes / (net.bandwidth_mb(self.bytes) * self.bw_mult).max(1e-9)
+    }
+}
+
 /// One (possibly combined) message operation executed by every processor.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Msg {
-    /// Payload bytes per processor per execution.
+    /// Payload bytes per processor per execution. This is the *logical*
+    /// payload: a collective lowering may move more wire bytes (see
+    /// [`Msg::steps`]) but the payload accounted to the program is the
+    /// same under every algorithm.
     pub bytes: f64,
     /// Sequential message rounds (1 for point-to-point; ⌈log₂ P⌉ for
-    /// tree collectives).
+    /// tree collectives; `steps.len()` when lowered by gcomm-coll).
     pub rounds: u64,
     /// Kind (used for reporting).
     pub kind: MsgKind,
     /// Number of array sections packed into this message (1 = no packing
     /// copy needed on either side beyond the transfer itself).
     pub pieces: u64,
+    /// Concrete lowered schedule from the collective backend. Empty means
+    /// the legacy flat-model pricing (`rounds` equal splits of `bytes`).
+    pub steps: Vec<SimStep>,
 }
 
 impl Msg {
+    /// A legacy (flat-model) message with no lowered schedule.
+    pub fn flat(bytes: f64, rounds: u64, kind: MsgKind, pieces: u64) -> Msg {
+        Msg {
+            bytes,
+            rounds,
+            kind,
+            pieces,
+            steps: Vec::new(),
+        }
+    }
+
     /// Time for one execution of this message on `net`, in µs.
     pub fn time_us(&self, net: &NetworkModel) -> f64 {
-        let per_round = self.bytes / self.rounds.max(1) as f64;
-        let mut t = self.rounds as f64 * net.msg_time_us(per_round);
+        let mut t = if self.steps.is_empty() {
+            let per_round = self.bytes / self.rounds.max(1) as f64;
+            self.rounds as f64 * net.msg_time_us(per_round)
+        } else {
+            self.steps.iter().map(|s| s.time_us(net)).sum()
+        };
         if self.pieces > 1 {
             // Pack at the sender and unpack at the receiver.
             t += 2.0 * net.bcopy_time_us(self.bytes);
@@ -409,6 +458,16 @@ fn send_with_retries(
                 rounds: m.rounds,
                 kind: m.kind,
                 pieces: 1,
+                // A lowered schedule degrades section by section: each
+                // retries the same route with 1/pieces of the traffic.
+                steps: m
+                    .steps
+                    .iter()
+                    .map(|s| SimStep {
+                        bytes: s.bytes / m.pieces as f64,
+                        ..s.clone()
+                    })
+                    .collect(),
             };
             for _ in 0..m.pieces {
                 elapsed += send_with_retries(&per_section, net, plan, rng, rep, false);
@@ -425,12 +484,49 @@ mod tests {
     use super::*;
 
     fn p2p(bytes: f64) -> Msg {
-        Msg {
-            bytes,
-            rounds: 1,
-            kind: MsgKind::PointToPoint,
-            pieces: 1,
-        }
+        Msg::flat(bytes, 1, MsgKind::PointToPoint, 1)
+    }
+
+    #[test]
+    fn unit_multiplier_steps_price_like_the_flat_model() {
+        // A lowered schedule of `rounds` equal steps over unit-multiplier
+        // links is the flat model, bit for bit.
+        let net = NetworkModel::sp2();
+        let legacy = Msg::flat(4096.0, 2, MsgKind::Collective, 3);
+        let lowered = Msg {
+            steps: vec![
+                SimStep {
+                    bytes: 2048.0,
+                    startup_mult: 1.0,
+                    bw_mult: 1.0,
+                };
+                2
+            ],
+            ..legacy.clone()
+        };
+        assert_eq!(legacy.time_us(&net), lowered.time_us(&net));
+    }
+
+    #[test]
+    fn step_multipliers_move_cost_the_right_way() {
+        let net = NetworkModel::sp2();
+        let unit = SimStep {
+            bytes: 8192.0,
+            startup_mult: 1.0,
+            bw_mult: 1.0,
+        };
+        let slow = SimStep {
+            startup_mult: 1.6,
+            bw_mult: 0.7,
+            ..unit.clone()
+        };
+        let fast = SimStep {
+            startup_mult: 0.4,
+            bw_mult: 2.0,
+            ..unit.clone()
+        };
+        assert!(fast.time_us(&net) < unit.time_us(&net));
+        assert!(unit.time_us(&net) < slow.time_us(&net));
     }
 
     #[test]
@@ -485,12 +581,7 @@ mod tests {
     #[test]
     fn collective_rounds_accumulate() {
         let net = NetworkModel::sp2();
-        let red = Msg {
-            bytes: 32.0,
-            rounds: 5, // log2(25) rounded up
-            kind: MsgKind::Collective,
-            pieces: 1,
-        };
+        let red = Msg::flat(32.0, 5, MsgKind::Collective, 1); // log2(25) rounded up
         let prog = CommProgram {
             name: "r".into(),
             items: vec![PhaseItem::Comm(CommPhase { msgs: vec![red] })],

@@ -16,15 +16,17 @@ use gcomm_machine::{
 
 fn msg_strategy() -> BoxedStrategy<Msg> {
     (1u64..65536, 1u64..6, 1u64..8, any::<bool>())
-        .prop_map(|(bytes, rounds, pieces, p2p)| Msg {
-            bytes: bytes as f64,
-            rounds: if p2p { 1 } else { rounds },
-            kind: if p2p {
-                MsgKind::PointToPoint
-            } else {
-                MsgKind::Collective
-            },
-            pieces,
+        .prop_map(|(bytes, rounds, pieces, p2p)| {
+            Msg::flat(
+                bytes as f64,
+                if p2p { 1 } else { rounds },
+                if p2p {
+                    MsgKind::PointToPoint
+                } else {
+                    MsgKind::Collective
+                },
+                pieces,
+            )
         })
         .boxed()
 }

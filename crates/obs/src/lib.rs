@@ -144,6 +144,17 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     "store.recover_ok",
     "store.recover_torn",
     "store.quarantined",
+    // coll: the topology-aware collective backend (DESIGN.md §17) —
+    // messages routed through the backend, the total point-to-point
+    // steps they lowered to, which algorithm family the selector chose
+    // per message, and forced algorithms that fell back to p2p because
+    // they cannot lower the pattern.
+    "coll.lowered",
+    "coll.steps",
+    "coll.selected_ring",
+    "coll.selected_tree",
+    "coll.selected_p2p",
+    "coll.fallback",
     // query: the incremental query engine (DESIGN.md §14) — memo
     // hits/misses across all pass-level queries, early-cutoff events
     // (upstream recomputed, downstream still hit), and input-slot

@@ -168,9 +168,11 @@ pub fn compile_request(
     }
     if let Some(sim) = sim {
         s.push_str(&format!(
-            ",\"sim\":{{\"profile\":{},\"n\":{}}}",
+            ",\"sim\":{{\"profile\":{},\"n\":{},\"machine\":{},\"coll\":{}}}",
             escape(&sim.profile),
-            sim.n
+            sim.n,
+            escape(&sim.machine),
+            escape(&sim.coll)
         ));
     }
     s.push('}');
@@ -186,10 +188,9 @@ mod tests {
     #[test]
     fn compile_request_roundtrips_through_the_parser() {
         let spec = BudgetSpec::parse("steps=500").unwrap();
-        let sim = SimSpec {
-            profile: "now".into(),
-            n: 16,
-        };
+        let mut sim = SimSpec::flat("now", 16);
+        sim.machine = "torus:5x5".into();
+        sim.coll = "auto".into();
         let text = compile_request(
             7,
             "program p\nend",

@@ -87,6 +87,24 @@ pub struct SimSpec {
     pub profile: String,
     /// Problem size `n`.
     pub n: i64,
+    /// Interconnect topology (canonical `gcomm_coll::Topology` spec,
+    /// default `flat`).
+    pub machine: String,
+    /// Collective algorithm choice (`auto|ring|rdbl|bine|p2p`, default
+    /// `p2p`). `flat`+`p2p` is the legacy flat-model pricing.
+    pub coll: String,
+}
+
+impl SimSpec {
+    /// A spec with the legacy defaults for `machine` and `coll`.
+    pub fn flat(profile: &str, n: i64) -> SimSpec {
+        SimSpec {
+            profile: profile.into(),
+            n,
+            machine: "flat".into(),
+            coll: "p2p".into(),
+        }
+    }
 }
 
 impl Request {
@@ -173,7 +191,40 @@ impl Request {
                                 }
                             },
                         };
-                        Some(SimSpec { profile, n })
+                        let machine = match s.get("machine") {
+                            None | Some(Json::Null) => "flat".to_string(),
+                            Some(m) => match m.as_str().map(gcomm_coll::Topology::parse) {
+                                // Canonicalize, so `fat-tree` and
+                                // `fat-tree:4x4` share one cache key.
+                                Some(Ok(t)) => t.describe(),
+                                _ => {
+                                    return Err((
+                                        id,
+                                        "compile: 'sim.machine' must be flat|fat-tree[:NxS]|torus[:XxY]"
+                                            .into(),
+                                    ))
+                                }
+                            },
+                        };
+                        let coll = match s.get("coll") {
+                            None | Some(Json::Null) => "p2p".to_string(),
+                            Some(c) => match c.as_str().and_then(gcomm_coll::CollChoice::parse) {
+                                Some(c) => c.describe().to_string(),
+                                None => {
+                                    return Err((
+                                        id,
+                                        "compile: 'sim.coll' must be auto|ring|rdbl|bine|p2p"
+                                            .into(),
+                                    ))
+                                }
+                            },
+                        };
+                        Some(SimSpec {
+                            profile,
+                            n,
+                            machine,
+                            coll,
+                        })
                     }
                 };
                 Ok(Request::Compile(CompileReq {
@@ -221,7 +272,10 @@ impl Request {
 pub fn cache_key_material(req: &CompileReq, effective_budget: &BudgetSpec) -> String {
     let sim = match &req.sim {
         None => "-".to_string(),
-        Some(s) => format!("{}:{}", s.profile, s.n),
+        // `machine` may itself contain ':' (dims); it sits between the
+        // colon-free `n` and `coll` components, so the encoding stays
+        // injective.
+        Some(s) => format!("{}:{}:{}:{}", s.profile, s.n, s.machine, s.coll),
     };
     format!(
         "{PROTOCOL}\0{}\0{}\0{}\0{}",
@@ -319,13 +373,18 @@ mod tests {
         let Request::Compile(c) = r else { panic!() };
         assert_eq!(c.strategy, Strategy::EarliestRE);
         assert_eq!(c.budget.unwrap().steps, Some(100));
-        assert_eq!(
-            c.sim,
-            Some(SimSpec {
-                profile: "now".into(),
-                n: 32
-            })
-        );
+        assert_eq!(c.sim, Some(SimSpec::flat("now", 32)));
+
+        let r = parse(
+            r#"{"op":"compile","source":"s",
+                "sim":{"profile":"sp2","n":64,"machine":"fat-tree","coll":"auto"}}"#,
+        )
+        .unwrap();
+        let Request::Compile(c) = r else { panic!() };
+        let sim = c.sim.unwrap();
+        // Topology specs canonicalize: `fat-tree` keys as `fat-tree:4x4`.
+        assert_eq!(sim.machine, "fat-tree:4x4");
+        assert_eq!(sim.coll, "auto");
     }
 
     #[test]
@@ -341,6 +400,14 @@ mod tests {
         assert!(parse(r#"{"op":"compile","source":"s","budget":"frobs=1"}"#).is_err());
         assert!(parse(r#"{"op":"compile","source":"s","sim":{"profile":"cray"}}"#).is_err());
         assert!(parse(r#"{"op":"compile","source":"s","sim":{"profile":"sp2","n":0}}"#).is_err());
+        assert!(
+            parse(r#"{"op":"compile","source":"s","sim":{"profile":"sp2","machine":"mesh"}}"#)
+                .is_err()
+        );
+        assert!(
+            parse(r#"{"op":"compile","source":"s","sim":{"profile":"sp2","coll":"magic"}}"#)
+                .is_err()
+        );
         assert!(parse(r#"{"id":-1,"op":"ping"}"#).is_err());
         assert!(parse(r#"{"id":1.5,"op":"ping"}"#).is_err());
     }
@@ -365,11 +432,20 @@ mod tests {
         let budget = BudgetSpec::parse("steps=5").unwrap();
         assert_ne!(k0, cache_key_material(&base, &budget));
         let mut other = base.clone();
-        other.sim = Some(SimSpec {
-            profile: "sp2".into(),
-            n: 64,
-        });
+        other.sim = Some(SimSpec::flat("sp2", 64));
         assert_ne!(k0, cache_key_material(&other, &unlimited));
+        let ks = cache_key_material(&other, &unlimited);
+        // Requests differing only in machine or coll never share a key.
+        let mut machined = other.clone();
+        machined.sim.as_mut().unwrap().machine = "fat-tree:4x4".into();
+        assert_ne!(ks, cache_key_material(&machined, &unlimited));
+        let mut colled = other.clone();
+        colled.sim.as_mut().unwrap().coll = "auto".into();
+        assert_ne!(ks, cache_key_material(&colled, &unlimited));
+        assert_ne!(
+            cache_key_material(&machined, &unlimited),
+            cache_key_material(&colled, &unlimited)
+        );
         // Ids never enter the key.
         let mut other = base.clone();
         other.id = Some(7);

@@ -388,10 +388,15 @@ fn shape_tag(shape: RenderShape) -> u64 {
 }
 
 /// Fingerprint of the request's sim spec (part of every render key).
+/// Mirrors [`crate::protocol::cache_key_material`]'s sim component:
+/// machine and coll are part of the identity, so requests differing only
+/// in topology or algorithm never share a memoized render.
 fn sim_fp(req: &CompileReq) -> u64 {
     match &req.sim {
         None => fingerprint(b"-"),
-        Some(s) => fingerprint(format!("{}:{}", s.profile, s.n).as_bytes()),
+        Some(s) => {
+            fingerprint(format!("{}:{}:{}:{}", s.profile, s.n, s.machine, s.coll).as_bytes())
+        }
     }
 }
 
@@ -607,7 +612,16 @@ fn sim_json(compiled: &Compiled, sim: &SimSpec) -> String {
         .max()
         .unwrap_or(1)
         .max(1);
-    let cfg = SimConfig::uniform(compiled, ProcGrid::balanced(p, rank), sim.n).with("nsteps", 10);
+    let mut cfg =
+        SimConfig::uniform(compiled, ProcGrid::balanced(p, rank), sim.n).with("nsteps", 10);
+    // `flat`+`p2p` is the legacy flat-model pricing: identical numbers,
+    // and old-protocol requests keep their exact historical output.
+    if !(sim.machine == "flat" && sim.coll == "p2p") {
+        let topo = gcomm_coll::Topology::parse(&sim.machine).unwrap_or(gcomm_coll::Topology::Flat);
+        let choice = gcomm_coll::CollChoice::parse(&sim.coll)
+            .unwrap_or(gcomm_coll::CollChoice::Fixed(gcomm_coll::Algo::P2p));
+        cfg = cfg.with_coll(gcomm_coll::CollConfig::new(topo, choice, net.clone()));
+    }
     let rep = simulate_with_faults(&lower_to_sim(compiled, &cfg), &net, &FaultPlan::quiet());
     let r = rep.result;
     format!(
@@ -745,10 +759,7 @@ mod tests {
     #[test]
     fn sim_payload_is_deterministic_and_parses() {
         let req = CompileReq {
-            sim: Some(SimSpec {
-                profile: "sp2".into(),
-                n: 32,
-            }),
+            sim: Some(SimSpec::flat("sp2", 32)),
             ..compile_req(OK_SRC)
         };
         let a = cold_compile_payload(&req, &BudgetSpec::default());

@@ -91,3 +91,58 @@ fn byte_capped_service_evicts_in_lru_order() {
         "the untouched entry must have been the eviction victim"
     );
 }
+
+/// Requests differing **only** in the sim's `machine` or `coll` must
+/// never share a cache entry: the topology and the collective algorithm
+/// change the simulated numbers, so a collision would serve one
+/// configuration's results under another's name. Each distinct pair is
+/// a cold miss with its own entry, and replaying the same pair hits it
+/// bit-identically.
+#[test]
+fn machine_and_coll_are_part_of_the_cache_identity() {
+    let svc = Service::new(ServiceConfig::default());
+    let source = proptest::hpf::generate(7);
+    let run = |machine: &str, coll: &str, id: u64| -> String {
+        let mut sim = gcomm_serve::protocol::SimSpec::flat("sp2", 32);
+        sim.machine = machine.into();
+        sim.coll = coll.into();
+        let r = CompileReq {
+            sim: Some(sim),
+            ..req(source.clone(), id)
+        };
+        let (resp, work) = svc.compile(&r);
+        svc.finish(svc.begin(), work);
+        resp
+    };
+    let specs = [
+        ("flat", "p2p"),
+        ("flat", "ring"),
+        ("fat-tree:4x4", "p2p"),
+        ("fat-tree:4x4", "auto"),
+        ("torus:5x5", "auto"),
+    ];
+    let cold: Vec<String> = specs.iter().map(|(m, c)| run(m, c, 1)).collect();
+    assert_eq!(
+        svc.cache_usage().0,
+        specs.len(),
+        "every (machine, coll) pair must get its own cache entry"
+    );
+    assert_eq!(
+        svc.lifetime_report().counter("cache.miss"),
+        specs.len() as u64
+    );
+    // Same pairs again: all hits, each bit-identical to its own cold run.
+    let warm: Vec<String> = specs.iter().map(|(m, c)| run(m, c, 1)).collect();
+    assert_eq!(
+        svc.lifetime_report().counter("cache.hit"),
+        specs.len() as u64
+    );
+    for (i, (m, c)) in specs.iter().enumerate() {
+        assert_eq!(cold[i], warm[i], "{m}/{c}: hit differs from cold");
+    }
+    // And the configurations really produce different simulated numbers
+    // (the reason a collision would be wrong): the flat/p2p payload
+    // differs from the hierarchical ones.
+    assert_ne!(cold[0], cold[2], "fat-tree priced like flat");
+    assert_ne!(cold[2], cold[4], "torus priced like fat-tree");
+}

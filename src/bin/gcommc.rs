@@ -18,6 +18,12 @@
 //!   --dot-dom                    print the dominator tree as DOT
 //!   --verify                     dynamically verify the schedule (n = 8)
 //!   --sim <n>                    simulate at size n on SP2 and NOW
+//!   --machine <topo>             interconnect topology for --sim pricing:
+//!                                flat | fat-tree[:NxS] | torus[:XxY]
+//!                                (default: flat, the paper's 1996 model)
+//!   --coll <alg>                 collective algorithm: auto|ring|rdbl|bine|p2p
+//!                                (default: p2p; auto sweeps the pareto
+//!                                frontier per pattern and size, DESIGN.md §17)
 //!   --faults <spec>              inject faults into --sim runs, e.g.
 //!                                seed=42,loss=0.01,degrade=0.2:0.5,straggle=0.05:3
 //!   --entries                    list communication entries before placement
@@ -64,6 +70,8 @@
 //!                                input file, ping without)
 //!   --strategy / --budget        forwarded on compile requests
 //!   --sim <profile[:n]>          request a simulation, e.g. sp2:128 or now
+//!   --machine / --coll           topology + collective algorithm for --sim
+//!                                requests (part of the compile-cache key)
 //!   --stable                     ask for the deterministic stats form
 //!   <file | ->                   source for compile requests
 //! ```
@@ -96,6 +104,8 @@ struct Opts {
     dot_dom: bool,
     verify: bool,
     sim: Option<i64>,
+    machine: gcomm::coll::Topology,
+    coll: gcomm::coll::CollChoice,
     faults: FaultPlan,
     budget: BudgetSpec,
     entries: bool,
@@ -106,7 +116,8 @@ struct Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: gcommc [--strategy orig|nored|partial|comb|optimal] [--counts] [--dot-cfg] [--dot-dom] \
-         [--verify] [--sim <n>] [--faults <spec>] [--budget <spec>] [--entries] [--stats] \
+         [--verify] [--sim <n>] [--machine <topo>] [--coll <alg>] [--faults <spec>] \
+         [--budget <spec>] [--entries] [--stats] \
          [--stats-json <path>] <file | ->\n\
          \x20      gcommc serve [--addr <host:port>] [--jobs <n>] [--cache-bytes <size>] \
          [--budget <spec>] [--persist <dir>] [--persist-fsync <policy>]\n\
@@ -114,7 +125,8 @@ fn usage() -> ! {
          [--attach <host:port>]... [--jobs <n>] [--cache-bytes <size>] [--budget <spec>] \
          [--persist <dir>] [--persist-fsync <policy>]\n\
          \x20      gcommc client --addr <host:port> [--op ping|version|stats|shutdown|compile] \
-         [--strategy <s>] [--budget <spec>] [--sim <profile[:n]>] [--stable] [<file | ->]\n\
+         [--strategy <s>] [--budget <spec>] [--sim <profile[:n]>] [--machine <topo>] \
+         [--coll <alg>] [--stable] [<file | ->]\n\
          \x20      gcommc --version"
     );
     std::process::exit(2);
@@ -139,6 +151,8 @@ fn parse_args(mut args: Vec<String>) -> Opts {
         dot_dom: false,
         verify: false,
         sim: None,
+        machine: gcomm::coll::Topology::Flat,
+        coll: gcomm::coll::CollChoice::Fixed(gcomm::coll::Algo::P2p),
         faults: FaultPlan::quiet(),
         budget,
         entries: false,
@@ -171,6 +185,23 @@ fn parse_args(mut args: Vec<String>) -> Opts {
                     )),
                 },
                 None => bad_args("--sim expects an integer problem size"),
+            },
+            "--machine" => match args.next() {
+                Some(t) => {
+                    o.machine = gcomm::coll::Topology::parse(&t)
+                        .unwrap_or_else(|e| bad_args(format_args!("--machine: {e}")))
+                }
+                None => bad_args("--machine expects flat | fat-tree[:NxS] | torus[:XxY]"),
+            },
+            "--coll" => match args.next() {
+                Some(c) => {
+                    o.coll = gcomm::coll::CollChoice::parse(&c).unwrap_or_else(|| {
+                        bad_args(format_args!(
+                            "--coll expects auto|ring|rdbl|bine|p2p, got '{c}'"
+                        ))
+                    })
+                }
+                None => bad_args("--coll expects auto|ring|rdbl|bine|p2p"),
             },
             "--faults" => {
                 let Some(spec) = args.next() else {
@@ -454,6 +485,8 @@ fn client_main(mut args: Vec<String>) -> ExitCode {
     let mut op: Option<String> = None;
     let mut strategy = Strategy::Global;
     let mut sim: Option<gcomm::serve::SimSpec> = None;
+    let mut machine: Option<String> = None;
+    let mut coll: Option<String> = None;
     let mut stable = false;
     let mut input: Option<String> = None;
     let mut it = args.into_iter();
@@ -489,12 +522,45 @@ fn client_main(mut args: Vec<String>) -> ExitCode {
                         "--sim profile must be sp2 or now, got '{profile}'"
                     ));
                 }
-                sim = Some(gcomm::serve::SimSpec { profile, n });
+                sim = Some(gcomm::serve::SimSpec::flat(&profile, n));
+            }
+            "--machine" => {
+                let Some(t) = it.next() else {
+                    bad_args("--machine expects flat | fat-tree[:NxS] | torus[:XxY]")
+                };
+                match gcomm::coll::Topology::parse(&t) {
+                    // Canonicalize here so the cache key the server derives
+                    // matches what other spellings of the same topology get.
+                    Ok(topo) => machine = Some(topo.describe()),
+                    Err(e) => bad_args(format_args!("--machine: {e}")),
+                }
+            }
+            "--coll" => {
+                let Some(c) = it.next() else {
+                    bad_args("--coll expects auto|ring|rdbl|bine|p2p")
+                };
+                match gcomm::coll::CollChoice::parse(&c) {
+                    Some(choice) => coll = Some(choice.describe().to_string()),
+                    None => bad_args(format_args!(
+                        "--coll expects auto|ring|rdbl|bine|p2p, got '{c}'"
+                    )),
+                }
             }
             "--stable" => stable = true,
             _ if a.starts_with("--") => bad_args(format_args!("client: unrecognized option '{a}'")),
             _ if input.is_none() => input = Some(a),
             _ => bad_args(format_args!("client: unexpected extra argument '{a}'")),
+        }
+    }
+    if machine.is_some() || coll.is_some() {
+        let Some(s) = sim.as_mut() else {
+            bad_args("client: --machine/--coll only apply to --sim requests");
+        };
+        if let Some(m) = machine {
+            s.machine = m;
+        }
+        if let Some(c) = coll {
+            s.coll = c;
         }
     }
     let op = op.unwrap_or_else(|| if input.is_some() { "compile" } else { "ping" }.to_string());
@@ -650,12 +716,28 @@ fn compile_main(args: Vec<String>) -> ExitCode {
             (25u32, NetworkModel::sp2()),
             (8, NetworkModel::now_myrinet()),
         ] {
-            let cfg =
+            let mut cfg =
                 SimConfig::uniform(&compiled, ProcGrid::balanced(p, rank), n).with("nsteps", 10);
+            // flat + p2p is the legacy flat-model pricing — leave the
+            // config on the sentinel path so historical numbers hold exactly.
+            if !(opts.machine == gcomm::coll::Topology::Flat
+                && opts.coll == gcomm::coll::CollChoice::Fixed(gcomm::coll::Algo::P2p))
+            {
+                cfg = cfg.with_coll(gcomm::coll::CollConfig::new(
+                    opts.machine.clone(),
+                    opts.coll,
+                    net.clone(),
+                ));
+            }
             let rep = simulate_with_faults(&lower_to_sim(&compiled, &cfg), &net, &opts.faults);
             let r = rep.result;
+            let topo_tag = cfg
+                .coll
+                .as_ref()
+                .map(|c| format!(" [{}]", c.describe()))
+                .unwrap_or_default();
             println!(
-                "{} P={p} n={n}: total {:.0} us (compute {:.0}, comm {:.0}, {} msgs, {:.0} B)",
+                "{}{topo_tag} P={p} n={n}: total {:.0} us (compute {:.0}, comm {:.0}, {} msgs, {:.0} B)",
                 net.name,
                 r.total_us(),
                 r.compute_us,

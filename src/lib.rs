@@ -24,6 +24,7 @@
 //! | [`par`] | deterministic scoped worker pool for the drivers (DESIGN.md §11) |
 //! | [`serve`] | persistent compile service: caching, batching, backpressure (DESIGN.md §12) |
 //! | [`query`] | incremental query engine: content-addressed memoization (DESIGN.md §14) |
+//! | [`coll`] | topology-aware collective-algorithm backend (DESIGN.md §17) |
 //!
 //! # Quickstart
 //!
@@ -35,6 +36,7 @@
 //! # Ok::<(), gcomm::core::CoreError>(())
 //! ```
 
+pub use gcomm_coll as coll;
 pub use gcomm_core as core;
 pub use gcomm_dep as dep;
 pub use gcomm_exec as exec;

@@ -56,6 +56,12 @@ fn canonical_taxonomy_is_zero_filled_in_every_report() {
         "search.pruned_bound",
         "search.pruned_dominance",
         "search.complete",
+        "coll.lowered",
+        "coll.steps",
+        "coll.selected_ring",
+        "coll.selected_tree",
+        "coll.selected_p2p",
+        "coll.fallback",
     ] {
         assert!(
             gcomm::obs::CANONICAL_COUNTERS.contains(&required),
